@@ -1,0 +1,75 @@
+//! Criterion benches for the packet wire codec — the hot path of every
+//! simulated transmission.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use enviromic::flash::{Chunk, ChunkMeta};
+use enviromic::net::{decode_envelope, encode_envelope, Message};
+use enviromic::types::{EventId, NodeId, SimDuration, SimTime};
+
+fn control_messages() -> Vec<Message> {
+    vec![
+        Message::Sensing {
+            event: Some(EventId::new(NodeId(3), 77)),
+            level: 140,
+            has_prelude: false,
+            ttl_secs: 3600,
+        },
+        Message::TaskRequest {
+            event: EventId::new(NodeId(3), 77),
+            recorder: NodeId(12),
+            task_seq: 41,
+            duration: SimDuration::from_secs_f64(1.0),
+            leader_time: SimTime::from_jiffies(123_456_789),
+            keep_prelude: None,
+        },
+        Message::StateUpdate {
+            ttl_secs: 512,
+            free_chunks: 1024,
+            avg_free_pct: 87,
+        },
+    ]
+}
+
+fn bulk_message() -> Message {
+    Message::BulkData {
+        to: NodeId(9),
+        session: 1,
+        seq: 7,
+        last: false,
+        chunk: Chunk::new(
+            ChunkMeta {
+                origin: NodeId(4),
+                event: Some(EventId::new(NodeId(3), 77)),
+                t_start: SimTime::from_jiffies(42),
+            },
+            vec![0xA5; 232],
+        ),
+    }
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let control = control_messages();
+    let control_bytes = encode_envelope(&control);
+    let bulk = vec![bulk_message()];
+    let bulk_bytes = encode_envelope(&bulk);
+
+    let mut group = c.benchmark_group("codec");
+    group.throughput(Throughput::Bytes(control_bytes.len() as u64));
+    group.bench_function("encode_control_envelope", |b| {
+        b.iter(|| encode_envelope(black_box(&control)))
+    });
+    group.bench_function("decode_control_envelope", |b| {
+        b.iter(|| decode_envelope(black_box(&control_bytes)).unwrap())
+    });
+    group.throughput(Throughput::Bytes(bulk_bytes.len() as u64));
+    group.bench_function("encode_bulk_chunk", |b| {
+        b.iter(|| encode_envelope(black_box(&bulk)))
+    });
+    group.bench_function("decode_bulk_chunk", |b| {
+        b.iter(|| decode_envelope(black_box(&bulk_bytes)).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_codec);
+criterion_main!(benches);

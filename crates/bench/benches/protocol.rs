@@ -1,0 +1,88 @@
+//! Criterion benches for end-to-end protocol simulation: how much wall
+//! time one simulated second costs under each mode, and how fast leader
+//! election converges.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use enviromic::core::{Mode, NodeConfig};
+use enviromic::harness::{build_world, indoor_world_config};
+use enviromic::sim::TraceEvent;
+use enviromic::types::SimDuration;
+use enviromic::workloads::{indoor_scenario, mobile_scenario, IndoorParams, MobileParams};
+
+fn bench_modes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulate_60s_indoor");
+    group.sample_size(10);
+    for (label, mode) in [
+        ("baseline", Mode::Uncoordinated),
+        ("coop_only", Mode::CooperativeOnly),
+        ("full", Mode::Full),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &mode, |b, &mode| {
+            let params = IndoorParams {
+                duration_secs: 60.0,
+                ..IndoorParams::default()
+            };
+            b.iter(|| {
+                let scenario = indoor_scenario(&params, 7);
+                let cfg = NodeConfig::default().with_mode(mode).with_flash_chunks(650);
+                let mut world = build_world(&scenario, &cfg, indoor_world_config(7));
+                world.run_until(scenario.end());
+                black_box(world.trace().len())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_election(c: &mut Criterion) {
+    c.bench_function("leader_election_convergence", |b| {
+        b.iter(|| {
+            let scenario = mobile_scenario(&MobileParams::default());
+            let cfg = NodeConfig::default().with_mode(Mode::CooperativeOnly);
+            let mut world = build_world(&scenario, &cfg, indoor_world_config(3));
+            // Run until the first leader announcement is traced.
+            let mut elected_at = None;
+            for _ in 0..200 {
+                world.run_for_secs(0.1);
+                if let Some(t) = world.trace().iter().find_map(|e| match e {
+                    TraceEvent::LeaderElected { t, .. } => Some(*t),
+                    _ => None,
+                }) {
+                    elected_at = Some(t);
+                    break;
+                }
+            }
+            black_box(elected_at.expect("a leader must be elected"))
+        });
+    });
+}
+
+fn bench_mule_retrieval(c: &mut Criterion) {
+    use enviromic::core::{DataMule, MuleConfig, RetrievalMode};
+    use enviromic::types::Position;
+    let mut group = c.benchmark_group("retrieval");
+    group.sample_size(10);
+    group.bench_function("one_hop_collect_all", |b| {
+        b.iter(|| {
+            let scenario = mobile_scenario(&MobileParams::default());
+            let cfg = NodeConfig::default().with_mode(Mode::CooperativeOnly);
+            let mut world = build_world(&scenario, &cfg, indoor_world_config(9));
+            world.add_node(
+                Position::new(7.0, 5.0),
+                Box::new(DataMule::new(MuleConfig {
+                    mode: RetrievalMode::OneHop,
+                    start_after: SimDuration::from_secs_f64(16.0),
+                    rounds: 2,
+                    round_timeout: SimDuration::from_secs_f64(30.0),
+                    ..MuleConfig::default()
+                })),
+            );
+            world.run_for_secs(80.0);
+            black_box(world.trace().len())
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_modes, bench_election, bench_mule_retrieval);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Criterion benches for the flash chunk store: steady-state FIFO churn
+//! (the recording hot path) and crash recovery scans.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use enviromic::flash::{Chunk, ChunkMeta, ChunkStore};
+use enviromic::types::{EventId, NodeId, SimTime};
+
+fn chunk(tag: u32) -> Chunk {
+    Chunk::new(
+        ChunkMeta {
+            origin: NodeId(tag as u16),
+            event: Some(EventId::new(NodeId(1), tag)),
+            t_start: SimTime::from_jiffies(u64::from(tag) * 2785),
+        },
+        vec![(tag % 251) as u8; 232],
+    )
+}
+
+fn bench_store(c: &mut Criterion) {
+    let mut group = c.benchmark_group("chunk_store");
+    group.throughput(Throughput::Bytes(232));
+
+    group.bench_function("push_pop_cycle", |b| {
+        let mut store = ChunkStore::new(2048, 64);
+        let mut n = 0u32;
+        b.iter(|| {
+            if store.is_full() {
+                let _ = store.pop_front();
+            }
+            store.push_back(black_box(chunk(n))).unwrap();
+            n = n.wrapping_add(1);
+        });
+    });
+
+    group.bench_function("iterate_full_store", |b| {
+        let mut store = ChunkStore::new(512, 64);
+        for n in 0..512 {
+            store.push_back(chunk(n)).unwrap();
+        }
+        b.iter(|| {
+            let total: usize = store.iter().map(|c| c.payload.len()).sum();
+            black_box(total)
+        });
+    });
+
+    group.bench_function("crash_recovery_scan_2048", |b| {
+        let mut store = ChunkStore::new(2048, 64);
+        for n in 0..2048 {
+            store.push_back(chunk(n)).unwrap();
+        }
+        let (flash, eeprom) = store.into_parts();
+        b.iter(|| {
+            let recovered = ChunkStore::recover(black_box(flash.clone()), eeprom.clone(), 64);
+            black_box(recovered.len())
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_store);
+criterion_main!(benches);

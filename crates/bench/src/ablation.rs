@@ -1,0 +1,159 @@
+//! Ablation studies for the design choices DESIGN.md calls out, plus the
+//! paper's future-work extensions.
+//!
+//! * **prelude** (§II-A.1) — does the 1-second uncoordinated prelude
+//!   recover the election-startup misses?
+//! * **piggybacking** (§III-A) — how many packets does the neighborhood
+//!   broadcast module save?
+//! * **global balance hints** (§VI future work) — does gossiped global
+//!   pressure damp the Fig. 13(c) boundary effect (occupancy variance)?
+//! * **controlled redundancy** (§VI future work) — replication factor 2
+//!   trades storage for robustness.
+//! * **detector margin** — silence-filtering sensitivity: misses vs.
+//!   false-positive (unattributable) recordings.
+
+use crate::indoor::suite_world_config;
+use enviromic::core::{Mode, NodeConfig};
+use enviromic::harness::run_scenario;
+use enviromic::metrics::mean;
+use enviromic::sim::TraceEvent;
+use enviromic::types::SimDuration;
+use enviromic::workloads::{indoor_scenario, IndoorParams};
+
+/// One ablation row: a label and its measured metrics.
+#[derive(Debug, Clone)]
+pub struct AblationRow {
+    /// Configuration label.
+    pub label: String,
+    /// Whole-run miss ratio.
+    pub miss: f64,
+    /// Final stored-data redundancy.
+    pub redundancy: f64,
+    /// Total radio packets sent.
+    pub packets: u64,
+    /// Standard deviation of final per-node occupancy (chunks).
+    pub occupancy_stddev: f64,
+}
+
+fn run_one(label: &str, cfg: NodeConfig, seed: u64, duration: f64) -> AblationRow {
+    let params = IndoorParams {
+        duration_secs: duration,
+        ..IndoorParams::default()
+    };
+    let scenario = indoor_scenario(&params, seed);
+    let run = run_scenario(scenario, &cfg, suite_world_config(seed), 20.0);
+    let exp = run.experiment();
+    let packets = run
+        .trace
+        .iter()
+        .filter(|e| matches!(e, TraceEvent::MessageSent { .. }))
+        .count() as u64;
+    let occupancy = exp.occupancy_at(duration);
+    let occ_f: Vec<f64> = occupancy.iter().map(|&u| u as f64).collect();
+    let m = mean(&occ_f);
+    let var = occ_f.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / occ_f.len().max(1) as f64;
+    AblationRow {
+        label: label.to_owned(),
+        miss: exp.miss_ratio(duration),
+        redundancy: exp
+            .redundancy_series(duration, duration)
+            .last()
+            .map_or(0.0, |p| p.1),
+        packets,
+        occupancy_stddev: var.sqrt(),
+    }
+}
+
+fn base_cfg() -> NodeConfig {
+    NodeConfig::default()
+        .with_mode(Mode::Full)
+        .with_flash_chunks(650)
+        .with_beta_max(2.0)
+}
+
+/// Runs the ablation battery. `duration` of 2200 s keeps contrasts visible
+/// in reasonable time.
+#[must_use]
+pub fn run(seed: u64, duration: f64) -> Vec<AblationRow> {
+    let configs: Vec<(&str, NodeConfig)> = vec![
+        ("full (reference)", base_cfg()),
+        (
+            "prelude 1s",
+            base_cfg().with_prelude(SimDuration::from_secs_f64(1.0)),
+        ),
+        ("no piggybacking", {
+            let mut c = base_cfg();
+            c.piggybacking = false;
+            c
+        }),
+        ("global hints", {
+            let mut c = base_cfg();
+            c.global_balance_hints = true;
+            c
+        }),
+        ("replication x2", {
+            let mut c = base_cfg();
+            c.replication_factor = 2;
+            c
+        }),
+        ("margin 30 (stricter)", {
+            let mut c = base_cfg();
+            c.detect_margin = 30.0;
+            c
+        }),
+        ("margin 35 (deaf)", {
+            let mut c = base_cfg();
+            c.detect_margin = 35.0;
+            c
+        }),
+    ];
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = configs
+            .into_iter()
+            .map(|(label, cfg)| scope.spawn(move || run_one(label, cfg, seed, duration)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("ablation worker panicked"))
+            .collect()
+    })
+}
+
+/// Renders the ablation table.
+#[must_use]
+pub fn render(rows: &[AblationRow]) -> String {
+    let mut out = String::from(
+        "Ablations — indoor workload, full system unless noted\n\n\
+         configuration             miss    redund   packets   occ-stddev\n",
+    );
+    for r in rows {
+        out.push_str(&format!(
+            "  {:<22} {:>6.3}  {:>7.3}  {:>8}  {:>10.1}\n",
+            r.label, r.miss, r.redundancy, r.packets, r.occupancy_stddev
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn short_ablation_battery_runs() {
+        let rows = run(5, 400.0);
+        assert_eq!(rows.len(), 7);
+        for r in &rows {
+            assert!(r.miss >= 0.0 && r.miss <= 1.0, "{r:?}");
+        }
+        // Piggybacking saves packets.
+        let reference = rows.iter().find(|r| r.label.contains("reference")).unwrap();
+        let no_piggy = rows.iter().find(|r| r.label.contains("piggy")).unwrap();
+        assert!(
+            no_piggy.packets > reference.packets,
+            "piggybacking should reduce packet count: {} vs {}",
+            no_piggy.packets,
+            reference.packets
+        );
+    }
+}

@@ -1,0 +1,200 @@
+//! Figure-reproduction driver.
+//!
+//! ```text
+//! repro [FIGURE ...] [--seed N] [--quick]
+//!
+//! FIGURE: fig3 fig6 fig7 fig8 fig10 fig11 fig12 fig13 fig14
+//!         fig16 fig17 fig18 headline all    (default: all)
+//! --seed N   root seed (default 1)
+//! --quick    shortened runs (CI-friendly): 1/4 duration, 5 reps
+//! ```
+//!
+//! Each figure prints the same rows/series the paper plots; EXPERIMENTS.md
+//! records how the output compares to the published results.
+
+use enviromic::metrics::render_series;
+use enviromic_bench::{ablation, fig03, fig06, fig08, indoor, outdoor};
+use std::collections::BTreeSet;
+
+struct Options {
+    figures: BTreeSet<String>,
+    seed: u64,
+    quick: bool,
+}
+
+fn parse_args() -> Options {
+    let mut figures = BTreeSet::new();
+    let mut seed = 1u64;
+    let mut quick = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--seed" => {
+                seed = args.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--seed expects an integer");
+                    std::process::exit(2);
+                });
+            }
+            "--quick" => quick = true,
+            "--help" | "-h" => {
+                println!(
+                    "usage: repro [fig3 fig6 fig7 fig8 fig10 fig11 fig12 fig13 fig14 \
+                     fig16 fig17 fig18 headline ablation all] [--seed N] [--quick]"
+                );
+                std::process::exit(0);
+            }
+            name => {
+                figures.insert(name.trim_start_matches("--").to_owned());
+            }
+        }
+    }
+    if figures.is_empty() || figures.contains("all") {
+        for f in [
+            "fig3", "fig6", "fig7", "fig8", "fig10", "fig11", "fig12", "fig13", "fig14", "fig16",
+            "fig17", "fig18", "headline", "ablation",
+        ] {
+            figures.insert(f.into());
+        }
+    }
+    Options {
+        figures,
+        seed,
+        quick,
+    }
+}
+
+fn series_table(title: &str, labelled: &[(String, Vec<(f64, f64)>)]) -> String {
+    let columns: Vec<&str> = labelled.iter().map(|(l, _)| l.as_str()).collect();
+    let n = labelled.first().map_or(0, |(_, s)| s.len());
+    let rows: Vec<(f64, Vec<f64>)> = (0..n)
+        .map(|i| {
+            let x = labelled[0].1[i].0;
+            let vals = labelled.iter().map(|(_, s)| s[i].1).collect();
+            (x, vals)
+        })
+        .collect();
+    format!("{title}\n{}", render_series("t(s)", &columns, &rows))
+}
+
+fn main() {
+    let opts = parse_args();
+    let wants = |f: &str| opts.figures.contains(f);
+    let indoor_figures = ["fig10", "fig11", "fig12", "fig13", "fig14", "headline"];
+    let needs_indoor = indoor_figures.iter().any(|f| wants(f));
+
+    if wants("fig3") {
+        println!("{}", fig03::render(&fig03::run(opts.seed)));
+    }
+    if wants("fig6") {
+        let runs = if opts.quick { 5 } else { 15 };
+        eprintln!("[repro] fig6: sweeping Dta x Trc ({runs} runs per point)...");
+        let sweep = fig06::run_sweep(opts.seed, runs);
+        println!("{}", fig06::render_sweep(&sweep));
+    }
+    if wants("fig7") {
+        let (rows, event) = fig06::run_timeline(opts.seed);
+        println!("{}", fig06::render_timeline(&rows, event));
+    }
+    if wants("fig8") {
+        println!("{}", fig08::render(&fig08::run(opts.seed)));
+    }
+
+    if needs_indoor {
+        let duration = if opts.quick { 1100.0 } else { 4400.0 };
+        eprintln!("[repro] indoor suite: 5 settings x {duration:.0}s (parallel)...");
+        let suite = indoor::run_suite(opts.seed, duration);
+        let sample = duration / 8.0;
+        if wants("fig10") {
+            println!(
+                "{}",
+                series_table(
+                    "Fig. 10 — cumulative recording miss ratio",
+                    &suite.fig10_miss_series(sample),
+                )
+            );
+        }
+        if wants("fig11") {
+            println!(
+                "{}",
+                series_table(
+                    "Fig. 11 — recording redundancy ratio",
+                    &suite.fig11_redundancy_series(sample),
+                )
+            );
+        }
+        if wants("fig12") {
+            println!(
+                "{}",
+                series_table(
+                    "Fig. 12 — cumulative control messages",
+                    &suite.fig12_message_series(sample),
+                )
+            );
+        }
+        if wants("fig13") {
+            let marks = [duration * 0.34, duration * 0.68, duration * 1.0];
+            for (t, grid) in suite.fig13_contours(&marks) {
+                println!(
+                    "{}",
+                    grid.render(&format!(
+                        "Fig. 13 — storage occupancy (chunks) at t = {t:.0} s, beta_max = 2"
+                    ))
+                );
+            }
+        }
+        if wants("fig14") {
+            println!(
+                "{}",
+                suite
+                    .fig14_contour()
+                    .render("Fig. 14 — control messages sent per node, beta_max = 2")
+            );
+        }
+        if wants("headline") {
+            println!("Headline — effective storage capacity vs uncoordinated recording");
+            for (label, miss) in suite.final_miss_ratios() {
+                println!(
+                    "  {label:<12} final miss ratio {miss:.3}  (recorded {:.3})",
+                    1.0 - miss
+                );
+            }
+            let (miss_imp, data_imp) = suite.headline_improvement();
+            println!("  miss-ratio improvement (baseline/lb-bmax2): {miss_imp:.2}x");
+            println!("  recorded-data factor   (lb-bmax2/baseline): {data_imp:.2}x\n");
+        }
+    }
+
+    if wants("ablation") {
+        let duration = if opts.quick { 700.0 } else { 2200.0 };
+        eprintln!("[repro] ablation battery: 7 configurations x {duration:.0}s (parallel)...");
+        println!("{}", ablation::render(&ablation::run(opts.seed, duration)));
+    }
+
+    if wants("fig16") || wants("fig17") || wants("fig18") {
+        let duration = if opts.quick { 2700.0 } else { 10_800.0 };
+        eprintln!("[repro] outdoor deployment: 36 nodes x {duration:.0}s...");
+        let run = outdoor::run(opts.seed, duration);
+        if wants("fig16") {
+            println!(
+                "{}",
+                outdoor::render_fig16(&run.fig16_activity_per_minute())
+            );
+        }
+        if wants("fig17") {
+            println!(
+                "{}",
+                run.fig17_generated_contour()
+                    .render("Fig. 17 — acoustic data generated per location (bytes)")
+            );
+        }
+        if wants("fig18") {
+            let (hotspot, grid) = run.fig18_migration_map();
+            println!(
+                "{}",
+                grid.render(&format!(
+                    "Fig. 18 — final holdings (KB) of data recorded by hotspot {hotspot}"
+                ))
+            );
+        }
+    }
+}

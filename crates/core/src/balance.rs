@@ -1,0 +1,387 @@
+//! Distributed storage balancing (§II-B).
+//!
+//! Each node tracks its data acquisition rate with an EWMA, derives
+//! `TTL_storage = C(t)/R(t)` and `TTL_energy = E(t)/D(R(t))`, and — when
+//! storage is the bottleneck and a neighbour's TTL exceeds its own by the
+//! TTL-dependent factor `β_i` — migrates a batch of chunks to that
+//! neighbour over the reliable bulk-transfer protocol. Received data can
+//! be re-migrated later, so hot-spot data diffuses outward exactly as in
+//! the paper's Fig. 18.
+
+use crate::node::{
+    BulkPurpose, EnviroMicNode, InboundBulk, OutboundBulk, PendingOffer, T_BULK, T_RATE, T_STATE,
+};
+use enviromic_flash::Chunk;
+use enviromic_net::{BulkReceiver, BulkSender, Message, SenderStep};
+use enviromic_sim::{Context, TraceEvent};
+use enviromic_types::NodeId;
+use rand::Rng;
+
+impl EnviroMicNode {
+    // ----- periodic rate estimation (§II-B) -----------------------------------
+
+    /// Updates the EWMA acquisition rate:
+    /// `R(t) = R(t-1)·(1-α) + r·α`.
+    /// Per §II-B the rate is "measured as the number of bytes recorded
+    /// over the (waking) interval during which recording took place":
+    /// quiet periods do not fold zeros into the average, so a node's
+    /// storage horizon does not balloon to infinity between sporadic
+    /// events (which would silently switch the balancer off).
+    pub(crate) fn on_rate_tick(&mut self, ctx: &mut Context<'_>) {
+        let bytes = self.store.take_rate_bytes();
+        if bytes > 0 {
+            let period_secs = self.cfg.rate_period.as_secs_f64();
+            let instantaneous = bytes as f64 / period_secs;
+            self.rate =
+                self.rate * (1.0 - self.cfg.rate_alpha) + instantaneous * self.cfg.rate_alpha;
+        }
+        self.arm(ctx, T_RATE, self.cfg.rate_period);
+    }
+
+    // ----- periodic state beacon + balance check --------------------------------
+
+    pub(crate) fn on_state_tick(&mut self, ctx: &mut Context<'_>) {
+        self.neighbors.expire(ctx.now());
+        // Withdraw an offer nobody answered within a period.
+        if let Some(offer) = self.pending_offer {
+            if ctx.now().saturating_since(offer.made_at) >= self.cfg.state_period {
+                self.pending_offer = None;
+            }
+        }
+        // Evict inbound sessions whose donor went silent (e.g. it gave up
+        // after losses): a stuck receiver would otherwise refuse every
+        // future offer forever.
+        if let Some(inbound) = &self.bulk_in {
+            if ctx.now().saturating_since(inbound.last_activity) >= self.cfg.state_period {
+                self.bulk_in = None;
+            }
+        }
+        // Diffusive averaging for the global-balance extension: mix the
+        // node's own free fraction with the neighborhood's gossiped
+        // estimates; repeated local mixing converges toward the global
+        // mean.
+        let own_free = f64::from(self.store.free()) / f64::from(self.store.capacity());
+        if self.cfg.global_balance_hints {
+            let mut acc = own_free;
+            let mut n = 1.0;
+            for (_, info) in self.neighbors.entries() {
+                acc += f64::from(info.avg_free_pct) / 100.0;
+                n += 1.0;
+            }
+            self.net_avg_free = acc / n;
+        } else {
+            self.net_avg_free = own_free;
+        }
+        let msg = Message::StateUpdate {
+            ttl_secs: self.ttl_storage_secs(),
+            free_chunks: self.store.free(),
+            avg_free_pct: (self.net_avg_free * 100.0).clamp(0.0, 100.0) as u8,
+        };
+        // Delay-tolerant: rides piggyback on the next outgoing packet or a
+        // flush timer (§III-A).
+        self.send(ctx, msg);
+        self.balance_check(ctx);
+        self.arm(ctx, T_STATE, self.cfg.state_period);
+    }
+
+    /// The migration decision of §II-B: find a neighbour `j` with
+    /// `TTL_j / TTL_i > β_i` while energy is not the bottleneck.
+    fn balance_check(&mut self, ctx: &mut Context<'_>) {
+        if !self.cfg.mode.balancing()
+            || self.bulk_out.is_some()
+            || self.pending_offer.is_some()
+            || self.store.is_empty()
+        {
+            return;
+        }
+        let ttl_i = self.ttl_storage_f64();
+        if !ttl_i.is_finite() {
+            return; // no inflow: nothing to balance away
+        }
+        if self.ttl_energy_f64(ctx) <= ttl_i {
+            return; // energy is the bottleneck: store locally (§II-B)
+        }
+        // β_i varies linearly between 1 and β_max with the current TTL:
+        // nodes grow more sensitive to imbalance as their storage horizon
+        // shrinks.
+        let beta =
+            1.0 + (self.cfg.beta_max - 1.0) * (ttl_i / self.cfg.beta_ttl_ref_secs).clamp(0.0, 1.0);
+        // Collect every neighbour satisfying the imbalance condition, then
+        // pick one at random: deterministic "best TTL" selection would send
+        // every donor's offer to the same node, which can accept only one
+        // session at a time.
+        let mut eligible: Vec<(NodeId, u32)> = Vec::new();
+        for (node, info) in self.neighbors.entries() {
+            if info.free_chunks == 0 {
+                continue;
+            }
+            let ttl_j = if info.ttl_secs == u32::MAX {
+                f64::INFINITY
+            } else {
+                f64::from(info.ttl_secs)
+            };
+            if ttl_j / ttl_i <= beta {
+                continue;
+            }
+            eligible.push((node, info.free_chunks));
+        }
+        if eligible.is_empty() {
+            return;
+        }
+        let (target, target_free) = eligible[ctx.rng().gen_range(0..eligible.len())];
+        let chunks = u16::try_from(
+            u64::from(self.cfg.migrate_batch)
+                .min(u64::from(self.store.len()))
+                .min(u64::from(target_free)),
+        )
+        .unwrap_or(u16::MAX);
+        if chunks == 0 {
+            return;
+        }
+        let session = self.session_seq;
+        self.session_seq += 1;
+        self.pending_offer = Some(PendingOffer {
+            to: target,
+            session,
+            chunks,
+            made_at: ctx.now(),
+        });
+        self.send(
+            ctx,
+            Message::MigrateOffer {
+                to: target,
+                chunks,
+                session,
+            },
+        );
+    }
+
+    // ----- migration handshake -----------------------------------------------
+
+    pub(crate) fn on_migrate_offer(
+        &mut self,
+        ctx: &mut Context<'_>,
+        from: NodeId,
+        to: NodeId,
+        chunks: u16,
+        session: u32,
+    ) {
+        if to != self.me || !self.cfg.mode.balancing() {
+            return;
+        }
+        if self.bulk_in.is_some() || self.store.free() == 0 {
+            return; // busy or full: ignore and let the offer expire
+        }
+        if self.cfg.global_balance_hints {
+            // Global hint: a node markedly fuller than the network average
+            // declines further inflow, so border nodes with nowhere to
+            // shed onward do not become dumping grounds (Fig. 13(c)).
+            let own_free = f64::from(self.store.free()) / f64::from(self.store.capacity());
+            if own_free < self.net_avg_free * 0.8 {
+                return;
+            }
+        }
+        let granted =
+            u16::try_from(u64::from(chunks).min(u64::from(self.store.free()))).unwrap_or(u16::MAX);
+        if granted == 0 {
+            return;
+        }
+        self.bulk_in = Some(InboundBulk {
+            recv: BulkReceiver::new(from, session),
+            accepted: 0,
+            bytes: 0,
+            last_activity: ctx.now(),
+        });
+        self.send(
+            ctx,
+            Message::MigrateAccept {
+                to: from,
+                session,
+                granted,
+            },
+        );
+    }
+
+    pub(crate) fn on_migrate_accept(
+        &mut self,
+        ctx: &mut Context<'_>,
+        from: NodeId,
+        to: NodeId,
+        session: u32,
+        granted: u16,
+    ) {
+        if to != self.me {
+            return;
+        }
+        let Some(offer) = self.pending_offer else {
+            return;
+        };
+        if offer.session != session || offer.to != from {
+            return;
+        }
+        self.pending_offer = None;
+        if self.bulk_out.is_some() {
+            return;
+        }
+        let count = u32::from(granted.min(offer.chunks)).min(self.store.len());
+        if count == 0 {
+            return;
+        }
+        // Chunks are *copied* into the transfer; each is popped from the
+        // store only when its acknowledgement arrives, so a failed
+        // transfer loses nothing.
+        let chunks: Vec<Chunk> = (0..count).filter_map(|i| self.store.get(i)).collect();
+        if chunks.is_empty() {
+            return;
+        }
+        let sender = BulkSender::new(from, session, chunks, self.cfg.bulk_retries);
+        let first = sender.current().expect("fresh session has a first chunk");
+        self.bulk_out = Some(OutboundBulk {
+            sender,
+            purpose: BulkPurpose::Migration,
+        });
+        self.send(ctx, first);
+        self.arm(ctx, T_BULK, self.cfg.bulk_timeout);
+    }
+
+    // ----- bulk transfer data path ----------------------------------------------
+
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn on_bulk_data(
+        &mut self,
+        ctx: &mut Context<'_>,
+        _from: NodeId,
+        to: NodeId,
+        session: u32,
+        seq: u16,
+        last: bool,
+        chunk: Chunk,
+    ) {
+        if to != self.me {
+            return;
+        }
+        let Some(inbound) = &mut self.bulk_in else {
+            return;
+        };
+        if inbound.recv.session() != session {
+            return;
+        }
+        inbound.last_activity = ctx.now();
+        let chunk_bytes = chunk.payload.len() as u64;
+        let (ack, accepted) = inbound.recv.on_data(session, seq, last, chunk);
+        if let Some(chunk) = accepted {
+            // Migrated-in data counts toward the acquisition rate: inflow
+            // is inflow as far as time-to-overflow is concerned, and a
+            // finite recipient TTL is what makes the β threshold bite and
+            // lets hot-spot data diffuse multiple hops (Fig. 13/18).
+            if self.store.push(ctx, chunk, true).is_ok() {
+                let inbound = self.bulk_in.as_mut().expect("checked above");
+                inbound.accepted += 1;
+                inbound.bytes += chunk_bytes;
+                self.stats.chunks_migrated_in += 1;
+            } else {
+                // Out of space mid-transfer: withhold the ACK so the donor
+                // backs off and keeps its copy.
+                return;
+            }
+        }
+        if let Some(ack) = ack {
+            self.send(ctx, ack);
+        }
+        let inbound = self.bulk_in.as_mut().expect("checked above");
+        if inbound.recv.is_complete() {
+            let from = inbound.recv.from();
+            let (chunks, bytes) = (inbound.accepted, inbound.bytes);
+            ctx.trace(TraceEvent::Migrated {
+                from,
+                to: self.me,
+                chunks,
+                bytes,
+                duplicated: false,
+                t: ctx.now(),
+            });
+            self.bulk_in = None;
+        }
+    }
+
+    pub(crate) fn on_bulk_ack(
+        &mut self,
+        ctx: &mut Context<'_>,
+        to: NodeId,
+        session: u32,
+        seq: u16,
+    ) {
+        if to != self.me {
+            return;
+        }
+        let Some(outbound) = &mut self.bulk_out else {
+            return;
+        };
+        if let Some(_delivered) = outbound.sender.on_ack(session, seq) {
+            if outbound.purpose == BulkPurpose::Migration {
+                // Delivered: release the local copy (head of the queue),
+                // unless this node keeps deliberate replicas and still has
+                // headroom (the paper's "controlled redundancy" future
+                // work).
+                let keep_replica = self.cfg.replication_factor > 1
+                    && self.store.free() * 10 > self.store.capacity() * 3;
+                if !keep_replica {
+                    let _ = self.store.pop_front(ctx);
+                }
+                self.stats.chunks_migrated_out += 1;
+            }
+        }
+        let Some(outbound) = &mut self.bulk_out else {
+            return;
+        };
+        if outbound.sender.is_done() {
+            let purpose = outbound.purpose;
+            self.bulk_out = None;
+            self.disarm(ctx, T_BULK);
+            self.after_bulk_out_finished(ctx, purpose);
+        } else if let Some(next) = outbound.sender.current() {
+            self.send(ctx, next);
+            self.arm(ctx, T_BULK, self.cfg.bulk_timeout);
+        }
+    }
+
+    pub(crate) fn on_bulk_timeout(&mut self, ctx: &mut Context<'_>) {
+        let Some(outbound) = &mut self.bulk_out else {
+            return;
+        };
+        match outbound.sender.on_timeout() {
+            SenderStep::Retry(msg) => {
+                self.send(ctx, msg);
+                self.arm(ctx, T_BULK, self.cfg.bulk_timeout);
+            }
+            SenderStep::GiveUp { unacked } => {
+                let purpose = outbound.purpose;
+                let to = outbound.sender.to();
+                if purpose == BulkPurpose::Migration && !unacked.is_empty() {
+                    // The receiver may have stored chunks whose ACKs were
+                    // lost while our copies stay put: the documented
+                    // residual-redundancy path (Fig. 11).
+                    let bytes = unacked.iter().map(|c| c.payload.len() as u64).sum();
+                    ctx.trace(TraceEvent::Migrated {
+                        from: self.me,
+                        to,
+                        chunks: unacked.len() as u32,
+                        bytes,
+                        duplicated: true,
+                        t: ctx.now(),
+                    });
+                }
+                self.bulk_out = None;
+                self.after_bulk_out_finished(ctx, purpose);
+            }
+        }
+    }
+
+    /// Post-session hook: retrieval sessions report completion to the
+    /// querier.
+    fn after_bulk_out_finished(&mut self, ctx: &mut Context<'_>, purpose: BulkPurpose) {
+        if let BulkPurpose::Retrieval { root, query_id } = purpose {
+            self.finish_query_answer(ctx, root, query_id);
+        }
+    }
+}

@@ -1,0 +1,51 @@
+//! EnviroMic: cooperative acoustic recording, distributed storage
+//! balancing, and data retrieval for disconnected sensor networks.
+//!
+//! This crate is the primary contribution of the reproduction: a complete
+//! implementation of the protocol suite from *"EnviroMic: Towards
+//! Cooperative Storage and Retrieval in Audio Sensor Networks"* (Luo et
+//! al., ICDCS 2007), running on the simulated mote substrate of
+//! [`enviromic_sim`].
+//!
+//! * [`EnviroMicNode`] — one mote's full protocol stack: sound-activated
+//!   detection ([`SoundDetector`]), group management with leader election
+//!   and handoff, cooperative task assignment, the prelude optimization,
+//!   chunked flash storage, TTL-driven storage balancing, FTSP-style time
+//!   sync, and query answering. The [`Mode`] in [`NodeConfig`] selects
+//!   between the full system and the paper's two baselines.
+//! * [`DataMule`] — the collecting user, in one-hop or spanning-tree
+//!   retrieval mode.
+//! * [`recover_collected_mote`] — the physical-collection fallback,
+//!   including crash recovery from EEPROM pointer checkpoints.
+//!
+//! # Examples
+//!
+//! ```
+//! use enviromic_core::{EnviroMicNode, Mode, NodeConfig};
+//! use enviromic_sim::{World, WorldConfig};
+//! use enviromic_types::Position;
+//!
+//! let mut world = World::new(WorldConfig::with_seed(7));
+//! for x in 0..4 {
+//!     let cfg = NodeConfig::default().with_mode(Mode::Full);
+//!     world.add_node(Position::new(x as f64 * 2.0, 0.0), Box::new(EnviroMicNode::new(cfg)));
+//! }
+//! world.run_for_secs(5.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod balance;
+mod config;
+mod detector;
+mod node;
+mod retrieve;
+mod storage;
+mod tasks;
+
+pub use config::{Mode, NodeConfig};
+pub use detector::{Detection, SoundDetector};
+pub use node::{EnviroMicNode, NodeStats};
+pub use retrieve::{recover_collected_mote, DataMule, MuleConfig, RetrievalMode, RetrievedFile};
+pub use storage::TracedStore;

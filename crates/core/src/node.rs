@@ -1,0 +1,794 @@
+//! The EnviroMic protocol node: state, timers, and the application wiring.
+//!
+//! The node is one [`Application`] running every subsystem of the paper:
+//! sound-activated detection, group management and leader election
+//! (§II-A.1), cooperative task assignment (§II-A.2), local chunk storage
+//! (§III-B.3), distributed storage balancing (§II-B), time sync (§III-A),
+//! and query answering for retrieval (§II-C). The per-subsystem logic
+//! lives in sibling modules (`tasks`, `balance`, `retrieve`); this module
+//! owns the state machine glue: timer routing, packet dispatch, detector
+//! transitions, and the recording engine.
+
+use crate::config::{Mode, NodeConfig};
+use crate::detector::{Detection, SoundDetector};
+use crate::storage::TracedStore;
+use enviromic_flash::{Chunk, ChunkMeta};
+use enviromic_net::{
+    decode_envelope, BulkReceiver, BulkSender, Message, NeighborTable, PiggybackQueue, TreeState,
+};
+use enviromic_sim::{
+    Application, AudioBlock, Context, DropReason, RecordKind, StorageOccupancy, Timer, TimerHandle,
+    TraceEvent,
+};
+use enviromic_timesync::{BeaconScheduler, SyncState};
+use enviromic_types::{EventId, NodeId, SimDuration, SimTime};
+use rand::Rng;
+use std::collections::HashMap;
+
+// Timer tokens. Each token names one logical timer; the node remembers the
+// latest handle armed per token and ignores stale firings.
+pub(crate) const T_ELECTION: u32 = 1;
+pub(crate) const T_HANDOFF: u32 = 2;
+pub(crate) const T_SENSING: u32 = 3;
+pub(crate) const T_ASSIGN: u32 = 4;
+pub(crate) const T_CONFIRM: u32 = 5;
+pub(crate) const T_TASK_END: u32 = 6;
+pub(crate) const T_STATE: u32 = 7;
+pub(crate) const T_RATE: u32 = 8;
+pub(crate) const T_BULK: u32 = 9;
+pub(crate) const T_SYNC: u32 = 10;
+pub(crate) const T_PIGGY: u32 = 11;
+pub(crate) const T_REPLY_START: u32 = 12;
+pub(crate) const T_REPLY_PACE: u32 = 13;
+
+/// An in-progress recording (task, prelude, or baseline interval).
+#[derive(Debug)]
+pub(crate) struct TaskRun {
+    pub event: Option<EventId>,
+    pub kind: RecordKind,
+    /// First stored block start (global clock), for the trace record.
+    pub t0: Option<SimTime>,
+    /// Last stored block end.
+    pub stored_t1: Option<SimTime>,
+    /// First dropped block start, if storage filled up mid-task.
+    pub dropped_from: Option<SimTime>,
+    /// Last block end seen (stored or dropped).
+    pub last_t1: Option<SimTime>,
+    /// Payload bytes stored.
+    pub bytes: u64,
+}
+
+/// Leader-side assignment state (§II-A.2).
+#[derive(Debug)]
+pub(crate) struct LeaderState {
+    pub event: EventId,
+    pub task_seq: u32,
+    /// Member awaiting TASK_CONFIRM.
+    pub pending: Option<NodeId>,
+    /// Members excluded in the current round (timed out or recording).
+    pub excluded: Vec<NodeId>,
+    pub attempts: u32,
+    /// The member currently holding a recording task.
+    pub current_recorder: Option<NodeId>,
+    /// Scheduled next assignment instant (sync frame), carried in RESIGN.
+    pub next_round_at: SimTime,
+    /// The prelude keeper, chosen once at the first assignment and
+    /// re-announced while members still report unclaimed preludes.
+    pub prelude_keeper: Option<NodeId>,
+}
+
+/// Handoff candidacy after an overheard RESIGN.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct PendingHandoff {
+    pub event: EventId,
+    pub next_assign_at: SimTime,
+    pub task_seq: u32,
+}
+
+/// An outstanding MIGRATE_OFFER waiting for acceptance.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct PendingOffer {
+    pub to: NodeId,
+    pub session: u32,
+    pub chunks: u16,
+    pub made_at: SimTime,
+}
+
+/// Why an outbound bulk session exists.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum BulkPurpose {
+    /// Storage-balancing migration: acknowledged chunks are popped from
+    /// the local store (unless kept as deliberate replicas).
+    Migration,
+    /// Retrieval answer: chunks are copied to the querier, never popped.
+    Retrieval { root: NodeId, query_id: u32 },
+}
+
+/// Outbound bulk transfer in flight.
+#[derive(Debug)]
+pub(crate) struct OutboundBulk {
+    pub sender: BulkSender,
+    pub purpose: BulkPurpose,
+}
+
+/// Inbound bulk transfer in flight.
+#[derive(Debug)]
+pub(crate) struct InboundBulk {
+    pub recv: BulkReceiver,
+    pub accepted: u32,
+    pub bytes: u64,
+    /// Last time a data packet arrived; sessions idle for more than a
+    /// state period are presumed dead and evicted so the node can accept
+    /// fresh offers.
+    pub last_activity: SimTime,
+}
+
+/// A query answer being paced up the spanning tree.
+#[derive(Debug)]
+pub(crate) struct PendingReply {
+    pub root: NodeId,
+    pub query_id: u32,
+    pub t0: SimTime,
+    pub t1: SimTime,
+    pub all: bool,
+    pub chunks: Vec<Chunk>,
+    pub next: usize,
+}
+
+/// Counters exposed for tests and experiment harnesses.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NodeStats {
+    /// Recording tasks this node performed (confirmed assignments).
+    pub tasks_recorded: u64,
+    /// Times this node became leader (fresh elections).
+    pub elections_won: u64,
+    /// Times this node took over leadership via handoff.
+    pub handoffs_won: u64,
+    /// Chunks currently migrated away (acknowledged).
+    pub chunks_migrated_out: u64,
+    /// Chunks accepted from donors.
+    pub chunks_migrated_in: u64,
+    /// Chunks dropped because the store was full.
+    pub chunks_dropped: u64,
+    /// Prelude recordings erased after losing the keeper choice.
+    pub preludes_erased: u64,
+}
+
+/// One EnviroMic mote's protocol stack.
+///
+/// Construct with [`EnviroMicNode::new`] and hand to
+/// [`enviromic_sim::World::add_node`]. Behaviour is governed by the
+/// [`NodeConfig`] [`Mode`]: the full system, cooperative recording only,
+/// or the uncoordinated baseline.
+#[derive(Debug)]
+pub struct EnviroMicNode {
+    pub(crate) cfg: NodeConfig,
+    pub(crate) me: NodeId,
+    pub(crate) detector: SoundDetector,
+    pub(crate) store: TracedStore,
+    pub(crate) neighbors: NeighborTable,
+    pub(crate) piggyback: PiggybackQueue,
+    pub(crate) sync: SyncState,
+    pub(crate) beacons: BeaconScheduler,
+    pub(crate) tree: TreeState,
+
+    // group / event state
+    pub(crate) hearing: bool,
+    pub(crate) current_level: f64,
+    pub(crate) group_event: Option<EventId>,
+    pub(crate) leader: Option<LeaderState>,
+    pub(crate) pending_handoff: Option<PendingHandoff>,
+    pub(crate) event_seq: u32,
+    /// Latest overheard (event, task_seq, recorder) confirmation.
+    pub(crate) last_confirmed: Option<(EventId, u32, NodeId)>,
+    /// Most recently overheard event ID with its time: the soft state a
+    /// node that starts hearing late (mobile sources) adopts instead of
+    /// minting a new file (§II-A.2 "this soft state ... is necessary").
+    pub(crate) recent_event: Option<(EventId, SimTime)>,
+    /// Most recently overheard RESIGN, so a node that begins hearing just
+    /// after the old leader quit can still take over the schedule.
+    pub(crate) recent_resign: Option<(PendingHandoff, SimTime)>,
+    /// Last time any leader activity (announce, task traffic, resign) was
+    /// observed for the current group event. A member that stops seeing
+    /// leader activity concludes the leader died deaf (e.g. it resigned
+    /// while every other member's radio was off) and re-elects, keeping
+    /// the same file ID.
+    pub(crate) last_leader_activity: SimTime,
+    /// Highest task sequence number observed for the current group event.
+    pub(crate) last_seen_task_seq: u32,
+
+    // recording
+    pub(crate) task: Option<TaskRun>,
+    /// Chunks of an unclaimed prelude at the store tail (newest side).
+    pub(crate) prelude_chunks: u32,
+    pub(crate) prelude_event_pending: bool,
+
+    // balancing
+    pub(crate) rate: f64,
+    /// Diffusive estimate of the network-wide average free fraction
+    /// (global-balance extension), in [0, 1].
+    pub(crate) net_avg_free: f64,
+    pub(crate) pending_offer: Option<PendingOffer>,
+    pub(crate) bulk_out: Option<OutboundBulk>,
+    pub(crate) bulk_in: Option<InboundBulk>,
+    pub(crate) session_seq: u32,
+
+    // retrieval
+    pub(crate) pending_reply: Option<PendingReply>,
+
+    // plumbing
+    pub(crate) timers: HashMap<u32, TimerHandle>,
+    pub(crate) stats: NodeStats,
+}
+
+impl EnviroMicNode {
+    /// Creates a node with the given configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the configuration is invalid (see
+    /// [`NodeConfig::validate`]).
+    #[must_use]
+    pub fn new(cfg: NodeConfig) -> Self {
+        if let Err(e) = cfg.validate() {
+            panic!("invalid node configuration: {e}");
+        }
+        let detector = SoundDetector::new(
+            8.0,
+            cfg.detect_margin,
+            cfg.detect_off_fraction,
+            cfg.background_alpha,
+        );
+        let store = TracedStore::new(cfg.flash_chunks, cfg.checkpoint_interval);
+        let neighbors = NeighborTable::new(cfg.neighbor_expiry);
+        let piggyback = PiggybackQueue::new(cfg.piggyback_max_wait, cfg.packet_budget);
+        let beacons = BeaconScheduler::new(cfg.sync_min_period, cfg.sync_max_period);
+        let rate = cfg.initial_rate;
+        EnviroMicNode {
+            cfg,
+            me: NodeId(0),
+            detector,
+            store,
+            neighbors,
+            piggyback,
+            sync: SyncState::new(NodeId(0)),
+            beacons,
+            tree: TreeState::new(),
+            hearing: false,
+            current_level: 0.0,
+            group_event: None,
+            leader: None,
+            pending_handoff: None,
+            event_seq: 0,
+            last_confirmed: None,
+            recent_event: None,
+            recent_resign: None,
+            last_leader_activity: SimTime::ZERO,
+            last_seen_task_seq: 0,
+            task: None,
+            prelude_chunks: 0,
+            prelude_event_pending: false,
+            rate,
+            net_avg_free: 1.0,
+            pending_offer: None,
+            bulk_out: None,
+            bulk_in: None,
+            session_seq: 0,
+            pending_reply: None,
+            timers: HashMap::new(),
+            stats: NodeStats::default(),
+        }
+    }
+
+    /// The node's configuration.
+    #[must_use]
+    pub fn config(&self) -> &NodeConfig {
+        &self.cfg
+    }
+
+    /// Protocol counters.
+    #[must_use]
+    pub fn stats(&self) -> NodeStats {
+        self.stats
+    }
+
+    /// The local chunk store (post-run inspection).
+    #[must_use]
+    pub fn store(&self) -> &enviromic_flash::ChunkStore {
+        self.store.inner()
+    }
+
+    /// Chunks currently stored.
+    #[must_use]
+    pub fn stored_chunks(&self) -> u32 {
+        self.store.len()
+    }
+
+    /// The node's current EWMA acquisition-rate estimate, bytes/second.
+    #[must_use]
+    pub fn acquisition_rate(&self) -> f64 {
+        self.rate
+    }
+
+    /// The node's current storage TTL in whole seconds (§II-B), saturating
+    /// at `u32::MAX` which also encodes "infinite".
+    #[must_use]
+    pub fn ttl_storage_secs(&self) -> u32 {
+        let ttl = self.ttl_storage_f64();
+        if ttl.is_finite() {
+            ttl.min(u32::MAX as f64) as u32
+        } else {
+            u32::MAX
+        }
+    }
+
+    pub(crate) fn ttl_storage_f64(&self) -> f64 {
+        if self.rate <= 0.0 {
+            return f64::INFINITY;
+        }
+        self.store.free_bytes() as f64 / self.rate
+    }
+
+    /// `TTL_energy` (§II-B): expected seconds until the battery dies if
+    /// the node keeps moving data out at its acquisition rate.
+    pub(crate) fn ttl_energy_f64(&self, ctx: &mut Context<'_>) -> f64 {
+        let e = ctx.energy_config();
+        let tx_duty = if self.rate > 0.0 {
+            (self.rate * 8.0 / 250_000.0).min(1.0)
+        } else {
+            0.0
+        };
+        let drain_mw = e.idle_mw + e.radio_listen_mw + e.radio_tx_mw * tx_duty;
+        if drain_mw <= 0.0 {
+            return f64::INFINITY;
+        }
+        ctx.energy_mj() / drain_mw
+    }
+
+    // ----- timer plumbing ---------------------------------------------------
+
+    /// Arms (or re-arms) the logical timer `token`.
+    pub(crate) fn arm(&mut self, ctx: &mut Context<'_>, token: u32, delay: SimDuration) {
+        let handle = ctx.set_timer(delay, token);
+        if let Some(old) = self.timers.insert(token, handle) {
+            ctx.cancel_timer(old);
+        }
+    }
+
+    /// Disarms the logical timer `token`.
+    pub(crate) fn disarm(&mut self, ctx: &mut Context<'_>, token: u32) {
+        if let Some(h) = self.timers.remove(&token) {
+            ctx.cancel_timer(h);
+        }
+    }
+
+    /// True when `timer` is the current firing of its token.
+    fn is_current(&mut self, timer: Timer) -> bool {
+        match self.timers.get(&timer.token) {
+            Some(&h) if h == timer.handle => {
+                self.timers.remove(&timer.token);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    // ----- message plumbing ---------------------------------------------------
+
+    /// The node's estimate of reference-frame ("global") time.
+    pub(crate) fn global_now(&self, ctx: &mut Context<'_>) -> SimTime {
+        self.sync.global_estimate(ctx.local_time())
+    }
+
+    /// Sends a message: delay-sensitive traffic leaves immediately with
+    /// piggybacked passengers; delay-tolerant traffic waits for a ride.
+    pub(crate) fn send(&mut self, ctx: &mut Context<'_>, msg: Message) {
+        if !self.cfg.piggybacking {
+            let kind = msg.kind();
+            let bytes = enviromic_net::encode_envelope(core::slice::from_ref(&msg));
+            ctx.broadcast(kind, bytes);
+            return;
+        }
+        if msg.is_delay_sensitive() {
+            let kind = msg.kind();
+            let envelope = self.piggyback.compose(msg);
+            let bytes = enviromic_net::encode_envelope(&envelope);
+            ctx.broadcast(kind, bytes);
+        } else {
+            self.piggyback.enqueue(ctx.now(), msg);
+            if let Some(due) = self.piggyback.next_due() {
+                if !self.timers.contains_key(&T_PIGGY) {
+                    let delay = due.saturating_since(ctx.now());
+                    self.arm(ctx, T_PIGGY, delay);
+                }
+            }
+        }
+    }
+
+    fn flush_piggyback(&mut self, ctx: &mut Context<'_>) {
+        let due = self.piggyback.flush_due(ctx.now());
+        if !due.is_empty() {
+            let kind = due[0].kind();
+            let bytes = enviromic_net::encode_envelope(&due);
+            ctx.broadcast(kind, bytes);
+        }
+        if let Some(next) = self.piggyback.next_due() {
+            let delay = next.saturating_since(ctx.now());
+            self.arm(ctx, T_PIGGY, delay);
+        }
+    }
+
+    // ----- detector transitions --------------------------------------------
+
+    fn handle_event_start(&mut self, ctx: &mut Context<'_>, level: f64) {
+        self.hearing = true;
+        self.current_level = level;
+        self.beacons.activity(ctx.now());
+        match self.cfg.mode {
+            Mode::Uncoordinated => {
+                if self.task.is_none() {
+                    self.start_task(ctx, None, RecordKind::Baseline, self.cfg.trc);
+                }
+            }
+            _ => {
+                if self.task.is_some() {
+                    // Already recording (e.g. an assigned task); the group
+                    // machinery resumes when the task ends.
+                    return;
+                }
+                if let Some(prelude) = self.cfg.prelude {
+                    self.prelude_event_pending = true;
+                    self.start_task(ctx, None, RecordKind::Prelude, prelude);
+                } else {
+                    self.begin_candidacy(ctx);
+                }
+            }
+        }
+    }
+
+    fn handle_event_stop(&mut self, ctx: &mut Context<'_>) {
+        self.hearing = false;
+        self.current_level = 0.0;
+        self.disarm(ctx, T_ELECTION);
+        self.disarm(ctx, T_HANDOFF);
+        self.disarm(ctx, T_SENSING);
+        self.pending_handoff = None;
+        if self.leader.is_some() && self.task.is_some() {
+            // A self-recording leader has its radio off; cut the recording
+            // short so the RESIGN actually gets on the air and the group
+            // survives the handoff (§II-A.1, Fig. 5).
+            self.disarm(ctx, T_TASK_END);
+            self.end_task(ctx);
+        }
+        if let Some(ls) = self.leader.take() {
+            // Hand leadership to whoever still hears the event (§II-A.1).
+            self.disarm(ctx, T_ASSIGN);
+            self.disarm(ctx, T_CONFIRM);
+            self.send(
+                ctx,
+                Message::Resign {
+                    event: ls.event,
+                    next_assign_at: ls.next_round_at,
+                    task_seq: ls.task_seq,
+                },
+            );
+        }
+        self.group_event = None;
+        // An unclaimed prelude for an event that ended before election
+        // completes stays stored (short-event case: the prelude IS the
+        // recording, §II-A.1).
+        self.prelude_event_pending = false;
+    }
+
+    /// Enters the candidate phase: start SENSING beacons and the election
+    /// back-off (§II-A.1).
+    pub(crate) fn begin_candidacy(&mut self, ctx: &mut Context<'_>) {
+        if !self.hearing {
+            return;
+        }
+        let first_beacon = {
+            let max = self.cfg.sensing_period.as_jiffies().max(1);
+            SimDuration::from_jiffies(ctx.rng().gen_range(0..max))
+        };
+        self.arm(ctx, T_SENSING, first_beacon);
+        // Soft state from overheard control traffic: a node that starts
+        // hearing an event already being recorded nearby adopts its file
+        // ID rather than minting a new one (mobile-source continuity).
+        let window = self.cfg.trc * 2;
+        if self.group_event.is_none() {
+            if let Some((event, seen_at)) = self.recent_event {
+                if ctx.now().saturating_since(seen_at) <= window {
+                    self.group_event = Some(event);
+                }
+            }
+        }
+        if let Some(event) = self.group_event {
+            // If the previous leader resigned moments ago and nobody has
+            // taken over yet, compete for the handoff.
+            if self.leader.is_none() {
+                if let Some((pending, seen_at)) = self.recent_resign {
+                    if pending.event == event && ctx.now().saturating_since(seen_at) <= window {
+                        self.pending_handoff = Some(pending);
+                        let backoff = {
+                            let max = self.cfg.handoff_backoff_max.as_jiffies().max(1);
+                            SimDuration::from_jiffies(ctx.rng().gen_range(0..max))
+                        };
+                        self.arm(ctx, T_HANDOFF, backoff);
+                    }
+                }
+            }
+            return;
+        }
+        if self.leader.is_none() {
+            let backoff = {
+                let max = self.cfg.election_backoff_max.as_jiffies().max(1);
+                SimDuration::from_jiffies(ctx.rng().gen_range(0..max))
+            };
+            self.arm(ctx, T_ELECTION, backoff);
+        }
+    }
+
+    // ----- recording engine ---------------------------------------------------
+
+    /// Starts a recording run: radio off, sampling on, end timer armed.
+    pub(crate) fn start_task(
+        &mut self,
+        ctx: &mut Context<'_>,
+        event: Option<EventId>,
+        kind: RecordKind,
+        duration: SimDuration,
+    ) -> bool {
+        if self.task.is_some() {
+            return false;
+        }
+        ctx.set_radio(false);
+        if !ctx.start_recording() {
+            ctx.set_radio(true);
+            return false;
+        }
+        self.task = Some(TaskRun {
+            event,
+            kind,
+            t0: None,
+            stored_t1: None,
+            dropped_from: None,
+            last_t1: None,
+            bytes: 0,
+        });
+        self.arm(ctx, T_TASK_END, duration);
+        true
+    }
+
+    /// Stores one sampled block as a chunk.
+    fn store_block(&mut self, ctx: &mut Context<'_>, block: &AudioBlock) {
+        let Some(task) = self.task.as_mut() else {
+            return;
+        };
+        task.last_t1 = Some(block.t1);
+        if block.samples.is_empty() {
+            return;
+        }
+        let est_t0 = {
+            // Timestamp with the node's reference-frame estimate; the
+            // block's global bounds stay in the trace as ground truth.
+            let est_now = self.sync.global_estimate(ctx.local_time());
+            est_now - block.duration()
+        };
+        let chunk = Chunk::new(
+            ChunkMeta {
+                origin: self.me,
+                event: task.event,
+                t_start: est_t0,
+            },
+            block.samples.clone(),
+        );
+        let kind = task.kind;
+        match self.store.push(ctx, chunk, true) {
+            Ok(()) => {
+                let task = self.task.as_mut().expect("task checked above");
+                task.t0.get_or_insert(block.t0);
+                task.stored_t1 = Some(block.t1);
+                task.bytes += block.samples.len() as u64;
+                if kind == RecordKind::Prelude {
+                    self.prelude_chunks += 1;
+                }
+            }
+            Err(_) => {
+                let task = self.task.as_mut().expect("task checked above");
+                task.dropped_from.get_or_insert(block.t0);
+                self.stats.chunks_dropped += 1;
+            }
+        }
+    }
+
+    /// Finishes the active recording run: final partial block, trace
+    /// records, radio back on, and follow-up transitions.
+    fn end_task(&mut self, ctx: &mut Context<'_>) {
+        if let Some(final_block) = ctx.stop_recording() {
+            self.store_block(ctx, &final_block);
+        }
+        ctx.set_radio(true);
+        let Some(task) = self.task.take() else {
+            return;
+        };
+        if let (Some(t0), Some(t1)) = (task.t0, task.stored_t1) {
+            ctx.trace(TraceEvent::Recorded {
+                node: self.me,
+                event: task.event,
+                t0,
+                t1,
+                bytes: task.bytes,
+                kind: task.kind,
+            });
+        }
+        if let (Some(d0), Some(d1)) = (task.dropped_from, task.last_t1) {
+            if d1 > d0 {
+                ctx.trace(TraceEvent::RecordDropped {
+                    node: self.me,
+                    t0: d0,
+                    t1: d1,
+                    reason: DropReason::StorageFull,
+                });
+            }
+        }
+        match task.kind {
+            RecordKind::Prelude => {
+                self.prelude_event_pending = false;
+                // Election was deferred for the prelude (the radio was
+                // off); run it now if the event persists.
+                if self.detector.is_active() {
+                    self.begin_candidacy(ctx);
+                }
+            }
+            RecordKind::Baseline => {
+                if self.detector.is_active() {
+                    // Uncoordinated baseline: keep recording in Trc-sized
+                    // intervals while the event persists (§IV-B).
+                    self.start_task(ctx, None, RecordKind::Baseline, self.cfg.trc);
+                }
+            }
+            RecordKind::Task => {
+                self.stats.tasks_recorded += 1;
+                // If we are the leader and just recorded our own
+                // assignment, the assignment timer takes over.
+                self.check_leader_liveness(ctx);
+            }
+        }
+        // Radio is back on: resume SENSING beacons so the leader keeps an
+        // up-to-date member list (§II-A.2).
+        if self.cfg.mode.cooperative() && self.hearing && self.task.is_none() {
+            let jitter = {
+                let max = (self.cfg.sensing_period.as_jiffies() / 4).max(1);
+                SimDuration::from_jiffies(ctx.rng().gen_range(0..max))
+            };
+            self.arm(ctx, T_SENSING, jitter);
+        }
+    }
+}
+
+impl Application for EnviroMicNode {
+    fn on_start(&mut self, ctx: &mut Context<'_>) {
+        self.me = ctx.node_id();
+        self.sync = SyncState::new(self.me);
+        // Stagger periodic services so co-located nodes do not self-
+        // synchronize.
+        let state_stagger = {
+            let max = self.cfg.state_period.as_jiffies().max(1);
+            SimDuration::from_jiffies(ctx.rng().gen_range(0..max))
+        };
+        if self.cfg.mode.balancing() {
+            self.arm(ctx, T_STATE, state_stagger);
+        }
+        let rate_stagger = {
+            let max = self.cfg.rate_period.as_jiffies().max(1);
+            SimDuration::from_jiffies(ctx.rng().gen_range(0..max))
+        };
+        self.arm(ctx, T_RATE, rate_stagger);
+        if self.cfg.mode.cooperative() {
+            let sync_delay = self.beacons.next_due().saturating_since(ctx.now());
+            self.arm(ctx, T_SYNC, sync_delay);
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_>, timer: Timer) {
+        if !self.is_current(timer) {
+            return;
+        }
+        match timer.token {
+            T_ELECTION => self.on_election_backoff(ctx),
+            T_HANDOFF => self.on_handoff_backoff(ctx),
+            T_SENSING => self.on_sensing_beacon(ctx),
+            T_ASSIGN => self.on_assignment_round(ctx),
+            T_CONFIRM => self.on_confirm_timeout(ctx),
+            T_TASK_END => self.end_task(ctx),
+            T_STATE => self.on_state_tick(ctx),
+            T_RATE => self.on_rate_tick(ctx),
+            T_BULK => self.on_bulk_timeout(ctx),
+            T_SYNC => self.on_sync_tick(ctx),
+            T_PIGGY => self.flush_piggyback(ctx),
+            T_REPLY_START => self.on_reply_start(ctx),
+            T_REPLY_PACE => self.on_reply_pace(ctx),
+            _ => {}
+        }
+    }
+
+    fn on_packet(&mut self, ctx: &mut Context<'_>, from: NodeId, bytes: &[u8]) {
+        let Ok(messages) = decode_envelope(bytes) else {
+            return;
+        };
+        self.neighbors.heard(from, ctx.now());
+        for msg in messages {
+            self.handle_message(ctx, from, msg);
+        }
+    }
+
+    fn on_acoustic_level(&mut self, ctx: &mut Context<'_>, level: f64) {
+        match self.detector.on_level(level) {
+            Detection::Started { level } => self.handle_event_start(ctx, level),
+            Detection::Ongoing { level } => {
+                self.current_level = level;
+                // A baseline node that filled a task slot restarts here if
+                // the end-of-task restart found the detector inactive.
+                if self.cfg.mode == Mode::Uncoordinated && self.task.is_none() {
+                    self.start_task(ctx, None, RecordKind::Baseline, self.cfg.trc);
+                }
+            }
+            Detection::Stopped => self.handle_event_stop(ctx),
+            Detection::Quiet => {}
+        }
+    }
+
+    fn on_audio_block(&mut self, ctx: &mut Context<'_>, block: AudioBlock) {
+        self.store_block(ctx, &block);
+    }
+
+    fn poll_occupancy(&self) -> Option<StorageOccupancy> {
+        Some(self.store.occupancy())
+    }
+
+    fn as_any(&self) -> &dyn core::any::Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn core::any::Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_node_has_infinite_storage_ttl() {
+        let node = EnviroMicNode::new(NodeConfig::default());
+        assert_eq!(node.ttl_storage_secs(), u32::MAX);
+        assert!(node.ttl_storage_f64().is_infinite());
+        assert_eq!(node.stored_chunks(), 0);
+        assert_eq!(node.stats(), NodeStats::default());
+    }
+
+    #[test]
+    fn storage_ttl_tracks_rate_and_free_space() {
+        let mut node = EnviroMicNode::new(NodeConfig::default().with_flash_chunks(100));
+        node.rate = 232.0; // one chunk per second
+                           // 100 free chunks at one chunk/second: 100 seconds to overflow.
+        assert_eq!(node.ttl_storage_secs(), 100);
+        node.rate = 2320.0;
+        assert_eq!(node.ttl_storage_secs(), 10);
+    }
+
+    #[test]
+    fn accessors_expose_configuration() {
+        let cfg = NodeConfig::default().with_beta_max(3.5);
+        let node = EnviroMicNode::new(cfg.clone());
+        assert_eq!(node.config().beta_max, 3.5);
+        assert_eq!(node.acquisition_rate(), cfg.initial_rate);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid node configuration")]
+    fn invalid_config_panics() {
+        let _ = EnviroMicNode::new(NodeConfig::default().with_flash_chunks(0));
+    }
+}

@@ -1,0 +1,540 @@
+//! Data retrieval (§II-C).
+//!
+//! Two variants, both from the paper:
+//!
+//! * **one-hop** — the deployed design: the user (a [`DataMule`]) enters
+//!   radio range, queries, and every node streams its chunks to the mule
+//!   over the reliable bulk-transfer protocol. "The user acts as the data
+//!   mule when they physically collect the motes."
+//! * **spanning tree** — the paper's "first inclination": a tree rooted at
+//!   the user, queries flooded down, chunks forwarded up, with repeated
+//!   query rounds re-fetching whatever got lost.
+//!
+//! Node-side answering lives in this file as `impl EnviroMicNode`; the
+//! collecting user is the separate [`DataMule`] application.
+
+use crate::node::{
+    BulkPurpose, EnviroMicNode, OutboundBulk, PendingReply, T_REPLY_PACE, T_REPLY_START,
+};
+use enviromic_flash::{Chunk, ChunkStore};
+use enviromic_net::{
+    decode_envelope, encode_envelope, BulkReceiver, BulkSender, Message, TreeAction,
+};
+use enviromic_sim::{Application, Context, Timer};
+use enviromic_types::{EventId, NodeId, SimDuration, SimTime};
+use rand::Rng;
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+/// Spacing between unreliable tree-mode chunk uploads.
+const PACE: SimDuration = SimDuration::from_millis(40);
+/// Stagger unit between different nodes' answers.
+const ANSWER_STAGGER: SimDuration = SimDuration::from_millis(120);
+
+impl EnviroMicNode {
+    pub(crate) fn on_tree_build(
+        &mut self,
+        ctx: &mut Context<'_>,
+        from: NodeId,
+        root: NodeId,
+        build_id: u32,
+        hops: u8,
+    ) {
+        if let TreeAction::Rebroadcast(msg) = self.tree.on_build(from, root, build_id, hops) {
+            self.send(ctx, msg);
+        }
+    }
+
+    pub(crate) fn on_query(
+        &mut self,
+        ctx: &mut Context<'_>,
+        root: NodeId,
+        query_id: u32,
+        t0: SimTime,
+        t1: SimTime,
+        all: bool,
+    ) {
+        let (answer, action) = self.tree.on_query(root, query_id, t0, t1, all);
+        if let TreeAction::Rebroadcast(msg) = action {
+            self.send(ctx, msg);
+        }
+        if !answer {
+            return;
+        }
+        self.pending_reply = Some(PendingReply {
+            root,
+            query_id,
+            t0,
+            t1,
+            all,
+            chunks: Vec::new(),
+            next: 0,
+        });
+        // Stagger answers by node ID so the neighborhood does not answer
+        // in one burst.
+        let jitter =
+            SimDuration::from_jiffies(ctx.rng().gen_range(0..ANSWER_STAGGER.as_jiffies().max(1)));
+        let delay = ANSWER_STAGGER * u64::from(self.me.0) + jitter;
+        self.arm(ctx, T_REPLY_START, delay);
+    }
+
+    pub(crate) fn on_reply_start(&mut self, ctx: &mut Context<'_>) {
+        let Some(reply) = &mut self.pending_reply else {
+            return;
+        };
+        let (t0, t1, all) = (reply.t0, reply.t1, reply.all);
+        let matching: Vec<Chunk> = self
+            .store
+            .iter()
+            .filter(|c| all || (c.t_end() > t0 && c.meta.t_start < t1))
+            .collect();
+        let root = reply.root;
+        let query_id = reply.query_id;
+        if matching.is_empty() {
+            self.pending_reply = None;
+            let done = Message::QueryDone {
+                to: self.answer_next_hop(root),
+                root,
+                query_id,
+                source: self.me,
+                sent: 0,
+            };
+            self.send(ctx, done);
+            return;
+        }
+        let use_tree = self.tree.root() == Some(root) && self.tree.hops().unwrap_or(0) > 1;
+        if use_tree {
+            let reply = self.pending_reply.as_mut().expect("checked above");
+            reply.chunks = matching;
+            reply.next = 0;
+            self.arm(ctx, T_REPLY_PACE, PACE);
+        } else {
+            // One hop from the querier: use the reliable bulk path.
+            if self.bulk_out.is_some() {
+                // Transfer engine busy (e.g. a migration): retry shortly.
+                self.arm(ctx, T_REPLY_START, ANSWER_STAGGER);
+                return;
+            }
+            let session = self.session_seq;
+            self.session_seq += 1;
+            let count = matching.len();
+            let sender = BulkSender::new(root, session, matching, self.cfg.bulk_retries);
+            let first = sender.current().expect("non-empty session");
+            self.bulk_out = Some(OutboundBulk {
+                sender,
+                purpose: BulkPurpose::Retrieval { root, query_id },
+            });
+            if let Some(reply) = &mut self.pending_reply {
+                reply.next = count;
+            }
+            self.send(ctx, first);
+            self.arm(ctx, crate::node::T_BULK, self.cfg.bulk_timeout);
+        }
+    }
+
+    pub(crate) fn on_reply_pace(&mut self, ctx: &mut Context<'_>) {
+        let Some(reply) = &mut self.pending_reply else {
+            return;
+        };
+        let root = reply.root;
+        let query_id = reply.query_id;
+        if reply.next >= reply.chunks.len() {
+            let sent = reply.next as u32;
+            self.pending_reply = None;
+            let done = Message::QueryDone {
+                to: self.answer_next_hop(root),
+                root,
+                query_id,
+                source: self.me,
+                sent,
+            };
+            self.send(ctx, done);
+            return;
+        }
+        let chunk = reply.chunks[reply.next].clone();
+        reply.next += 1;
+        let to = self.answer_next_hop(root);
+        self.send(
+            ctx,
+            Message::QueryData {
+                to,
+                root,
+                query_id,
+                chunk,
+            },
+        );
+        self.arm(ctx, T_REPLY_PACE, PACE);
+    }
+
+    /// Where an upward-travelling answer goes next: the tree parent when
+    /// attached, otherwise straight to the root.
+    fn answer_next_hop(&self, root: NodeId) -> NodeId {
+        self.tree.should_relay_to(root).unwrap_or(root)
+    }
+
+    /// Reports completion of a bulk-path answer.
+    pub(crate) fn finish_query_answer(
+        &mut self,
+        ctx: &mut Context<'_>,
+        root: NodeId,
+        query_id: u32,
+    ) {
+        let sent = self.pending_reply.take().map_or(0, |r| r.next as u32);
+        let done = Message::QueryDone {
+            to: root,
+            root,
+            query_id,
+            source: self.me,
+            sent,
+        };
+        self.send(ctx, done);
+    }
+
+    pub(crate) fn on_query_data(
+        &mut self,
+        ctx: &mut Context<'_>,
+        to: NodeId,
+        root: NodeId,
+        query_id: u32,
+        chunk: Chunk,
+    ) {
+        if to != self.me || root == self.me {
+            return;
+        }
+        // Relay one hop up the tree.
+        if let Some(parent) = self.tree.should_relay_to(root) {
+            self.send(
+                ctx,
+                Message::QueryData {
+                    to: parent,
+                    root,
+                    query_id,
+                    chunk,
+                },
+            );
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn on_query_done(
+        &mut self,
+        ctx: &mut Context<'_>,
+        to: NodeId,
+        root: NodeId,
+        query_id: u32,
+        source: NodeId,
+        sent: u32,
+    ) {
+        if to != self.me || root == self.me {
+            return;
+        }
+        if let Some(parent) = self.tree.should_relay_to(root) {
+            self.send(
+                ctx,
+                Message::QueryDone {
+                    to: parent,
+                    root,
+                    query_id,
+                    source,
+                    sent,
+                },
+            );
+        }
+    }
+}
+
+/// Which retrieval variant a [`DataMule`] runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RetrievalMode {
+    /// Query once in radio range; nodes answer over reliable one-hop bulk
+    /// transfers (the deployed design).
+    OneHop,
+    /// Build a spanning tree, flood the query, repeat rounds until no new
+    /// data arrives (the §II-C multihop design).
+    Tree,
+}
+
+/// Configuration of a [`DataMule`].
+#[derive(Debug, Clone, Copy)]
+pub struct MuleConfig {
+    /// Retrieval variant.
+    pub mode: RetrievalMode,
+    /// When to start the retrieval after simulation start.
+    pub start_after: SimDuration,
+    /// Query window start (ignored when `all`).
+    pub t0: SimTime,
+    /// Query window end (ignored when `all`).
+    pub t1: SimTime,
+    /// Retrieve everything (the common case per §II-C).
+    pub all: bool,
+    /// Query rounds (re-asks refetch data lost on the unreliable tree
+    /// path).
+    pub rounds: u32,
+    /// Wall-clock budget per round.
+    pub round_timeout: SimDuration,
+}
+
+impl Default for MuleConfig {
+    fn default() -> Self {
+        MuleConfig {
+            mode: RetrievalMode::OneHop,
+            start_after: SimDuration::from_secs_f64(1.0),
+            t0: SimTime::ZERO,
+            t1: SimTime::MAX,
+            all: true,
+            rounds: 3,
+            round_timeout: SimDuration::from_secs_f64(30.0),
+        }
+    }
+}
+
+/// One event file reassembled from retrieved chunks.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RetrievedFile {
+    /// The event (file) ID, or `None` for unlabeled (baseline/prelude)
+    /// chunks.
+    pub event: Option<EventId>,
+    /// Chunks sorted by their start timestamps.
+    pub chunks: Vec<Chunk>,
+}
+
+impl RetrievedFile {
+    /// Number of discontinuities larger than 1.5 chunk durations between
+    /// consecutive chunks — the "gaps" §II-C's re-query loop looks for.
+    #[must_use]
+    pub fn gaps(&self) -> usize {
+        let tolerance = enviromic_types::audio::chunk_duration() * 3 / 2;
+        self.chunks
+            .windows(2)
+            .filter(|w| w[1].meta.t_start.saturating_since(w[0].t_end()) > tolerance)
+            .count()
+    }
+
+    /// Total audio seconds in the file.
+    #[must_use]
+    pub fn audio_secs(&self) -> f64 {
+        self.chunks.iter().map(|c| c.duration().as_secs_f64()).sum()
+    }
+}
+
+const MULE_T_BEGIN: u32 = 1;
+const MULE_T_QUERY: u32 = 2;
+const MULE_T_ROUND_END: u32 = 3;
+
+/// The collecting user: queries the network and accumulates chunks.
+#[derive(Debug)]
+pub struct DataMule {
+    cfg: MuleConfig,
+    me: NodeId,
+    query_id: u32,
+    build_id: u32,
+    rounds_done: u32,
+    chunks: Vec<Chunk>,
+    seen: HashSet<(u16, u64)>,
+    receivers: HashMap<(NodeId, u32), BulkReceiver>,
+    /// Per-source advertised chunk counts from QUERY_DONE.
+    expected: HashMap<NodeId, u32>,
+    new_this_round: usize,
+    consecutive_empty_rounds: u32,
+    finished: bool,
+}
+
+impl DataMule {
+    /// Creates a mule.
+    #[must_use]
+    pub fn new(cfg: MuleConfig) -> Self {
+        DataMule {
+            cfg,
+            me: NodeId(0),
+            query_id: 0,
+            build_id: 0,
+            rounds_done: 0,
+            chunks: Vec::new(),
+            seen: HashSet::new(),
+            receivers: HashMap::new(),
+            expected: HashMap::new(),
+            new_this_round: 0,
+            consecutive_empty_rounds: 0,
+            finished: false,
+        }
+    }
+
+    /// All unique chunks retrieved so far.
+    #[must_use]
+    pub fn chunks(&self) -> &[Chunk] {
+        &self.chunks
+    }
+
+    /// True once all configured rounds completed.
+    #[must_use]
+    pub fn is_finished(&self) -> bool {
+        self.finished
+    }
+
+    /// Per-source chunk counts the sources advertised via QUERY_DONE.
+    #[must_use]
+    pub fn advertised(&self) -> &HashMap<NodeId, u32> {
+        &self.expected
+    }
+
+    /// Groups retrieved chunks into per-event files, sorted by start time
+    /// (the basestation post-processing step of §III-B.3).
+    #[must_use]
+    pub fn files(&self) -> Vec<RetrievedFile> {
+        let mut groups: BTreeMap<Option<EventId>, Vec<Chunk>> = BTreeMap::new();
+        for c in &self.chunks {
+            groups.entry(c.meta.event).or_default().push(c.clone());
+        }
+        groups
+            .into_iter()
+            .map(|(event, mut chunks)| {
+                chunks.sort_by_key(|c| (c.meta.t_start, c.meta.origin));
+                RetrievedFile { event, chunks }
+            })
+            .collect()
+    }
+
+    fn accept(&mut self, chunk: Chunk) {
+        let key = (chunk.meta.origin.0, chunk.meta.t_start.as_jiffies());
+        if self.seen.insert(key) {
+            self.chunks.push(chunk);
+            self.new_this_round += 1;
+        }
+    }
+
+    fn broadcast(&self, ctx: &mut Context<'_>, msg: Message) {
+        let kind = msg.kind();
+        let bytes = encode_envelope(core::slice::from_ref(&msg));
+        ctx.broadcast(kind, bytes);
+    }
+
+    fn rebuild_tree_then_query(&mut self, ctx: &mut Context<'_>) {
+        self.build_id += 1;
+        self.broadcast(
+            ctx,
+            Message::TreeBuild {
+                root: self.me,
+                build_id: self.build_id,
+                hops: 0,
+            },
+        );
+        // Give the build wave a moment to settle before querying.
+        ctx.set_timer(SimDuration::from_millis(800), MULE_T_QUERY);
+    }
+
+    fn send_query(&mut self, ctx: &mut Context<'_>) {
+        self.query_id += 1;
+        self.new_this_round = 0;
+        let q = Message::Query {
+            root: self.me,
+            query_id: self.query_id,
+            t0: self.cfg.t0,
+            t1: self.cfg.t1,
+            all: self.cfg.all,
+        };
+        self.broadcast(ctx, q);
+        ctx.set_timer(self.cfg.round_timeout, MULE_T_ROUND_END);
+    }
+}
+
+impl Application for DataMule {
+    fn on_start(&mut self, ctx: &mut Context<'_>) {
+        self.me = ctx.node_id();
+        ctx.set_timer(self.cfg.start_after, MULE_T_BEGIN);
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_>, timer: Timer) {
+        match timer.token {
+            MULE_T_BEGIN => match self.cfg.mode {
+                RetrievalMode::OneHop => self.send_query(ctx),
+                RetrievalMode::Tree => self.rebuild_tree_then_query(ctx),
+            },
+            MULE_T_QUERY => self.send_query(ctx),
+            MULE_T_ROUND_END => {
+                self.rounds_done += 1;
+                if self.new_this_round == 0 {
+                    self.consecutive_empty_rounds += 1;
+                } else {
+                    self.consecutive_empty_rounds = 0;
+                }
+                // QUERY_DONE counts are only a lower bound on the network's
+                // holdings (reports from far nodes get lost too), so
+                // "advertised completeness" cannot end retrieval early;
+                // only an exhausted round budget or two consecutive dry
+                // rounds do.
+                if self.rounds_done >= self.cfg.rounds || self.consecutive_empty_rounds >= 2 {
+                    self.finished = true;
+                } else if self.cfg.mode == RetrievalMode::Tree {
+                    // Rebuild the tree before every round: a single build
+                    // wave can die on a lossy hop, leaving far nodes
+                    // unattached and unable to route answers.
+                    self.rebuild_tree_then_query(ctx);
+                } else {
+                    self.send_query(ctx);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn on_packet(&mut self, ctx: &mut Context<'_>, from: NodeId, bytes: &[u8]) {
+        let Ok(messages) = decode_envelope(bytes) else {
+            return;
+        };
+        for msg in messages {
+            match msg {
+                Message::BulkData {
+                    to,
+                    session,
+                    seq,
+                    last,
+                    chunk,
+                } if to == self.me => {
+                    let recv = self
+                        .receivers
+                        .entry((from, session))
+                        .or_insert_with(|| BulkReceiver::new(from, session));
+                    let (ack, accepted) = recv.on_data(session, seq, last, chunk);
+                    if let Some(chunk) = accepted {
+                        self.accept(chunk);
+                    }
+                    if let Some(ack) = ack {
+                        self.broadcast(ctx, ack);
+                    }
+                }
+                Message::QueryData {
+                    to, root, chunk, ..
+                } if to == self.me && root == self.me => {
+                    self.accept(chunk);
+                }
+                Message::QueryDone {
+                    to,
+                    root,
+                    source,
+                    sent,
+                    ..
+                } if to == self.me && root == self.me => {
+                    let e = self.expected.entry(source).or_insert(0);
+                    *e = (*e).max(sent);
+                }
+                _ => {}
+            }
+        }
+    }
+
+    fn as_any(&self) -> &dyn core::any::Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn core::any::Any {
+        self
+    }
+}
+
+/// Recovers the chunks of a physically collected (possibly crashed) mote,
+/// the paper's ultimate fallback retrieval path (§III-B.3).
+#[must_use]
+pub fn recover_collected_mote(store: ChunkStore) -> Vec<Chunk> {
+    let (flash, eeprom) = store.into_parts();
+    let recovered = ChunkStore::recover(flash, eeprom, 64);
+    recovered.iter().collect()
+}

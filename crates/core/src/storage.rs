@@ -1,0 +1,174 @@
+//! The node's chunk store, wrapped with trace emission and energy
+//! accounting.
+//!
+//! Every mutation of local storage flows through here so that the
+//! simulation trace reconstructs the network-wide stored-audio multiset
+//! exactly (the redundancy and contour figures depend on it) and every
+//! flash write is charged to the battery.
+
+use enviromic_flash::{Chunk, ChunkStore, StoreError};
+use enviromic_sim::{Context, StorageOccupancy, TraceEvent};
+use enviromic_types::audio;
+
+/// A [`ChunkStore`] that traces and meters every operation.
+#[derive(Debug)]
+pub struct TracedStore {
+    store: ChunkStore,
+    /// Payload bytes recorded locally since the last rate update (input to
+    /// the EWMA acquisition rate, §II-B).
+    bytes_since_rate_update: u64,
+}
+
+impl TracedStore {
+    /// Creates a store of `chunks` slots with the given EEPROM checkpoint
+    /// interval.
+    #[must_use]
+    pub fn new(chunks: u32, checkpoint_interval: u32) -> Self {
+        TracedStore {
+            store: ChunkStore::new(chunks, checkpoint_interval),
+            bytes_since_rate_update: 0,
+        }
+    }
+
+    /// Live chunks.
+    #[must_use]
+    pub fn len(&self) -> u32 {
+        self.store.len()
+    }
+
+    /// True when nothing is stored.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.store.is_empty()
+    }
+
+    /// Capacity in chunks.
+    #[must_use]
+    pub fn capacity(&self) -> u32 {
+        self.store.capacity()
+    }
+
+    /// Free slots.
+    #[must_use]
+    pub fn free(&self) -> u32 {
+        self.store.free()
+    }
+
+    /// True when full.
+    #[must_use]
+    pub fn is_full(&self) -> bool {
+        self.store.is_full()
+    }
+
+    /// Free payload bytes.
+    #[must_use]
+    pub fn free_bytes(&self) -> u64 {
+        u64::from(self.store.free()) * u64::from(audio::CHUNK_PAYLOAD_BYTES)
+    }
+
+    /// Occupancy report for the world's poller.
+    #[must_use]
+    pub fn occupancy(&self) -> StorageOccupancy {
+        StorageOccupancy {
+            used: u64::from(self.store.len()),
+            capacity: u64::from(self.store.capacity()),
+        }
+    }
+
+    /// Payload bytes recorded locally since the last
+    /// [`TracedStore::take_rate_bytes`] call.
+    #[must_use]
+    pub fn bytes_since_rate_update(&self) -> u64 {
+        self.bytes_since_rate_update
+    }
+
+    /// Returns and resets the locally recorded byte counter.
+    pub fn take_rate_bytes(&mut self) -> u64 {
+        core::mem::take(&mut self.bytes_since_rate_update)
+    }
+
+    /// Stores a chunk, tracing and charging the flash write.
+    ///
+    /// `counts_as_inflow` marks chunks that feed the acquisition-rate
+    /// estimate: locally recorded audio and migrated-in data both do;
+    /// re-pushes of already-counted chunks (prelude retagging) do not.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Full`] when no slot is free.
+    pub fn push(
+        &mut self,
+        ctx: &mut Context<'_>,
+        chunk: Chunk,
+        counts_as_inflow: bool,
+    ) -> Result<(), StoreError> {
+        let bytes = chunk.payload.len() as u32;
+        let meta = chunk.meta;
+        let t_end = chunk.t_end();
+        self.store.push_back(chunk)?;
+        ctx.charge_flash_write(1);
+        if counts_as_inflow {
+            self.bytes_since_rate_update += u64::from(bytes);
+        }
+        ctx.trace(TraceEvent::ChunkStored {
+            node: ctx.node_id(),
+            origin: meta.origin,
+            event: meta.event,
+            audio_t0: meta.t_start,
+            audio_t1: t_end,
+            bytes,
+            t: ctx.now(),
+        });
+        Ok(())
+    }
+
+    /// Removes the oldest chunk, tracing the removal.
+    pub fn pop_front(&mut self, ctx: &mut Context<'_>) -> Option<Chunk> {
+        let chunk = self.store.pop_front().ok().flatten()?;
+        ctx.trace(TraceEvent::ChunkRemoved {
+            node: ctx.node_id(),
+            origin: chunk.meta.origin,
+            audio_t0: chunk.meta.t_start,
+            audio_t1: chunk.t_end(),
+            t: ctx.now(),
+        });
+        Some(chunk)
+    }
+
+    /// Removes the newest chunk (prelude erasure), tracing the removal.
+    pub fn pop_back(&mut self, ctx: &mut Context<'_>) -> Option<Chunk> {
+        let chunk = self.store.pop_back().ok().flatten()?;
+        ctx.trace(TraceEvent::ChunkRemoved {
+            node: ctx.node_id(),
+            origin: chunk.meta.origin,
+            audio_t0: chunk.meta.t_start,
+            audio_t1: chunk.t_end(),
+            t: ctx.now(),
+        });
+        Some(chunk)
+    }
+
+    /// Reads the chunk at logical position `i` (0 = oldest) without
+    /// removing it.
+    #[must_use]
+    pub fn get(&self, i: u32) -> Option<Chunk> {
+        self.store.get(i).ok().flatten()
+    }
+
+    /// Iterates over stored chunks, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = Chunk> + '_ {
+        self.store.iter()
+    }
+
+    /// The underlying store (for recovery tests and teardown).
+    #[must_use]
+    pub fn into_inner(self) -> ChunkStore {
+        self.store
+    }
+
+    /// Shared access to the underlying store.
+    #[must_use]
+    pub fn inner(&self) -> &ChunkStore {
+        &self.store
+    }
+}

@@ -1,0 +1,235 @@
+//! The raw flash block device.
+//!
+//! Models the mote's external flash at the granularity EnviroMic uses it:
+//! fixed 256-byte blocks, each with a finite write endurance. The paper's
+//! local data organization (§III-B.3) is built on exactly this interface;
+//! the wear counters let the tests assert the circular-queue layout's
+//! wear-leveling invariant ("all the blocks receive almost the same number
+//! of write operations, different by at most 1").
+
+use enviromic_types::audio::CHUNK_BYTES;
+
+/// Size of one flash block in bytes.
+pub const BLOCK_BYTES: usize = CHUNK_BYTES as usize;
+
+/// Errors returned by the [`Flash`] device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlashError {
+    /// Block index beyond the device capacity.
+    OutOfBounds {
+        /// The offending index.
+        index: u32,
+        /// The device's block count.
+        capacity: u32,
+    },
+    /// The block reached its write-endurance limit.
+    WearExceeded {
+        /// The worn-out block.
+        index: u32,
+    },
+    /// Data longer than one block.
+    DataTooLong {
+        /// Bytes offered.
+        len: usize,
+    },
+}
+
+impl core::fmt::Display for FlashError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            FlashError::OutOfBounds { index, capacity } => {
+                write!(f, "block {index} out of bounds (capacity {capacity})")
+            }
+            FlashError::WearExceeded { index } => {
+                write!(f, "block {index} exceeded its write endurance")
+            }
+            FlashError::DataTooLong { len } => {
+                write!(
+                    f,
+                    "data of {len} bytes does not fit a {BLOCK_BYTES}-byte block"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for FlashError {}
+
+/// A simulated flash device of fixed-size blocks with per-block wear
+/// accounting.
+///
+/// # Examples
+///
+/// ```
+/// use enviromic_flash::{Flash, BLOCK_BYTES};
+///
+/// # fn main() -> Result<(), enviromic_flash::FlashError> {
+/// let mut flash = Flash::new(16, 10_000);
+/// flash.write_block(3, &[0xAB; 10])?;
+/// assert_eq!(&flash.read_block(3)?[..2], &[0xAB, 0xAB]);
+/// assert_eq!(flash.write_count(3), 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Flash {
+    blocks: Vec<[u8; BLOCK_BYTES]>,
+    write_counts: Vec<u64>,
+    endurance: u64,
+}
+
+impl Flash {
+    /// Creates a device with `blocks` erased blocks and the given per-block
+    /// write `endurance`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `blocks` is zero.
+    #[must_use]
+    pub fn new(blocks: u32, endurance: u64) -> Self {
+        assert!(blocks > 0, "flash needs at least one block");
+        Flash {
+            blocks: vec![[0xFF; BLOCK_BYTES]; blocks as usize],
+            write_counts: vec![0; blocks as usize],
+            endurance,
+        }
+    }
+
+    /// Number of blocks on the device.
+    #[must_use]
+    pub fn block_count(&self) -> u32 {
+        self.blocks.len() as u32
+    }
+
+    /// Writes `data` to block `index` (short data is padded with `0xFF`).
+    ///
+    /// # Errors
+    ///
+    /// [`FlashError::OutOfBounds`] for a bad index,
+    /// [`FlashError::DataTooLong`] when `data` exceeds a block, and
+    /// [`FlashError::WearExceeded`] when the block hit its endurance limit.
+    pub fn write_block(&mut self, index: u32, data: &[u8]) -> Result<(), FlashError> {
+        if data.len() > BLOCK_BYTES {
+            return Err(FlashError::DataTooLong { len: data.len() });
+        }
+        let capacity = self.block_count();
+        let slot = self
+            .blocks
+            .get_mut(index as usize)
+            .ok_or(FlashError::OutOfBounds { index, capacity })?;
+        if self.write_counts[index as usize] >= self.endurance {
+            return Err(FlashError::WearExceeded { index });
+        }
+        slot[..data.len()].copy_from_slice(data);
+        slot[data.len()..].fill(0xFF);
+        self.write_counts[index as usize] += 1;
+        Ok(())
+    }
+
+    /// Reads block `index`.
+    ///
+    /// # Errors
+    ///
+    /// [`FlashError::OutOfBounds`] for a bad index.
+    pub fn read_block(&self, index: u32) -> Result<&[u8; BLOCK_BYTES], FlashError> {
+        let capacity = self.block_count();
+        self.blocks
+            .get(index as usize)
+            .ok_or(FlashError::OutOfBounds { index, capacity })
+    }
+
+    /// The number of completed writes to block `index` (0 for bad indices).
+    #[must_use]
+    pub fn write_count(&self, index: u32) -> u64 {
+        self.write_counts.get(index as usize).copied().unwrap_or(0)
+    }
+
+    /// The spread between the most- and least-written block.
+    ///
+    /// The chunk store's circular layout keeps this ≤ 1 — the §III-B.3
+    /// wear-leveling property the tests assert.
+    #[must_use]
+    pub fn wear_spread(&self) -> u64 {
+        let max = self.write_counts.iter().copied().max().unwrap_or(0);
+        let min = self.write_counts.iter().copied().min().unwrap_or(0);
+        max - min
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_then_read_round_trips() {
+        let mut f = Flash::new(4, 100);
+        f.write_block(0, &[1, 2, 3]).unwrap();
+        let b = f.read_block(0).unwrap();
+        assert_eq!(&b[..3], &[1, 2, 3]);
+        assert_eq!(b[3], 0xFF, "padding fills with erased value");
+    }
+
+    #[test]
+    fn rejects_out_of_bounds() {
+        let mut f = Flash::new(2, 100);
+        assert_eq!(
+            f.write_block(2, &[0]),
+            Err(FlashError::OutOfBounds {
+                index: 2,
+                capacity: 2
+            })
+        );
+        assert!(f.read_block(9).is_err());
+    }
+
+    #[test]
+    fn rejects_oversized_data() {
+        let mut f = Flash::new(1, 100);
+        let big = vec![0u8; BLOCK_BYTES + 1];
+        assert_eq!(
+            f.write_block(0, &big),
+            Err(FlashError::DataTooLong {
+                len: BLOCK_BYTES + 1
+            })
+        );
+    }
+
+    #[test]
+    fn enforces_endurance() {
+        let mut f = Flash::new(1, 2);
+        f.write_block(0, &[1]).unwrap();
+        f.write_block(0, &[2]).unwrap();
+        assert_eq!(
+            f.write_block(0, &[3]),
+            Err(FlashError::WearExceeded { index: 0 })
+        );
+        assert_eq!(f.write_count(0), 2);
+    }
+
+    #[test]
+    fn wear_spread_tracks_counts() {
+        let mut f = Flash::new(3, 100);
+        assert_eq!(f.wear_spread(), 0);
+        f.write_block(0, &[0]).unwrap();
+        f.write_block(0, &[0]).unwrap();
+        f.write_block(1, &[0]).unwrap();
+        assert_eq!(f.wear_spread(), 2);
+    }
+
+    #[test]
+    fn errors_display_meaningfully() {
+        let e = FlashError::WearExceeded { index: 7 };
+        assert!(e.to_string().contains("7"));
+        let e = FlashError::OutOfBounds {
+            index: 9,
+            capacity: 4,
+        };
+        assert!(e.to_string().contains("out of bounds"));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one block")]
+    fn zero_blocks_panics() {
+        let _ = Flash::new(0, 1);
+    }
+}

@@ -1,0 +1,158 @@
+//! The in-chip EEPROM used for pointer checkpoints.
+//!
+//! §III-B.3: "We periodically save the head and tail pointers of the queue
+//! to the in-chip EEPROM of MicaZ motes, which has a much larger write
+//! limit, so that even if a node fails we can still correctly retrieve its
+//! locally stored data after the node is collected."
+//!
+//! The model stores one [`Checkpoint`] record with its own (large) write
+//! endurance, and survives "crashes" trivially because it lives in a
+//! separate struct the tests can carry across a simulated reboot.
+
+use serde::Serialize;
+
+/// The chunk-store state persisted to EEPROM.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct Checkpoint {
+    /// Flash block index of the oldest chunk.
+    pub head: u32,
+    /// Number of chunks in the queue.
+    pub len: u32,
+    /// The store sequence number the *next* pushed chunk will get.
+    pub next_store_seq: u32,
+    /// Store sequence number of the oldest live chunk at checkpoint time
+    /// (equals `next_store_seq` when the queue was empty). Recovery uses it
+    /// to avoid resurrecting chunks known-dead at checkpoint time.
+    pub head_seq: u32,
+}
+
+/// EEPROM write failure: the endurance limit was reached.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EepromWornOut;
+
+impl core::fmt::Display for EepromWornOut {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "eeprom exceeded its write endurance")
+    }
+}
+
+impl std::error::Error for EepromWornOut {}
+
+/// A tiny persistent store holding the latest [`Checkpoint`].
+///
+/// # Examples
+///
+/// ```
+/// use enviromic_flash::{Checkpoint, Eeprom};
+///
+/// # fn main() -> Result<(), enviromic_flash::EepromWornOut> {
+/// let mut ee = Eeprom::new(100_000);
+/// assert_eq!(ee.load(), None);
+/// ee.save(Checkpoint { head: 3, len: 10, next_store_seq: 55, head_seq: 45 })?;
+/// assert_eq!(ee.load().unwrap().head, 3);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Eeprom {
+    checkpoint: Option<Checkpoint>,
+    writes: u64,
+    endurance: u64,
+}
+
+impl Eeprom {
+    /// Creates an empty EEPROM with the given write endurance.
+    #[must_use]
+    pub fn new(endurance: u64) -> Self {
+        Eeprom {
+            checkpoint: None,
+            writes: 0,
+            endurance,
+        }
+    }
+
+    /// Persists a checkpoint.
+    ///
+    /// # Errors
+    ///
+    /// [`EepromWornOut`] once the endurance limit is reached.
+    pub fn save(&mut self, checkpoint: Checkpoint) -> Result<(), EepromWornOut> {
+        if self.writes >= self.endurance {
+            return Err(EepromWornOut);
+        }
+        self.writes += 1;
+        self.checkpoint = Some(checkpoint);
+        Ok(())
+    }
+
+    /// The most recently saved checkpoint, if any.
+    #[must_use]
+    pub fn load(&self) -> Option<Checkpoint> {
+        self.checkpoint
+    }
+
+    /// Total completed writes.
+    #[must_use]
+    pub fn write_count(&self) -> u64 {
+        self.writes
+    }
+}
+
+impl Default for Eeprom {
+    /// An EEPROM with the MicaZ-class default endurance of 100 000 writes.
+    fn default() -> Self {
+        Eeprom::new(100_000)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_empty() {
+        assert_eq!(Eeprom::default().load(), None);
+    }
+
+    #[test]
+    fn save_load_round_trip() {
+        let mut ee = Eeprom::new(10);
+        let cp = Checkpoint {
+            head: 1,
+            len: 2,
+            next_store_seq: 3,
+            head_seq: 1,
+        };
+        ee.save(cp).unwrap();
+        assert_eq!(ee.load(), Some(cp));
+        assert_eq!(ee.write_count(), 1);
+    }
+
+    #[test]
+    fn newest_checkpoint_wins() {
+        let mut ee = Eeprom::new(10);
+        for i in 0..5 {
+            ee.save(Checkpoint {
+                head: i,
+                len: 0,
+                next_store_seq: 0,
+                head_seq: 0,
+            })
+            .unwrap();
+        }
+        assert_eq!(ee.load().unwrap().head, 4);
+    }
+
+    #[test]
+    fn wears_out() {
+        let mut ee = Eeprom::new(1);
+        let cp = Checkpoint {
+            head: 0,
+            len: 0,
+            next_store_seq: 0,
+            head_seq: 0,
+        };
+        ee.save(cp).unwrap();
+        assert_eq!(ee.save(cp), Err(EepromWornOut));
+    }
+}

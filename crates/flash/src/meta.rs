@@ -1,0 +1,293 @@
+//! Chunk metadata layout and the on-flash codec.
+//!
+//! Each 256-byte flash block stores one *chunk*: a 24-byte header followed
+//! by up to 232 bytes of audio payload. The header carries exactly the
+//! metadata §III-B.3 prescribes — timestamps, the recording node
+//! (location-stamp), and the event/file ID — plus a store sequence number
+//! and checksum used for crash recovery.
+//!
+//! Layout (little-endian):
+//!
+//! ```text
+//! offset  size  field
+//! 0       1     magic (0xEC)
+//! 1       1     flags (bit 0: has event id)
+//! 2       4     store_seq   — monotone per chunk store, recovery ordering
+//! 6       2     origin      — recording node id
+//! 8       2     event leader node id   (0 when no event)
+//! 10      4     event sequence number  (0 when no event)
+//! 14      6     t_start     — jiffies, 48-bit
+//! 20      1     payload_len — 0..=232
+//! 21      1     reserved (0)
+//! 22      2     checksum    — 16-bit sum over header[0..22] + payload
+//! ```
+
+use crate::device::BLOCK_BYTES;
+use enviromic_types::{audio, EventId, NodeId, SimDuration, SimTime};
+use serde::Serialize;
+
+/// Magic byte identifying a valid chunk header.
+const MAGIC: u8 = 0xEC;
+const FLAG_HAS_EVENT: u8 = 0x01;
+
+/// Metadata attached to every stored chunk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
+pub struct ChunkMeta {
+    /// The node that *recorded* the audio (not necessarily the node storing
+    /// it — chunks migrate for load balancing).
+    pub origin: NodeId,
+    /// The event (file) ID assigned by the leader; `None` for uncoordinated
+    /// baseline recordings.
+    pub event: Option<EventId>,
+    /// Recording start timestamp (the recorder's estimate of global time).
+    pub t_start: SimTime,
+}
+
+/// One stored chunk: metadata plus audio payload.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct Chunk {
+    /// Chunk metadata.
+    pub meta: ChunkMeta,
+    /// Audio payload, at most [`audio::CHUNK_PAYLOAD_BYTES`] bytes.
+    pub payload: Vec<u8>,
+}
+
+/// Chunk decode failures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The magic byte is absent — the block holds no chunk.
+    NotAChunk,
+    /// The declared payload length exceeds the payload area.
+    BadLength,
+    /// The checksum does not match the contents.
+    BadChecksum,
+}
+
+impl core::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            DecodeError::NotAChunk => write!(f, "block does not contain a chunk"),
+            DecodeError::BadLength => write!(f, "chunk payload length is invalid"),
+            DecodeError::BadChecksum => write!(f, "chunk checksum mismatch"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+fn checksum(header: &[u8], payload: &[u8]) -> u16 {
+    let mut sum: u32 = 0;
+    for &b in header.iter().chain(payload) {
+        sum = sum.wrapping_add(u32::from(b)).wrapping_mul(31) % 65_521;
+    }
+    sum as u16
+}
+
+impl Chunk {
+    /// Creates a chunk, validating the payload size.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `payload` exceeds [`audio::CHUNK_PAYLOAD_BYTES`] bytes.
+    #[must_use]
+    pub fn new(meta: ChunkMeta, payload: Vec<u8>) -> Self {
+        assert!(
+            payload.len() <= audio::CHUNK_PAYLOAD_BYTES as usize,
+            "payload of {} bytes exceeds the {}-byte chunk payload area",
+            payload.len(),
+            audio::CHUNK_PAYLOAD_BYTES
+        );
+        Chunk { meta, payload }
+    }
+
+    /// Recording end timestamp, derived from the payload length at the
+    /// fixed sampling rate (one byte per sample).
+    #[must_use]
+    pub fn t_end(&self) -> SimTime {
+        let secs = self.payload.len() as f64 / audio::SAMPLE_RATE_HZ as f64;
+        self.meta.t_start + SimDuration::from_secs_f64(secs)
+    }
+
+    /// The audio span this chunk covers.
+    #[must_use]
+    pub fn duration(&self) -> SimDuration {
+        self.t_end().saturating_since(self.meta.t_start)
+    }
+
+    /// Encodes the chunk into one flash block under the given store
+    /// sequence number.
+    #[must_use]
+    pub fn encode(&self, store_seq: u32) -> [u8; BLOCK_BYTES] {
+        let mut block = [0xFFu8; BLOCK_BYTES];
+        block[0] = MAGIC;
+        block[1] = if self.meta.event.is_some() {
+            FLAG_HAS_EVENT
+        } else {
+            0
+        };
+        block[2..6].copy_from_slice(&store_seq.to_le_bytes());
+        block[6..8].copy_from_slice(&self.meta.origin.0.to_le_bytes());
+        let (ev_leader, ev_seq) = match self.meta.event {
+            Some(ev) => (ev.leader().0, ev.seq()),
+            None => (0, 0),
+        };
+        block[8..10].copy_from_slice(&ev_leader.to_le_bytes());
+        block[10..14].copy_from_slice(&ev_seq.to_le_bytes());
+        let jiffies = self.meta.t_start.as_jiffies();
+        block[14..20].copy_from_slice(&jiffies.to_le_bytes()[..6]);
+        block[20] = self.payload.len() as u8;
+        block[21] = 0;
+        let sum = checksum(&block[..22], &self.payload);
+        block[22..24].copy_from_slice(&sum.to_le_bytes());
+        block[24..24 + self.payload.len()].copy_from_slice(&self.payload);
+        block
+    }
+
+    /// Decodes a chunk and its store sequence number from a flash block.
+    ///
+    /// # Errors
+    ///
+    /// See [`DecodeError`].
+    pub fn decode(block: &[u8; BLOCK_BYTES]) -> Result<(Chunk, u32), DecodeError> {
+        if block[0] != MAGIC {
+            return Err(DecodeError::NotAChunk);
+        }
+        let payload_len = block[20] as usize;
+        if payload_len > audio::CHUNK_PAYLOAD_BYTES as usize {
+            return Err(DecodeError::BadLength);
+        }
+        let payload = block[24..24 + payload_len].to_vec();
+        let stored_sum = u16::from_le_bytes([block[22], block[23]]);
+        if checksum(&block[..22], &payload) != stored_sum {
+            return Err(DecodeError::BadChecksum);
+        }
+        let store_seq = u32::from_le_bytes([block[2], block[3], block[4], block[5]]);
+        let origin = NodeId(u16::from_le_bytes([block[6], block[7]]));
+        let event = if block[1] & FLAG_HAS_EVENT != 0 {
+            let leader = NodeId(u16::from_le_bytes([block[8], block[9]]));
+            let seq = u32::from_le_bytes([block[10], block[11], block[12], block[13]]);
+            Some(EventId::new(leader, seq))
+        } else {
+            None
+        };
+        let mut j = [0u8; 8];
+        j[..6].copy_from_slice(&block[14..20]);
+        let t_start = SimTime::from_jiffies(u64::from_le_bytes(j));
+        Ok((
+            Chunk {
+                meta: ChunkMeta {
+                    origin,
+                    event,
+                    t_start,
+                },
+                payload,
+            },
+            store_seq,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_chunk(event: Option<EventId>) -> Chunk {
+        Chunk::new(
+            ChunkMeta {
+                origin: NodeId(12),
+                event,
+                t_start: SimTime::from_jiffies(123_456_789),
+            },
+            (0..200u8).collect(),
+        )
+    }
+
+    #[test]
+    fn encode_decode_round_trip_with_event() {
+        let c = sample_chunk(Some(EventId::new(NodeId(3), 99)));
+        let block = c.encode(42);
+        let (decoded, seq) = Chunk::decode(&block).unwrap();
+        assert_eq!(decoded, c);
+        assert_eq!(seq, 42);
+    }
+
+    #[test]
+    fn encode_decode_round_trip_without_event() {
+        let c = sample_chunk(None);
+        let (decoded, seq) = Chunk::decode(&c.encode(0)).unwrap();
+        assert_eq!(decoded, c);
+        assert_eq!(seq, 0);
+    }
+
+    #[test]
+    fn empty_payload_round_trips() {
+        let c = Chunk::new(
+            ChunkMeta {
+                origin: NodeId(1),
+                event: None,
+                t_start: SimTime::ZERO,
+            },
+            vec![],
+        );
+        let (d, _) = Chunk::decode(&c.encode(7)).unwrap();
+        assert_eq!(d.payload.len(), 0);
+        assert_eq!(d.duration(), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn erased_block_is_not_a_chunk() {
+        let block = [0xFFu8; BLOCK_BYTES];
+        assert_eq!(Chunk::decode(&block), Err(DecodeError::NotAChunk));
+    }
+
+    #[test]
+    fn corrupted_payload_fails_checksum() {
+        let c = sample_chunk(Some(EventId::new(NodeId(1), 1)));
+        let mut block = c.encode(1);
+        block[30] ^= 0x55;
+        assert_eq!(Chunk::decode(&block), Err(DecodeError::BadChecksum));
+    }
+
+    #[test]
+    fn corrupted_length_fails() {
+        let c = sample_chunk(None);
+        let mut block = c.encode(1);
+        block[20] = 255; // > payload area
+        assert_eq!(Chunk::decode(&block), Err(DecodeError::BadLength));
+    }
+
+    #[test]
+    fn t_end_reflects_sample_rate() {
+        let c = sample_chunk(None); // 200 samples
+        let expect = 200.0 / audio::SAMPLE_RATE_HZ as f64;
+        assert!((c.duration().as_secs_f64() - expect).abs() < 1e-4);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds")]
+    fn oversized_payload_panics() {
+        let _ = Chunk::new(
+            ChunkMeta {
+                origin: NodeId(0),
+                event: None,
+                t_start: SimTime::ZERO,
+            },
+            vec![0; audio::CHUNK_PAYLOAD_BYTES as usize + 1],
+        );
+    }
+
+    #[test]
+    fn large_timestamp_survives_48_bit_encoding() {
+        let t = SimTime::from_jiffies((1u64 << 48) - 1);
+        let c = Chunk::new(
+            ChunkMeta {
+                origin: NodeId(0),
+                event: None,
+                t_start: t,
+            },
+            vec![1, 2, 3],
+        );
+        let (d, _) = Chunk::decode(&c.encode(1)).unwrap();
+        assert_eq!(d.meta.t_start, t);
+    }
+}

@@ -1,0 +1,163 @@
+//! Interval arithmetic over jiffy timestamps.
+
+/// A set of half-open intervals `[start, end)` in jiffies, kept merged and
+/// sorted.
+///
+/// # Examples
+///
+/// ```
+/// use enviromic_metrics::IntervalSet;
+///
+/// let mut s = IntervalSet::new();
+/// s.add(0, 10);
+/// s.add(5, 20);
+/// s.add(30, 40);
+/// assert_eq!(s.total_len(), 30);
+/// assert_eq!(s.intervals(), &[(0, 20), (30, 40)]);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct IntervalSet {
+    /// Merged, sorted, non-touching intervals.
+    merged: Vec<(u64, u64)>,
+}
+
+impl IntervalSet {
+    /// Creates an empty set.
+    #[must_use]
+    pub fn new() -> Self {
+        IntervalSet::default()
+    }
+
+    /// Builds a set from arbitrary (possibly overlapping) intervals.
+    #[must_use]
+    pub fn from_intervals<I: IntoIterator<Item = (u64, u64)>>(iter: I) -> Self {
+        let mut v: Vec<(u64, u64)> = iter.into_iter().filter(|(a, b)| b > a).collect();
+        v.sort_unstable();
+        let mut merged: Vec<(u64, u64)> = Vec::with_capacity(v.len());
+        for (a, b) in v {
+            match merged.last_mut() {
+                Some((_, last_b)) if a <= *last_b => *last_b = (*last_b).max(b),
+                _ => merged.push((a, b)),
+            }
+        }
+        IntervalSet { merged }
+    }
+
+    /// Adds one interval (no-op when empty or inverted).
+    pub fn add(&mut self, start: u64, end: u64) {
+        if end <= start {
+            return;
+        }
+        // Binary search for the insertion point, then merge neighbours.
+        let idx = self.merged.partition_point(|&(a, _)| a < start);
+        self.merged.insert(idx, (start, end));
+        // Merge left neighbour and any right overlaps.
+        let mut i = idx.saturating_sub(1);
+        while i + 1 < self.merged.len() {
+            let (a1, b1) = self.merged[i];
+            let (a2, b2) = self.merged[i + 1];
+            if a2 <= b1 {
+                self.merged[i] = (a1, b1.max(b2));
+                self.merged.remove(i + 1);
+            } else if i < idx {
+                i += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// The merged intervals.
+    #[must_use]
+    pub fn intervals(&self) -> &[(u64, u64)] {
+        &self.merged
+    }
+
+    /// Total covered length.
+    #[must_use]
+    pub fn total_len(&self) -> u64 {
+        self.merged.iter().map(|(a, b)| b - a).sum()
+    }
+
+    /// Covered length within the clip window `[from, to)`.
+    #[must_use]
+    pub fn len_within(&self, from: u64, to: u64) -> u64 {
+        if to <= from {
+            return 0;
+        }
+        self.merged
+            .iter()
+            .map(|&(a, b)| {
+                let a = a.max(from);
+                let b = b.min(to);
+                b.saturating_sub(a)
+            })
+            .sum()
+    }
+
+    /// True when nothing is covered.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.merged.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_merges_overlaps_in_any_order() {
+        let mut s = IntervalSet::new();
+        s.add(10, 20);
+        s.add(0, 5);
+        s.add(4, 11); // bridges both
+        assert_eq!(s.intervals(), &[(0, 20)]);
+        assert_eq!(s.total_len(), 20);
+    }
+
+    #[test]
+    fn touching_intervals_merge() {
+        let mut s = IntervalSet::new();
+        s.add(0, 10);
+        s.add(10, 20);
+        assert_eq!(s.intervals(), &[(0, 20)]);
+    }
+
+    #[test]
+    fn disjoint_intervals_stay_apart() {
+        let mut s = IntervalSet::new();
+        s.add(0, 5);
+        s.add(10, 15);
+        assert_eq!(s.intervals().len(), 2);
+        assert_eq!(s.total_len(), 10);
+    }
+
+    #[test]
+    fn empty_and_inverted_are_ignored() {
+        let mut s = IntervalSet::new();
+        s.add(5, 5);
+        s.add(9, 3);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn len_within_clips() {
+        let s = IntervalSet::from_intervals([(0, 10), (20, 30)]);
+        assert_eq!(s.len_within(5, 25), 10); // 5..10 and 20..25
+        assert_eq!(s.len_within(100, 200), 0);
+        assert_eq!(s.len_within(25, 5), 0);
+    }
+
+    #[test]
+    fn from_intervals_matches_incremental_adds() {
+        let data = [(3u64, 9u64), (1, 4), (15, 18), (8, 16), (20, 21)];
+        let bulk = IntervalSet::from_intervals(data);
+        let mut inc = IntervalSet::new();
+        for (a, b) in data {
+            inc.add(a, b);
+        }
+        assert_eq!(bulk, inc);
+        assert_eq!(bulk.intervals(), &[(1, 18), (20, 21)]);
+    }
+}

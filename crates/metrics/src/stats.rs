@@ -1,0 +1,63 @@
+//! Summary statistics for repeated experiment runs.
+
+/// Mean of a sample (0 for an empty sample).
+#[must_use]
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Sample standard deviation (0 for fewer than two points).
+#[must_use]
+pub fn std_dev(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    let var = xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (xs.len() - 1) as f64;
+    var.sqrt()
+}
+
+/// Mean with the 90% confidence-interval half-width (normal
+/// approximation, z = 1.645 — the paper reports "average and 90%
+/// confidence interval" over 15 runs).
+#[must_use]
+pub fn mean_ci90(xs: &[f64]) -> (f64, f64) {
+    let m = mean(xs);
+    if xs.len() < 2 {
+        return (m, 0.0);
+    }
+    let half = 1.645 * std_dev(xs) / (xs.len() as f64).sqrt();
+    (m, half)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_std() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((mean(&xs) - 5.0).abs() < 1e-12);
+        // Sample (n-1) standard deviation of this classic set is ~2.138.
+        assert!((std_dev(&xs) - 2.138089935).abs() < 1e-6);
+    }
+
+    #[test]
+    fn ci_shrinks_with_n() {
+        let small = [1.0, 2.0, 3.0];
+        let big: Vec<f64> = (0..48).map(|i| 1.0 + (i % 3) as f64).collect();
+        let (_, ci_small) = mean_ci90(&small);
+        let (_, ci_big) = mean_ci90(&big);
+        assert!(ci_big < ci_small);
+    }
+
+    #[test]
+    fn degenerate_samples() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(std_dev(&[5.0]), 0.0);
+        assert_eq!(mean_ci90(&[3.0]), (3.0, 0.0));
+    }
+}

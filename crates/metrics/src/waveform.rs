@@ -1,0 +1,136 @@
+//! Waveform comparison for the Fig. 8 voice-stitching experiment.
+//!
+//! The paper argues visual similarity between the single-mote reference
+//! recording and the EnviroMic recording stitched from many motes'
+//! chunks. We quantify the same comparison: amplitude envelopes for the
+//! "visual" shape, and normalized cross-correlation for a scalar score.
+
+/// Amplitude envelope: mean absolute deviation from the 128 midpoint per
+/// window of `win` samples. Empty input yields an empty envelope.
+#[must_use]
+pub fn amplitude_envelope(samples: &[u8], win: usize) -> Vec<f64> {
+    if win == 0 {
+        return Vec::new();
+    }
+    samples
+        .chunks(win)
+        .map(|c| c.iter().map(|&s| (f64::from(s) - 128.0).abs()).sum::<f64>() / c.len() as f64)
+        .collect()
+}
+
+/// Normalized cross-correlation of two real-valued sequences at the given
+/// lag of `b` relative to `a`. Returns 0 for degenerate inputs.
+#[must_use]
+pub fn normalized_xcorr_at(a: &[f64], b: &[f64], lag: isize) -> f64 {
+    let n = a.len().min(b.len());
+    if n == 0 {
+        return 0.0;
+    }
+    let mut xs = Vec::with_capacity(n);
+    let mut ys = Vec::with_capacity(n);
+    for (i, &x) in a.iter().enumerate().take(n) {
+        let j = i as isize + lag;
+        if j < 0 || j as usize >= b.len() {
+            continue;
+        }
+        xs.push(x);
+        ys.push(b[j as usize]);
+    }
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let mx = xs.iter().sum::<f64>() / xs.len() as f64;
+    let my = ys.iter().sum::<f64>() / ys.len() as f64;
+    let mut num = 0.0;
+    let mut dx = 0.0;
+    let mut dy = 0.0;
+    for (x, y) in xs.iter().zip(&ys) {
+        num += (x - mx) * (y - my);
+        dx += (x - mx) * (x - mx);
+        dy += (y - my) * (y - my);
+    }
+    if dx <= 0.0 || dy <= 0.0 {
+        return 0.0;
+    }
+    num / (dx * dy).sqrt()
+}
+
+/// Best normalized cross-correlation of `b` against `a` over lags in
+/// `[-max_lag, max_lag]`. Returns `(best_score, best_lag)`.
+#[must_use]
+pub fn best_xcorr(a: &[f64], b: &[f64], max_lag: usize) -> (f64, isize) {
+    let mut best = (f64::MIN, 0isize);
+    let mut lag = -(max_lag as isize);
+    while lag <= max_lag as isize {
+        let score = normalized_xcorr_at(a, b, lag);
+        if score > best.0 {
+            best = (score, lag);
+        }
+        lag += 1;
+    }
+    if best.0 == f64::MIN {
+        (0.0, 0)
+    } else {
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tone(n: usize, period: usize, amp: f64) -> Vec<f64> {
+        (0..n)
+            .map(|i| amp * (core::f64::consts::TAU * i as f64 / period as f64).sin())
+            .collect()
+    }
+
+    #[test]
+    fn identical_signals_correlate_perfectly() {
+        let a = tone(500, 25, 1.0);
+        let (score, lag) = best_xcorr(&a, &a, 10);
+        assert!((score - 1.0).abs() < 1e-9);
+        assert_eq!(lag, 0);
+    }
+
+    #[test]
+    fn shifted_signal_found_at_its_lag() {
+        let a = tone(500, 50, 1.0);
+        let mut b = vec![0.0; 7];
+        b.extend_from_slice(&a);
+        let (score, lag) = best_xcorr(&a, &b, 20);
+        assert!(score > 0.99, "score {score}");
+        assert_eq!(lag, 7);
+    }
+
+    #[test]
+    fn uncorrelated_noise_scores_low() {
+        // Deterministic pseudo-noise via hashing.
+        let a: Vec<f64> = (0..800u64)
+            .map(|i| (enviromic_sim::rng::split_mix64(i) % 1000) as f64 / 500.0 - 1.0)
+            .collect();
+        let b: Vec<f64> = (0..800u64)
+            .map(|i| (enviromic_sim::rng::split_mix64(i + 99_999) % 1000) as f64 / 500.0 - 1.0)
+            .collect();
+        let (score, _) = best_xcorr(&a, &b, 5);
+        assert!(score < 0.3, "score {score}");
+    }
+
+    #[test]
+    fn envelope_tracks_amplitude() {
+        let mut samples = vec![128u8; 100];
+        samples.extend((0..100).map(|i| if i % 2 == 0 { 28 } else { 228 }));
+        let env = amplitude_envelope(&samples, 50);
+        assert_eq!(env.len(), 4);
+        assert!(env[0] < 1.0 && env[1] < 1.0);
+        assert!(env[2] > 90.0 && env[3] > 90.0);
+    }
+
+    #[test]
+    fn degenerate_inputs_are_safe() {
+        assert_eq!(amplitude_envelope(&[], 10), Vec::<f64>::new());
+        assert_eq!(amplitude_envelope(&[1, 2], 0), Vec::<f64>::new());
+        assert_eq!(normalized_xcorr_at(&[], &[], 0), 0.0);
+        assert_eq!(best_xcorr(&[1.0], &[1.0], 3).0, 0.0); // too short
+    }
+}

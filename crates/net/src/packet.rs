@@ -1,0 +1,875 @@
+//! Protocol message definitions and the packet codec.
+//!
+//! Everything EnviroMic sends is a local broadcast; "addressed" messages
+//! (task requests, bulk-transfer data, query replies) carry an explicit
+//! destination field and every other receiver ignores — but can *overhear*
+//! — them, which the task-assignment optimization of Fig. 1 depends on.
+//!
+//! Multiple messages can share one radio packet: the neighborhood broadcast
+//! module piggybacks delay-tolerant messages onto delay-sensitive ones
+//! (§III-A), so the unit of encoding is an *envelope* of messages
+//! ([`encode_envelope`] / [`decode_envelope`]).
+
+use crate::wire::{Reader, WireError, Writer};
+use enviromic_flash::{Chunk, ChunkMeta};
+use enviromic_types::{EventId, NodeId, SimDuration, SimTime};
+
+/// A protocol message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Message {
+    /// Periodic "I can hear the event" beacon from a group member
+    /// (§II-A.2). Maintains the soft member list on every node in range.
+    Sensing {
+        /// The event the sender hears, if it knows the ID yet.
+        event: Option<EventId>,
+        /// Perceived signal level (0–255), used for recorder selection.
+        level: u8,
+        /// True when the sender holds a prelude recording for this event.
+        has_prelude: bool,
+        /// The sender's current storage TTL in seconds (saturated), used
+        /// for recorder selection.
+        ttl_secs: u32,
+    },
+    /// Leadership announcement that suppresses other candidates' back-off
+    /// timers and mints the event (file) ID (§II-A.1).
+    LeaderAnnounce {
+        /// The newly minted or adopted event ID.
+        event: EventId,
+    },
+    /// The leader can no longer hear the event; whoever still can should
+    /// take over, reusing the same event ID (§II-A.1, Fig. 5).
+    Resign {
+        /// Event whose leadership is released.
+        event: EventId,
+        /// The already-scheduled next task-assignment instant, so the new
+        /// leader starts on time and no recording gap opens.
+        next_assign_at: SimTime,
+        /// Task counter, continued by the new leader.
+        task_seq: u32,
+    },
+    /// Leader assigns a recording task to `recorder` (§II-A.2).
+    TaskRequest {
+        /// Event being recorded.
+        event: EventId,
+        /// The member assigned to record.
+        recorder: NodeId,
+        /// Monotone per-event task counter.
+        task_seq: u32,
+        /// Recording task period `Trc`.
+        duration: SimDuration,
+        /// The leader's clock reading at send time; recorders use it for
+        /// cheap re-synchronization (§III-A).
+        leader_time: SimTime,
+        /// The member chosen to keep its prelude recording; all other
+        /// prelude holders erase theirs (§II-A.1).
+        keep_prelude: Option<NodeId>,
+    },
+    /// Recorder accepts a task and starts recording (§II-A.2).
+    TaskConfirm {
+        /// Event being recorded.
+        event: EventId,
+        /// The confirming recorder.
+        recorder: NodeId,
+        /// Task counter being confirmed.
+        task_seq: u32,
+    },
+    /// Recorder refuses a task because it overheard another member's
+    /// `TaskConfirm` for the same slot (Fig. 1 optimization).
+    TaskReject {
+        /// Event in question.
+        event: EventId,
+        /// The rejecting member.
+        recorder: NodeId,
+        /// Task counter being rejected.
+        task_seq: u32,
+    },
+    /// Periodic storage-balancing state beacon: the sender's TTL and free
+    /// space (§II-B).
+    StateUpdate {
+        /// `TTL_storage` in whole seconds, saturating at `u32::MAX`
+        /// (which also encodes "no data inflow yet", i.e. infinite TTL).
+        ttl_secs: u32,
+        /// Free chunk slots.
+        free_chunks: u32,
+        /// The sender's gossiped estimate of the network-wide average free
+        /// fraction, in percent (the global load-balancing extension from
+        /// the paper's future work; 100 when the extension is off).
+        avg_free_pct: u8,
+    },
+    /// Donor asks `to` to accept migrated chunks.
+    MigrateOffer {
+        /// Prospective recipient.
+        to: NodeId,
+        /// Chunks the donor wants to move.
+        chunks: u16,
+        /// Donor-chosen session ID for the ensuing bulk transfer.
+        session: u32,
+    },
+    /// Recipient grants (part of) a migration offer.
+    MigrateAccept {
+        /// The donor being answered.
+        to: NodeId,
+        /// Session from the offer.
+        session: u32,
+        /// Chunks the recipient will accept.
+        granted: u16,
+    },
+    /// One chunk of a reliable bulk transfer.
+    BulkData {
+        /// Recipient.
+        to: NodeId,
+        /// Transfer session.
+        session: u32,
+        /// Sequence number within the session.
+        seq: u16,
+        /// True on the final chunk of the session.
+        last: bool,
+        /// The chunk payload.
+        chunk: Chunk,
+    },
+    /// Acknowledgement of a [`Message::BulkData`] packet.
+    BulkAck {
+        /// The sender being acknowledged.
+        to: NodeId,
+        /// Transfer session.
+        session: u32,
+        /// Sequence number acknowledged.
+        seq: u16,
+    },
+    /// FTSP-style time reference beacon.
+    TimeSync {
+        /// The reference node that originated the beacon.
+        root: NodeId,
+        /// Beacon sequence number.
+        seq: u32,
+        /// The root's clock at transmission.
+        ref_time: SimTime,
+    },
+    /// Spanning-tree construction wave for multihop retrieval (§II-C).
+    TreeBuild {
+        /// Tree root (the querying user).
+        root: NodeId,
+        /// Identifier of this construction wave.
+        build_id: u32,
+        /// Hop count from the root at the sender.
+        hops: u8,
+    },
+    /// Retrieval query flooded down the tree (§II-C).
+    Query {
+        /// Querying root.
+        root: NodeId,
+        /// Query identifier.
+        query_id: u32,
+        /// Start of the time range of interest.
+        t0: SimTime,
+        /// End of the time range of interest.
+        t1: SimTime,
+        /// True for the common "retrieve everything" query.
+        all: bool,
+    },
+    /// One chunk travelling up the tree in answer to a query.
+    QueryData {
+        /// Next hop (the sender's tree parent).
+        to: NodeId,
+        /// Querying root (final destination).
+        root: NodeId,
+        /// Query being answered.
+        query_id: u32,
+        /// The chunk.
+        chunk: Chunk,
+    },
+    /// End-of-answer marker from one node for one query.
+    QueryDone {
+        /// Next hop (the sender's tree parent).
+        to: NodeId,
+        /// Querying root.
+        root: NodeId,
+        /// Query being answered.
+        query_id: u32,
+        /// The answering node.
+        source: NodeId,
+        /// Number of chunks the answering node sent.
+        sent: u32,
+    },
+}
+
+const TAG_SENSING: u8 = 1;
+const TAG_LEADER_ANNOUNCE: u8 = 2;
+const TAG_RESIGN: u8 = 3;
+const TAG_TASK_REQUEST: u8 = 4;
+const TAG_TASK_CONFIRM: u8 = 5;
+const TAG_TASK_REJECT: u8 = 6;
+const TAG_STATE_UPDATE: u8 = 7;
+const TAG_MIGRATE_OFFER: u8 = 8;
+const TAG_MIGRATE_ACCEPT: u8 = 9;
+const TAG_BULK_DATA: u8 = 10;
+const TAG_BULK_ACK: u8 = 11;
+const TAG_TIME_SYNC: u8 = 12;
+const TAG_TREE_BUILD: u8 = 13;
+const TAG_QUERY: u8 = 14;
+const TAG_QUERY_DATA: u8 = 15;
+const TAG_QUERY_DONE: u8 = 16;
+
+fn write_event(w: &mut Writer, event: EventId) {
+    w.u16(event.leader().0);
+    w.u32(event.seq());
+}
+
+fn read_event(r: &mut Reader<'_>) -> Result<EventId, WireError> {
+    let leader = NodeId(r.u16()?);
+    let seq = r.u32()?;
+    Ok(EventId::new(leader, seq))
+}
+
+fn write_opt_event(w: &mut Writer, event: Option<EventId>) {
+    match event {
+        Some(ev) => {
+            w.u8(1);
+            write_event(w, ev);
+        }
+        None => w.u8(0),
+    }
+}
+
+fn read_opt_event(r: &mut Reader<'_>) -> Result<Option<EventId>, WireError> {
+    Ok(match r.u8()? {
+        0 => None,
+        _ => Some(read_event(r)?),
+    })
+}
+
+fn write_chunk(w: &mut Writer, chunk: &Chunk) {
+    w.u16(chunk.meta.origin.0);
+    write_opt_event(w, chunk.meta.event);
+    w.time(chunk.meta.t_start);
+    w.bytes8(&chunk.payload);
+}
+
+fn read_chunk(r: &mut Reader<'_>) -> Result<Chunk, WireError> {
+    let origin = NodeId(r.u16()?);
+    let event = read_opt_event(r)?;
+    let t_start = r.time()?;
+    let at = r.position();
+    let payload = r.bytes8()?.to_vec();
+    if payload.len() > enviromic_types::audio::CHUNK_PAYLOAD_BYTES as usize {
+        return Err(WireError {
+            at,
+            expected: "chunk payload within one block",
+        });
+    }
+    Ok(Chunk::new(
+        ChunkMeta {
+            origin,
+            event,
+            t_start,
+        },
+        payload,
+    ))
+}
+
+impl Message {
+    /// A short static label for tracing and message censuses (Fig. 12).
+    #[must_use]
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Message::Sensing { .. } => "SENSING",
+            Message::LeaderAnnounce { .. } => "LEADER_ANNOUNCE",
+            Message::Resign { .. } => "RESIGN",
+            Message::TaskRequest { .. } => "TASK_REQUEST",
+            Message::TaskConfirm { .. } => "TASK_CONFIRM",
+            Message::TaskReject { .. } => "TASK_REJECT",
+            Message::StateUpdate { .. } => "STATE_UPDATE",
+            Message::MigrateOffer { .. } => "MIGRATE_OFFER",
+            Message::MigrateAccept { .. } => "MIGRATE_ACCEPT",
+            Message::BulkData { .. } => "BULK_DATA",
+            Message::BulkAck { .. } => "BULK_ACK",
+            Message::TimeSync { .. } => "TIME_SYNC",
+            Message::TreeBuild { .. } => "TREE_BUILD",
+            Message::Query { .. } => "QUERY",
+            Message::QueryData { .. } => "QUERY_DATA",
+            Message::QueryDone { .. } => "QUERY_DONE",
+        }
+    }
+
+    /// The explicit unicast destination, when the message has one. Other
+    /// nodes may still overhear and exploit the message.
+    #[must_use]
+    pub fn destination(&self) -> Option<NodeId> {
+        match *self {
+            Message::TaskRequest { recorder, .. } => Some(recorder),
+            Message::MigrateOffer { to, .. }
+            | Message::MigrateAccept { to, .. }
+            | Message::BulkData { to, .. }
+            | Message::BulkAck { to, .. }
+            | Message::QueryData { to, .. }
+            | Message::QueryDone { to, .. } => Some(to),
+            _ => None,
+        }
+    }
+
+    /// True for messages the sender must get on the air immediately
+    /// (task management); false for delay-tolerant traffic that may wait
+    /// for a piggybacking opportunity (§III-A).
+    #[must_use]
+    pub fn is_delay_sensitive(&self) -> bool {
+        !matches!(self, Message::StateUpdate { .. } | Message::TimeSync { .. })
+    }
+
+    fn encode_into(&self, w: &mut Writer) {
+        match self {
+            Message::Sensing {
+                event,
+                level,
+                has_prelude,
+                ttl_secs,
+            } => {
+                w.u8(TAG_SENSING);
+                write_opt_event(w, *event);
+                w.u8(*level);
+                w.u8(u8::from(*has_prelude));
+                w.u32(*ttl_secs);
+            }
+            Message::LeaderAnnounce { event } => {
+                w.u8(TAG_LEADER_ANNOUNCE);
+                write_event(w, *event);
+            }
+            Message::Resign {
+                event,
+                next_assign_at,
+                task_seq,
+            } => {
+                w.u8(TAG_RESIGN);
+                write_event(w, *event);
+                w.time(*next_assign_at);
+                w.u32(*task_seq);
+            }
+            Message::TaskRequest {
+                event,
+                recorder,
+                task_seq,
+                duration,
+                leader_time,
+                keep_prelude,
+            } => {
+                w.u8(TAG_TASK_REQUEST);
+                write_event(w, *event);
+                w.u16(recorder.0);
+                w.u32(*task_seq);
+                w.duration(*duration);
+                w.time(*leader_time);
+                match keep_prelude {
+                    Some(n) => {
+                        w.u8(1);
+                        w.u16(n.0);
+                    }
+                    None => w.u8(0),
+                }
+            }
+            Message::TaskConfirm {
+                event,
+                recorder,
+                task_seq,
+            } => {
+                w.u8(TAG_TASK_CONFIRM);
+                write_event(w, *event);
+                w.u16(recorder.0);
+                w.u32(*task_seq);
+            }
+            Message::TaskReject {
+                event,
+                recorder,
+                task_seq,
+            } => {
+                w.u8(TAG_TASK_REJECT);
+                write_event(w, *event);
+                w.u16(recorder.0);
+                w.u32(*task_seq);
+            }
+            Message::StateUpdate {
+                ttl_secs,
+                free_chunks,
+                avg_free_pct,
+            } => {
+                w.u8(TAG_STATE_UPDATE);
+                w.u32(*ttl_secs);
+                w.u32(*free_chunks);
+                w.u8(*avg_free_pct);
+            }
+            Message::MigrateOffer {
+                to,
+                chunks,
+                session,
+            } => {
+                w.u8(TAG_MIGRATE_OFFER);
+                w.u16(to.0);
+                w.u16(*chunks);
+                w.u32(*session);
+            }
+            Message::MigrateAccept {
+                to,
+                session,
+                granted,
+            } => {
+                w.u8(TAG_MIGRATE_ACCEPT);
+                w.u16(to.0);
+                w.u32(*session);
+                w.u16(*granted);
+            }
+            Message::BulkData {
+                to,
+                session,
+                seq,
+                last,
+                chunk,
+            } => {
+                w.u8(TAG_BULK_DATA);
+                w.u16(to.0);
+                w.u32(*session);
+                w.u16(*seq);
+                w.u8(u8::from(*last));
+                write_chunk(w, chunk);
+            }
+            Message::BulkAck { to, session, seq } => {
+                w.u8(TAG_BULK_ACK);
+                w.u16(to.0);
+                w.u32(*session);
+                w.u16(*seq);
+            }
+            Message::TimeSync {
+                root,
+                seq,
+                ref_time,
+            } => {
+                w.u8(TAG_TIME_SYNC);
+                w.u16(root.0);
+                w.u32(*seq);
+                w.time(*ref_time);
+            }
+            Message::TreeBuild {
+                root,
+                build_id,
+                hops,
+            } => {
+                w.u8(TAG_TREE_BUILD);
+                w.u16(root.0);
+                w.u32(*build_id);
+                w.u8(*hops);
+            }
+            Message::Query {
+                root,
+                query_id,
+                t0,
+                t1,
+                all,
+            } => {
+                w.u8(TAG_QUERY);
+                w.u16(root.0);
+                w.u32(*query_id);
+                w.time(*t0);
+                w.time(*t1);
+                w.u8(u8::from(*all));
+            }
+            Message::QueryData {
+                to,
+                root,
+                query_id,
+                chunk,
+            } => {
+                w.u8(TAG_QUERY_DATA);
+                w.u16(to.0);
+                w.u16(root.0);
+                w.u32(*query_id);
+                write_chunk(w, chunk);
+            }
+            Message::QueryDone {
+                to,
+                root,
+                query_id,
+                source,
+                sent,
+            } => {
+                w.u8(TAG_QUERY_DONE);
+                w.u16(to.0);
+                w.u16(root.0);
+                w.u32(*query_id);
+                w.u16(source.0);
+                w.u32(*sent);
+            }
+        }
+    }
+
+    fn decode_from(r: &mut Reader<'_>) -> Result<Message, WireError> {
+        let tag = r.u8()?;
+        Ok(match tag {
+            TAG_SENSING => Message::Sensing {
+                event: read_opt_event(r)?,
+                level: r.u8()?,
+                has_prelude: r.u8()? != 0,
+                ttl_secs: r.u32()?,
+            },
+            TAG_LEADER_ANNOUNCE => Message::LeaderAnnounce {
+                event: read_event(r)?,
+            },
+            TAG_RESIGN => Message::Resign {
+                event: read_event(r)?,
+                next_assign_at: r.time()?,
+                task_seq: r.u32()?,
+            },
+            TAG_TASK_REQUEST => Message::TaskRequest {
+                event: read_event(r)?,
+                recorder: NodeId(r.u16()?),
+                task_seq: r.u32()?,
+                duration: r.duration()?,
+                leader_time: r.time()?,
+                keep_prelude: match r.u8()? {
+                    0 => None,
+                    _ => Some(NodeId(r.u16()?)),
+                },
+            },
+            TAG_TASK_CONFIRM => Message::TaskConfirm {
+                event: read_event(r)?,
+                recorder: NodeId(r.u16()?),
+                task_seq: r.u32()?,
+            },
+            TAG_TASK_REJECT => Message::TaskReject {
+                event: read_event(r)?,
+                recorder: NodeId(r.u16()?),
+                task_seq: r.u32()?,
+            },
+            TAG_STATE_UPDATE => Message::StateUpdate {
+                ttl_secs: r.u32()?,
+                free_chunks: r.u32()?,
+                avg_free_pct: r.u8()?,
+            },
+            TAG_MIGRATE_OFFER => Message::MigrateOffer {
+                to: NodeId(r.u16()?),
+                chunks: r.u16()?,
+                session: r.u32()?,
+            },
+            TAG_MIGRATE_ACCEPT => Message::MigrateAccept {
+                to: NodeId(r.u16()?),
+                session: r.u32()?,
+                granted: r.u16()?,
+            },
+            TAG_BULK_DATA => Message::BulkData {
+                to: NodeId(r.u16()?),
+                session: r.u32()?,
+                seq: r.u16()?,
+                last: r.u8()? != 0,
+                chunk: read_chunk(r)?,
+            },
+            TAG_BULK_ACK => Message::BulkAck {
+                to: NodeId(r.u16()?),
+                session: r.u32()?,
+                seq: r.u16()?,
+            },
+            TAG_TIME_SYNC => Message::TimeSync {
+                root: NodeId(r.u16()?),
+                seq: r.u32()?,
+                ref_time: r.time()?,
+            },
+            TAG_TREE_BUILD => Message::TreeBuild {
+                root: NodeId(r.u16()?),
+                build_id: r.u32()?,
+                hops: r.u8()?,
+            },
+            TAG_QUERY => Message::Query {
+                root: NodeId(r.u16()?),
+                query_id: r.u32()?,
+                t0: r.time()?,
+                t1: r.time()?,
+                all: r.u8()? != 0,
+            },
+            TAG_QUERY_DATA => Message::QueryData {
+                to: NodeId(r.u16()?),
+                root: NodeId(r.u16()?),
+                query_id: r.u32()?,
+                chunk: read_chunk(r)?,
+            },
+            TAG_QUERY_DONE => Message::QueryDone {
+                to: NodeId(r.u16()?),
+                root: NodeId(r.u16()?),
+                query_id: r.u32()?,
+                source: NodeId(r.u16()?),
+                sent: r.u32()?,
+            },
+            _ => {
+                return Err(WireError {
+                    at: r.position().saturating_sub(1),
+                    expected: "known message tag",
+                })
+            }
+        })
+    }
+
+    /// Encodes one message as a single-entry envelope.
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        encode_envelope(core::slice::from_ref(self))
+    }
+
+    /// The encoded size of this message alone (excluding the 1-byte
+    /// envelope header).
+    #[must_use]
+    pub fn encoded_len(&self) -> usize {
+        let mut w = Writer::new();
+        self.encode_into(&mut w);
+        w.len()
+    }
+}
+
+/// Encodes an envelope of messages sharing one radio packet.
+///
+/// # Panics
+///
+/// Panics when more than 255 messages are supplied (far beyond any radio
+/// MTU).
+#[must_use]
+pub fn encode_envelope(messages: &[Message]) -> Vec<u8> {
+    let count = u8::try_from(messages.len()).expect("envelope of over 255 messages");
+    let mut w = Writer::new();
+    w.u8(count);
+    for m in messages {
+        m.encode_into(&mut w);
+    }
+    w.into_bytes()
+}
+
+/// Decodes an envelope produced by [`encode_envelope`].
+///
+/// # Errors
+///
+/// [`WireError`] on truncation or unknown tags.
+pub fn decode_envelope(bytes: &[u8]) -> Result<Vec<Message>, WireError> {
+    let mut r = Reader::new(bytes);
+    let count = r.u8()?;
+    let mut out = Vec::with_capacity(count as usize);
+    for _ in 0..count {
+        out.push(Message::decode_from(&mut r)?);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_chunk() -> Chunk {
+        Chunk::new(
+            ChunkMeta {
+                origin: NodeId(5),
+                event: Some(EventId::new(NodeId(2), 8)),
+                t_start: SimTime::from_jiffies(1_000_000),
+            },
+            vec![9; 64],
+        )
+    }
+
+    fn all_messages() -> Vec<Message> {
+        vec![
+            Message::Sensing {
+                event: Some(EventId::new(NodeId(1), 2)),
+                level: 180,
+                has_prelude: true,
+                ttl_secs: 3600,
+            },
+            Message::Sensing {
+                event: None,
+                level: 40,
+                has_prelude: false,
+                ttl_secs: u32::MAX,
+            },
+            Message::LeaderAnnounce {
+                event: EventId::new(NodeId(9), 1),
+            },
+            Message::Resign {
+                event: EventId::new(NodeId(9), 1),
+                next_assign_at: SimTime::from_jiffies(555),
+                task_seq: 12,
+            },
+            Message::TaskRequest {
+                event: EventId::new(NodeId(9), 1),
+                recorder: NodeId(4),
+                task_seq: 13,
+                duration: SimDuration::from_secs_f64(1.0),
+                leader_time: SimTime::from_jiffies(999),
+                keep_prelude: Some(NodeId(7)),
+            },
+            Message::TaskConfirm {
+                event: EventId::new(NodeId(9), 1),
+                recorder: NodeId(4),
+                task_seq: 13,
+            },
+            Message::TaskReject {
+                event: EventId::new(NodeId(9), 1),
+                recorder: NodeId(4),
+                task_seq: 13,
+            },
+            Message::StateUpdate {
+                ttl_secs: 120,
+                free_chunks: 512,
+                avg_free_pct: 73,
+            },
+            Message::MigrateOffer {
+                to: NodeId(3),
+                chunks: 16,
+                session: 77,
+            },
+            Message::MigrateAccept {
+                to: NodeId(2),
+                session: 77,
+                granted: 8,
+            },
+            Message::BulkData {
+                to: NodeId(3),
+                session: 77,
+                seq: 4,
+                last: false,
+                chunk: sample_chunk(),
+            },
+            Message::BulkAck {
+                to: NodeId(2),
+                session: 77,
+                seq: 4,
+            },
+            Message::TimeSync {
+                root: NodeId(0),
+                seq: 42,
+                ref_time: SimTime::from_jiffies(123),
+            },
+            Message::TreeBuild {
+                root: NodeId(0),
+                build_id: 3,
+                hops: 2,
+            },
+            Message::Query {
+                root: NodeId(0),
+                query_id: 6,
+                t0: SimTime::ZERO,
+                t1: SimTime::from_jiffies(1 << 40),
+                all: true,
+            },
+            Message::QueryData {
+                to: NodeId(1),
+                root: NodeId(0),
+                query_id: 6,
+                chunk: sample_chunk(),
+            },
+            Message::QueryDone {
+                to: NodeId(1),
+                root: NodeId(0),
+                query_id: 6,
+                source: NodeId(9),
+                sent: 100,
+            },
+        ]
+    }
+
+    #[test]
+    fn every_message_round_trips_alone() {
+        for m in all_messages() {
+            let bytes = m.encode();
+            let decoded = decode_envelope(&bytes).unwrap();
+            assert_eq!(decoded, vec![m]);
+        }
+    }
+
+    #[test]
+    fn envelope_round_trips_many() {
+        let msgs = all_messages();
+        let bytes = encode_envelope(&msgs);
+        assert_eq!(decode_envelope(&bytes).unwrap(), msgs);
+    }
+
+    #[test]
+    fn encoded_len_matches_actual() {
+        for m in all_messages() {
+            assert_eq!(m.encode().len(), m.encoded_len() + 1, "{:?}", m.kind());
+        }
+    }
+
+    #[test]
+    fn control_messages_are_small() {
+        // Control traffic must fit comfortably in a mote packet (~100 B).
+        for m in all_messages() {
+            if !matches!(m, Message::BulkData { .. } | Message::QueryData { .. }) {
+                assert!(
+                    m.encoded_len() <= 32,
+                    "{} is {}B",
+                    m.kind(),
+                    m.encoded_len()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_tag_is_rejected() {
+        let err = decode_envelope(&[1, 200]).unwrap_err();
+        assert_eq!(err.expected, "known message tag");
+    }
+
+    #[test]
+    fn truncated_envelope_is_rejected() {
+        let msgs = vec![Message::StateUpdate {
+            ttl_secs: 1,
+            free_chunks: 2,
+            avg_free_pct: 50,
+        }];
+        let mut bytes = encode_envelope(&msgs);
+        bytes.truncate(bytes.len() - 1);
+        assert!(decode_envelope(&bytes).is_err());
+    }
+
+    #[test]
+    fn destinations_and_kinds() {
+        assert_eq!(
+            Message::BulkAck {
+                to: NodeId(8),
+                session: 0,
+                seq: 0
+            }
+            .destination(),
+            Some(NodeId(8))
+        );
+        assert_eq!(
+            Message::LeaderAnnounce {
+                event: EventId::new(NodeId(1), 1)
+            }
+            .destination(),
+            None
+        );
+        assert_eq!(
+            Message::TaskRequest {
+                event: EventId::new(NodeId(1), 1),
+                recorder: NodeId(6),
+                task_seq: 0,
+                duration: SimDuration::ZERO,
+                leader_time: SimTime::ZERO,
+                keep_prelude: None,
+            }
+            .destination(),
+            Some(NodeId(6))
+        );
+    }
+
+    #[test]
+    fn delay_sensitivity_classes() {
+        assert!(!Message::StateUpdate {
+            ttl_secs: 0,
+            free_chunks: 0,
+            avg_free_pct: 100
+        }
+        .is_delay_sensitive());
+        assert!(!Message::TimeSync {
+            root: NodeId(0),
+            seq: 0,
+            ref_time: SimTime::ZERO
+        }
+        .is_delay_sensitive());
+        assert!(Message::LeaderAnnounce {
+            event: EventId::new(NodeId(0), 0)
+        }
+        .is_delay_sensitive());
+    }
+}

@@ -1,0 +1,215 @@
+//! Property tests: every expressible message survives a wire round trip,
+//! in arbitrary envelope groupings, and the decoder never panics on junk.
+
+use enviromic_flash::{Chunk, ChunkMeta};
+use enviromic_net::{decode_envelope, encode_envelope, Message};
+use enviromic_types::{EventId, NodeId, SimDuration, SimTime};
+use proptest::prelude::*;
+
+fn arb_node() -> impl Strategy<Value = NodeId> {
+    any::<u16>().prop_map(NodeId)
+}
+
+fn arb_event() -> impl Strategy<Value = EventId> {
+    (any::<u16>(), any::<u32>()).prop_map(|(l, s)| EventId::new(NodeId(l), s))
+}
+
+fn arb_time() -> impl Strategy<Value = SimTime> {
+    (0u64..(1 << 48)).prop_map(SimTime::from_jiffies)
+}
+
+fn arb_duration() -> impl Strategy<Value = SimDuration> {
+    (0u64..u64::from(u32::MAX)).prop_map(SimDuration::from_jiffies)
+}
+
+fn arb_chunk() -> impl Strategy<Value = Chunk> {
+    (
+        arb_node(),
+        proptest::option::of(arb_event()),
+        arb_time(),
+        proptest::collection::vec(any::<u8>(), 0..=232),
+    )
+        .prop_map(|(origin, event, t_start, payload)| {
+            Chunk::new(
+                ChunkMeta {
+                    origin,
+                    event,
+                    t_start,
+                },
+                payload,
+            )
+        })
+}
+
+fn arb_message() -> impl Strategy<Value = Message> {
+    prop_oneof![
+        (
+            proptest::option::of(arb_event()),
+            any::<u8>(),
+            any::<bool>(),
+            any::<u32>()
+        )
+            .prop_map(|(event, level, has_prelude, ttl_secs)| Message::Sensing {
+                event,
+                level,
+                has_prelude,
+                ttl_secs
+            }),
+        arb_event().prop_map(|event| Message::LeaderAnnounce { event }),
+        (arb_event(), arb_time(), any::<u32>()).prop_map(|(event, next_assign_at, task_seq)| {
+            Message::Resign {
+                event,
+                next_assign_at,
+                task_seq,
+            }
+        }),
+        (
+            arb_event(),
+            arb_node(),
+            any::<u32>(),
+            arb_duration(),
+            arb_time(),
+            proptest::option::of(arb_node())
+        )
+            .prop_map(
+                |(event, recorder, task_seq, duration, leader_time, keep_prelude)| {
+                    Message::TaskRequest {
+                        event,
+                        recorder,
+                        task_seq,
+                        duration,
+                        leader_time,
+                        keep_prelude,
+                    }
+                }
+            ),
+        (arb_event(), arb_node(), any::<u32>()).prop_map(|(event, recorder, task_seq)| {
+            Message::TaskConfirm {
+                event,
+                recorder,
+                task_seq,
+            }
+        }),
+        (arb_event(), arb_node(), any::<u32>()).prop_map(|(event, recorder, task_seq)| {
+            Message::TaskReject {
+                event,
+                recorder,
+                task_seq,
+            }
+        }),
+        (any::<u32>(), any::<u32>(), any::<u8>()).prop_map(
+            |(ttl_secs, free_chunks, avg_free_pct)| Message::StateUpdate {
+                ttl_secs,
+                free_chunks,
+                avg_free_pct
+            }
+        ),
+        (arb_node(), any::<u16>(), any::<u32>()).prop_map(|(to, chunks, session)| {
+            Message::MigrateOffer {
+                to,
+                chunks,
+                session,
+            }
+        }),
+        (arb_node(), any::<u32>(), any::<u16>()).prop_map(|(to, session, granted)| {
+            Message::MigrateAccept {
+                to,
+                session,
+                granted,
+            }
+        }),
+        (
+            arb_node(),
+            any::<u32>(),
+            any::<u16>(),
+            any::<bool>(),
+            arb_chunk()
+        )
+            .prop_map(|(to, session, seq, last, chunk)| Message::BulkData {
+                to,
+                session,
+                seq,
+                last,
+                chunk
+            }),
+        (arb_node(), any::<u32>(), any::<u16>()).prop_map(|(to, session, seq)| Message::BulkAck {
+            to,
+            session,
+            seq
+        }),
+        (arb_node(), any::<u32>(), arb_time()).prop_map(|(root, seq, ref_time)| {
+            Message::TimeSync {
+                root,
+                seq,
+                ref_time,
+            }
+        }),
+        (arb_node(), any::<u32>(), any::<u8>()).prop_map(|(root, build_id, hops)| {
+            Message::TreeBuild {
+                root,
+                build_id,
+                hops,
+            }
+        }),
+        (
+            arb_node(),
+            any::<u32>(),
+            arb_time(),
+            arb_time(),
+            any::<bool>()
+        )
+            .prop_map(|(root, query_id, t0, t1, all)| Message::Query {
+                root,
+                query_id,
+                t0,
+                t1,
+                all
+            }),
+        (arb_node(), arb_node(), any::<u32>(), arb_chunk()).prop_map(
+            |(to, root, query_id, chunk)| Message::QueryData {
+                to,
+                root,
+                query_id,
+                chunk
+            }
+        ),
+        (
+            arb_node(),
+            arb_node(),
+            any::<u32>(),
+            arb_node(),
+            any::<u32>()
+        )
+            .prop_map(|(to, root, query_id, source, sent)| Message::QueryDone {
+                to,
+                root,
+                query_id,
+                source,
+                sent
+            }),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn single_message_round_trips(m in arb_message()) {
+        let bytes = m.encode();
+        prop_assert_eq!(decode_envelope(&bytes).unwrap(), vec![m]);
+    }
+
+    #[test]
+    fn envelopes_round_trip(msgs in proptest::collection::vec(arb_message(), 0..12)) {
+        let bytes = encode_envelope(&msgs);
+        prop_assert_eq!(decode_envelope(&bytes).unwrap(), msgs);
+    }
+
+    #[test]
+    fn decoder_never_panics_on_junk(bytes in proptest::collection::vec(any::<u8>(), 0..300)) {
+        let _ = decode_envelope(&bytes);
+    }
+
+    #[test]
+    fn encoded_len_is_exact(m in arb_message()) {
+        prop_assert_eq!(m.encode().len(), m.encoded_len() + 1);
+    }
+}

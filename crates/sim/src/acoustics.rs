@@ -1,0 +1,433 @@
+//! The acoustic field: sound sources, motion, waveforms, and attenuation.
+//!
+//! The paper's experiments drive the network with controlled acoustic
+//! sources — laptops playing clips indoors, vehicles/people/birds outdoors.
+//! This module is the simulated counterpart: each [`SourceSpec`] is a point
+//! source with a start/stop time, an amplitude, an audible range, an
+//! optional trajectory, and a waveform used when actual samples are
+//! synthesized (the Fig. 8 voice experiment).
+//!
+//! Attenuation model: the signal level a node perceives from a source at
+//! distance `d` is `amplitude * (1 - d/range)` for `d < range` and zero
+//! beyond, on a 0–255 ADC-like scale on top of the ambient floor. The linear
+//! ramp matches how the paper *uses* acoustics — "the volume was adjusted to
+//! set the microphone sensing range to about one grid length" — where only
+//! the audible set matters, not a calibrated physical propagation law.
+
+use enviromic_types::{Position, SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Identity of a ground-truth acoustic source.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct SourceId(pub u32);
+
+impl core::fmt::Display for SourceId {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "src{}", self.0)
+    }
+}
+
+/// How a source moves over its lifetime.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Motion {
+    /// The source stays at one position.
+    Static(Position),
+    /// The source moves along timed waypoints (piecewise-linear). Before
+    /// the first waypoint it sits at the first position; after the last it
+    /// sits at the last.
+    Waypoints(Vec<(SimTime, Position)>),
+}
+
+impl Motion {
+    /// The source position at instant `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a `Waypoints` motion has no waypoints (constructing one is
+    /// a caller bug; [`SourceSpec::validate`] rejects it up front).
+    #[must_use]
+    pub fn position_at(&self, t: SimTime) -> Position {
+        match self {
+            Motion::Static(p) => *p,
+            Motion::Waypoints(points) => {
+                assert!(!points.is_empty(), "waypoint motion with no waypoints");
+                if t <= points[0].0 {
+                    return points[0].1;
+                }
+                for pair in points.windows(2) {
+                    let (t0, p0) = pair[0];
+                    let (t1, p1) = pair[1];
+                    if t <= t1 {
+                        let span = t1.saturating_since(t0).as_jiffies();
+                        if span == 0 {
+                            return p1;
+                        }
+                        let frac = t.saturating_since(t0).as_jiffies() as f64 / span as f64;
+                        return p0.lerp(p1, frac);
+                    }
+                }
+                points.last().expect("non-empty").1
+            }
+        }
+    }
+
+    /// True when the position can change over time.
+    #[must_use]
+    pub fn is_mobile(&self) -> bool {
+        matches!(self, Motion::Waypoints(p) if p.len() > 1)
+    }
+}
+
+/// The signal content a source emits, used when audio samples are
+/// synthesized for a recording node.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Waveform {
+    /// A pure tone at the given frequency (Hz).
+    Tone {
+        /// Tone frequency in hertz.
+        freq_hz: f64,
+    },
+    /// Band-limited noise (hash-based, deterministic).
+    Noise,
+    /// A speech-like waveform: two-tone carrier under a syllabic amplitude
+    /// envelope. Used by the Fig. 8 voice-stitching experiment.
+    Speech {
+        /// Syllable repetition period in seconds.
+        syllable_period_s: f64,
+    },
+}
+
+impl Waveform {
+    /// Normalized instantaneous value in `[-1, 1]` at absolute time `t_s`
+    /// (seconds). Deterministic: the same time always yields the same value.
+    #[must_use]
+    pub fn value_at(&self, t_s: f64) -> f64 {
+        use core::f64::consts::TAU;
+        match self {
+            Waveform::Tone { freq_hz } => (TAU * freq_hz * t_s).sin(),
+            Waveform::Noise => {
+                // Hash the sample index to a pseudo-random value; this keeps
+                // noise reproducible without threading an RNG through the
+                // field sampler.
+                let idx = (t_s * 32_768.0) as i64 as u64;
+                let h = crate::rng::split_mix64(idx ^ 0xDEAD_BEEF_CAFE_F00D);
+                (h >> 11) as f64 / (1u64 << 53) as f64 * 2.0 - 1.0
+            }
+            Waveform::Speech { syllable_period_s } => {
+                let carrier = 0.6 * (TAU * 220.0 * t_s).sin() + 0.4 * (TAU * 470.0 * t_s).sin();
+                let phase = (t_s / syllable_period_s).fract();
+                // Raised-cosine syllable envelope with a short silence gap.
+                let envelope = if phase < 0.8 {
+                    0.5 - 0.5 * (TAU * phase / 0.8).cos()
+                } else {
+                    0.0
+                };
+                carrier * envelope
+            }
+        }
+    }
+}
+
+/// A ground-truth acoustic source.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SourceSpec {
+    /// Identity used for ground-truth bookkeeping and metrics attribution.
+    pub id: SourceId,
+    /// When the source starts emitting.
+    pub start: SimTime,
+    /// When the source stops emitting.
+    pub stop: SimTime,
+    /// Peak level above the ambient floor at zero distance (0–247 scale so
+    /// floor + amplitude stays within the 8-bit ADC range).
+    pub amplitude: f64,
+    /// Audible range in feet: beyond it the source contributes nothing.
+    pub range_ft: f64,
+    /// Trajectory.
+    pub motion: Motion,
+    /// Emitted signal content.
+    pub waveform: Waveform,
+}
+
+impl SourceSpec {
+    /// Checks internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first problem found:
+    /// empty lifetime, non-positive amplitude/range, or empty waypoint list.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.stop <= self.start {
+            return Err(format!("source {} has empty lifetime", self.id));
+        }
+        if self.amplitude <= 0.0 || self.amplitude.is_nan() {
+            return Err(format!("source {} has non-positive amplitude", self.id));
+        }
+        if self.range_ft <= 0.0 || self.range_ft.is_nan() {
+            return Err(format!("source {} has non-positive range", self.id));
+        }
+        if let Motion::Waypoints(p) = &self.motion {
+            if p.is_empty() {
+                return Err(format!("source {} has no waypoints", self.id));
+            }
+        }
+        Ok(())
+    }
+
+    /// True when the source is emitting at instant `t`.
+    #[must_use]
+    pub fn active_at(&self, t: SimTime) -> bool {
+        t >= self.start && t < self.stop
+    }
+
+    /// The source's total emitting duration.
+    #[must_use]
+    pub fn duration(&self) -> SimDuration {
+        self.stop.saturating_since(self.start)
+    }
+
+    /// Signal level contributed at `listener` at instant `t` (0 when
+    /// inactive or out of range).
+    #[must_use]
+    pub fn level_at(&self, listener: Position, t: SimTime) -> f64 {
+        if !self.active_at(t) {
+            return 0.0;
+        }
+        let d = self.motion.position_at(t).distance_to(listener);
+        if d >= self.range_ft {
+            0.0
+        } else {
+            self.amplitude * (1.0 - d / self.range_ft)
+        }
+    }
+}
+
+/// The set of ground-truth sources plus ambient noise: everything needed to
+/// answer "what does node X hear at time t".
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct AcousticField {
+    sources: Vec<SourceSpec>,
+}
+
+impl AcousticField {
+    /// Creates an empty field (ambient noise only).
+    #[must_use]
+    pub fn new() -> Self {
+        AcousticField::default()
+    }
+
+    /// Adds a source to the field.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SourceSpec::validate`] failures.
+    pub fn add_source(&mut self, spec: SourceSpec) -> Result<(), String> {
+        spec.validate()?;
+        self.sources.push(spec);
+        Ok(())
+    }
+
+    /// All sources in the field.
+    #[must_use]
+    pub fn sources(&self) -> &[SourceSpec] {
+        &self.sources
+    }
+
+    /// The strongest single-source level heard at `listener` at `t`, not
+    /// counting ambient noise. Concurrent sources do not add powers — for
+    /// detection purposes the dominant source masks the rest, which mirrors
+    /// the paper's "collision" discussion.
+    #[must_use]
+    pub fn peak_level(&self, listener: Position, t: SimTime) -> f64 {
+        self.sources
+            .iter()
+            .map(|s| s.level_at(listener, t))
+            .fold(0.0, f64::max)
+    }
+
+    /// Source IDs audible at `listener` at `t`, strongest first.
+    #[must_use]
+    pub fn audible_sources(&self, listener: Position, t: SimTime) -> Vec<(SourceId, f64)> {
+        let mut v: Vec<(SourceId, f64)> = self
+            .sources
+            .iter()
+            .filter_map(|s| {
+                let lvl = s.level_at(listener, t);
+                (lvl > 0.0).then_some((s.id, lvl))
+            })
+            .collect();
+        v.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(core::cmp::Ordering::Equal));
+        v
+    }
+
+    /// Synthesizes one 8-bit audio sample heard at `listener` at absolute
+    /// time `t_s` (seconds on the global clock). `noise` is an
+    /// already-drawn ambient deviation added around the 128 midpoint.
+    #[must_use]
+    pub fn sample(&self, listener: Position, t_s: f64, noise: f64) -> u8 {
+        let t = SimTime::from_jiffies((t_s * enviromic_types::JIFFIES_PER_SEC as f64) as u64);
+        let mut acc = 0.0;
+        for s in &self.sources {
+            let lvl = s.level_at(listener, t);
+            if lvl > 0.0 {
+                acc += lvl * s.waveform.value_at(t_s);
+            }
+        }
+        let centered = 128.0 + acc + noise;
+        centered.clamp(0.0, 255.0) as u8
+    }
+
+    /// The last instant at which any source is active, or `None` for an
+    /// empty field. Useful for sizing simulation runs.
+    #[must_use]
+    pub fn last_activity(&self) -> Option<SimTime> {
+        self.sources.iter().map(|s| s.stop).max()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tone_source(id: u32, pos: Position, start_s: f64, stop_s: f64) -> SourceSpec {
+        SourceSpec {
+            id: SourceId(id),
+            start: SimTime::ZERO + SimDuration::from_secs_f64(start_s),
+            stop: SimTime::ZERO + SimDuration::from_secs_f64(stop_s),
+            amplitude: 100.0,
+            range_ft: 2.0,
+            motion: Motion::Static(pos),
+            waveform: Waveform::Tone { freq_hz: 440.0 },
+        }
+    }
+
+    #[test]
+    fn level_ramps_linearly_with_distance() {
+        let s = tone_source(1, Position::new(0.0, 0.0), 0.0, 10.0);
+        let t = SimTime::from_jiffies(100);
+        assert_eq!(s.level_at(Position::new(0.0, 0.0), t), 100.0);
+        assert!((s.level_at(Position::new(1.0, 0.0), t) - 50.0).abs() < 1e-9);
+        assert_eq!(s.level_at(Position::new(2.0, 0.0), t), 0.0);
+        assert_eq!(s.level_at(Position::new(5.0, 0.0), t), 0.0);
+    }
+
+    #[test]
+    fn inactive_source_is_silent() {
+        let s = tone_source(1, Position::new(0.0, 0.0), 1.0, 2.0);
+        assert_eq!(s.level_at(Position::new(0.0, 0.0), SimTime::ZERO), 0.0);
+        let after = SimTime::ZERO + SimDuration::from_secs_f64(3.0);
+        assert_eq!(s.level_at(Position::new(0.0, 0.0), after), 0.0);
+    }
+
+    #[test]
+    fn waypoint_motion_interpolates() {
+        let m = Motion::Waypoints(vec![
+            (SimTime::ZERO, Position::new(0.0, 0.0)),
+            (
+                SimTime::ZERO + SimDuration::from_secs_f64(10.0),
+                Position::new(10.0, 0.0),
+            ),
+        ]);
+        let mid = m.position_at(SimTime::ZERO + SimDuration::from_secs_f64(5.0));
+        assert!((mid.x - 5.0).abs() < 1e-6);
+        // Clamps beyond the ends.
+        assert_eq!(
+            m.position_at(SimTime::ZERO + SimDuration::from_secs_f64(99.0)),
+            Position::new(10.0, 0.0)
+        );
+        assert!(m.is_mobile());
+        assert!(!Motion::Static(Position::new(0.0, 0.0)).is_mobile());
+    }
+
+    #[test]
+    fn field_peak_takes_strongest() {
+        let mut f = AcousticField::new();
+        f.add_source(tone_source(1, Position::new(0.0, 0.0), 0.0, 10.0))
+            .unwrap();
+        f.add_source(tone_source(2, Position::new(1.0, 0.0), 0.0, 10.0))
+            .unwrap();
+        let t = SimTime::from_jiffies(10);
+        // Listener at origin: source 1 at full 100, source 2 at 50.
+        assert_eq!(f.peak_level(Position::new(0.0, 0.0), t), 100.0);
+        let audible = f.audible_sources(Position::new(0.0, 0.0), t);
+        assert_eq!(audible.len(), 2);
+        assert_eq!(audible[0].0, SourceId(1));
+    }
+
+    #[test]
+    fn validation_rejects_bad_specs() {
+        let mut s = tone_source(1, Position::new(0.0, 0.0), 5.0, 5.0);
+        assert!(s.validate().is_err());
+        s.stop = s.start + SimDuration::from_secs_f64(1.0);
+        s.amplitude = 0.0;
+        assert!(s.validate().is_err());
+        s.amplitude = 10.0;
+        s.range_ft = -1.0;
+        assert!(s.validate().is_err());
+        s.range_ft = 1.0;
+        assert!(s.validate().is_ok());
+        s.motion = Motion::Waypoints(vec![]);
+        assert!(s.validate().is_err());
+    }
+
+    #[test]
+    fn waveforms_are_bounded_and_deterministic() {
+        for wf in [
+            Waveform::Tone { freq_hz: 100.0 },
+            Waveform::Noise,
+            Waveform::Speech {
+                syllable_period_s: 0.3,
+            },
+        ] {
+            for i in 0..1000 {
+                let t = i as f64 / 2730.0;
+                let v = wf.value_at(t);
+                assert!((-1.001..=1.001).contains(&v), "{wf:?} out of range: {v}");
+                assert_eq!(v.to_bits(), wf.value_at(t).to_bits(), "nondeterministic");
+            }
+        }
+    }
+
+    #[test]
+    fn speech_has_silence_gaps() {
+        let wf = Waveform::Speech {
+            syllable_period_s: 0.5,
+        };
+        // Phase in [0.8, 1.0) of each syllable is silent.
+        let v = wf.value_at(0.45);
+        assert_eq!(v, 0.0);
+    }
+
+    #[test]
+    fn synthesized_samples_center_at_128() {
+        let f = AcousticField::new();
+        let s = f.sample(Position::new(0.0, 0.0), 0.1, 0.0);
+        assert_eq!(s, 128);
+        // A very loud source must clamp at the rails without panicking.
+        let mut loud = AcousticField::new();
+        let mut spec = tone_source(1, Position::new(0.0, 0.0), 0.0, 10.0);
+        spec.amplitude = 500.0;
+        loud.add_source(spec).unwrap();
+        let mut saw_low = false;
+        let mut saw_high = false;
+        for i in 0..200 {
+            let v = loud.sample(Position::new(0.0, 0.0), i as f64 / 2730.0, 0.0);
+            saw_low |= v == 0;
+            saw_high |= v == 255;
+        }
+        assert!(saw_low && saw_high);
+    }
+
+    #[test]
+    fn last_activity_is_latest_stop() {
+        let mut f = AcousticField::new();
+        assert_eq!(f.last_activity(), None);
+        f.add_source(tone_source(1, Position::new(0.0, 0.0), 0.0, 10.0))
+            .unwrap();
+        f.add_source(tone_source(2, Position::new(0.0, 0.0), 2.0, 30.0))
+            .unwrap();
+        assert_eq!(
+            f.last_activity(),
+            Some(SimTime::ZERO + SimDuration::from_secs_f64(30.0))
+        );
+    }
+}

@@ -1,0 +1,142 @@
+//! The application interface: what a protocol stack running *on* a
+//! simulated mote sees.
+//!
+//! A node implementation (the EnviroMic protocol, a baseline, a data mule…)
+//! implements [`Application`]; the world invokes its callbacks as simulated
+//! events unfold and hands it a [`crate::Context`] through which it can set
+//! timers, broadcast packets, toggle its radio, start and stop acoustic
+//! sampling, and emit trace records.
+
+use enviromic_types::{SimDuration, SimTime};
+
+/// Handle to a pending timer, used for cancellation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TimerHandle(pub(crate) u64);
+
+/// A fired timer: the handle it was scheduled under plus the caller-chosen
+/// token that identifies which logical timer this is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Timer {
+    /// The handle returned by [`crate::Context::set_timer`].
+    pub handle: TimerHandle,
+    /// Caller-chosen discriminator.
+    pub token: u32,
+}
+
+/// One chunk-sized block of sampled audio delivered to a recording node.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AudioBlock {
+    /// Block start (global clock; the application timestamps chunks with
+    /// its *local* clock estimate, this field is for synthesis bookkeeping).
+    pub t0: SimTime,
+    /// Block end (global clock).
+    pub t1: SimTime,
+    /// Raw 8-bit samples; at most one chunk payload's worth.
+    pub samples: Vec<u8>,
+}
+
+impl AudioBlock {
+    /// The block's wall-clock span.
+    #[must_use]
+    pub fn duration(&self) -> SimDuration {
+        self.t1.saturating_since(self.t0)
+    }
+}
+
+/// A point-in-time report of local chunk-store usage, polled by the world
+/// for the storage-contour figures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StorageOccupancy {
+    /// Used chunk slots.
+    pub used: u64,
+    /// Total chunk slots.
+    pub capacity: u64,
+}
+
+/// A protocol stack running on one simulated mote.
+///
+/// All callbacks receive a [`crate::Context`] scoped to the node; the
+/// default implementations do nothing so minimal applications only
+/// implement what they need.
+pub trait Application {
+    /// Invoked once at simulation start (time zero), before any other
+    /// callback.
+    fn on_start(&mut self, ctx: &mut crate::Context<'_>) {
+        let _ = ctx;
+    }
+
+    /// A timer set through [`crate::Context::set_timer`] fired.
+    fn on_timer(&mut self, ctx: &mut crate::Context<'_>, timer: Timer) {
+        let _ = (ctx, timer);
+    }
+
+    /// A broadcast from a neighbour arrived (radio was on at delivery
+    /// time). `bytes` is the encoded packet.
+    fn on_packet(
+        &mut self,
+        ctx: &mut crate::Context<'_>,
+        from: enviromic_types::NodeId,
+        bytes: &[u8],
+    ) {
+        let _ = (ctx, from, bytes);
+    }
+
+    /// Periodic acoustic level update from the node's microphone, on the
+    /// 0–255 ADC scale (ambient noise included).
+    fn on_acoustic_level(&mut self, ctx: &mut crate::Context<'_>, level: f64) {
+        let _ = (ctx, level);
+    }
+
+    /// One block of sampled audio, delivered while a recording session
+    /// started with [`crate::Context::start_recording`] is active.
+    fn on_audio_block(&mut self, ctx: &mut crate::Context<'_>, block: AudioBlock) {
+        let _ = (ctx, block);
+    }
+
+    /// Storage usage report for the occupancy poller; return `None` when
+    /// the application has no chunk store (e.g. a data mule).
+    fn poll_occupancy(&self) -> Option<StorageOccupancy> {
+        None
+    }
+
+    /// Upcast for post-run inspection via [`crate::World::app_as`].
+    ///
+    /// Implement as `fn as_any(&self) -> &dyn Any { self }`.
+    fn as_any(&self) -> &dyn core::any::Any;
+
+    /// Mutable upcast for post-run inspection via
+    /// [`crate::World::app_as_mut`].
+    ///
+    /// Implement as `fn as_any_mut(&mut self) -> &mut dyn Any { self }`.
+    fn as_any_mut(&mut self) -> &mut dyn core::any::Any;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Nop;
+    impl Application for Nop {
+        fn as_any(&self) -> &dyn core::any::Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn core::any::Any {
+            self
+        }
+    }
+
+    #[test]
+    fn default_occupancy_is_none() {
+        assert_eq!(Nop.poll_occupancy(), None);
+    }
+
+    #[test]
+    fn audio_block_duration() {
+        let b = AudioBlock {
+            t0: SimTime::from_jiffies(10),
+            t1: SimTime::from_jiffies(42),
+            samples: vec![128; 4],
+        };
+        assert_eq!(b.duration().as_jiffies(), 32);
+    }
+}

@@ -1,0 +1,191 @@
+//! Simulation configuration.
+
+use enviromic_types::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// Radio medium parameters.
+///
+/// Models the single-hop broadcast behaviour of the MicaZ CC2420 radio at
+/// the abstraction the EnviroMic protocol relies on: unit-disk connectivity,
+/// per-receiver independent loss, MAC-style random transmit delay, and
+/// byte-rate-proportional airtime.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RadioConfig {
+    /// Communication range in feet (unit-disk model). The paper recommends
+    /// choosing this larger than the acoustic sensing range.
+    pub range_ft: f64,
+    /// Independent per-receiver probability that a broadcast is lost.
+    pub loss_prob: f64,
+    /// Radio bit rate in bits/second (CC2420: 250 kbps).
+    pub bitrate_bps: u64,
+    /// Maximum random MAC back-off before a transmission leaves the node.
+    pub mac_delay_max: SimDuration,
+    /// Fixed per-hop processing latency added to every delivery.
+    pub per_hop_latency: SimDuration,
+}
+
+impl Default for RadioConfig {
+    fn default() -> Self {
+        RadioConfig {
+            range_ft: 3.0,
+            loss_prob: 0.05,
+            bitrate_bps: 250_000,
+            mac_delay_max: SimDuration::from_millis(8),
+            per_hop_latency: SimDuration::from_millis(2),
+        }
+    }
+}
+
+/// Acoustic field parameters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AcousticsConfig {
+    /// Period of the acoustic level updates delivered to every node. This
+    /// models the detector's continuous low-rate listening; mobile sources
+    /// are also re-evaluated on this tick.
+    pub level_update_period: SimDuration,
+    /// Background (ambient) noise floor on the 0–255 ADC scale.
+    pub background_level: f64,
+    /// Standard deviation of the ambient noise around the floor.
+    pub background_sigma: f64,
+    /// Per-node microphone gain spread: each node's perceived signal level
+    /// is scaled by a fixed gain drawn uniformly from `1 ± spread`,
+    /// modeling real microphone sensitivity variation (the paper observes
+    /// that "individual nodes may not detect the event reliably").
+    pub mic_gain_spread: f64,
+}
+
+impl Default for AcousticsConfig {
+    fn default() -> Self {
+        AcousticsConfig {
+            level_update_period: SimDuration::from_millis(100),
+            background_level: 8.0,
+            background_sigma: 1.0,
+            mic_gain_spread: 0.0,
+        }
+    }
+}
+
+/// Energy model parameters (MicaZ-class numbers).
+///
+/// Only ratios of these rates enter protocol decisions (`TTL_energy`), so
+/// representative data-sheet values are sufficient.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EnergyConfig {
+    /// Initial battery energy per node, millijoules (2×AA ≈ 20 kJ).
+    pub battery_mj: f64,
+    /// Baseline draw with CPU duty-cycled and radio off, milliwatts.
+    pub idle_mw: f64,
+    /// Additional draw while the radio is listening, milliwatts.
+    pub radio_listen_mw: f64,
+    /// Additional draw while transmitting, milliwatts (applied for airtime).
+    pub radio_tx_mw: f64,
+    /// Additional draw while sampling the microphone at full rate, mW.
+    pub sampling_mw: f64,
+    /// Energy per 256-byte flash block write, millijoules.
+    pub flash_write_mj_per_block: f64,
+}
+
+impl Default for EnergyConfig {
+    fn default() -> Self {
+        EnergyConfig {
+            battery_mj: 20_000_000.0,
+            idle_mw: 0.09,
+            radio_listen_mw: 59.1,
+            radio_tx_mw: 52.2,
+            sampling_mw: 24.0,
+            flash_write_mj_per_block: 0.02,
+        }
+    }
+}
+
+/// Per-node clock imperfection parameters.
+///
+/// Real motes free-run on a 32 kHz crystal with offset and drift; the
+/// FTSP-style sync service exists to undo exactly this. Both knobs can be
+/// zeroed for experiments where clock error is irrelevant.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClockConfig {
+    /// Maximum absolute skew, parts-per-million (drawn uniformly ±ppm).
+    pub max_skew_ppm: f64,
+    /// Maximum initial offset magnitude (drawn uniformly ± this span).
+    pub max_offset: SimDuration,
+}
+
+impl Default for ClockConfig {
+    fn default() -> Self {
+        ClockConfig {
+            max_skew_ppm: 50.0,
+            max_offset: SimDuration::from_millis(2_000),
+        }
+    }
+}
+
+/// Top-level simulation configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorldConfig {
+    /// Root seed for all deterministic randomness.
+    pub seed: u64,
+    /// Radio medium parameters.
+    pub radio: RadioConfig,
+    /// Acoustic field parameters.
+    pub acoustics: AcousticsConfig,
+    /// Energy model parameters.
+    pub energy: EnergyConfig,
+    /// Clock imperfection parameters.
+    pub clock: ClockConfig,
+    /// If set, the world polls every node's storage occupancy at this
+    /// period and records it in the trace (used by the contour figures).
+    pub occupancy_snapshot_period: Option<SimDuration>,
+}
+
+impl Default for WorldConfig {
+    fn default() -> Self {
+        WorldConfig {
+            seed: 1,
+            radio: RadioConfig::default(),
+            acoustics: AcousticsConfig::default(),
+            energy: EnergyConfig::default(),
+            clock: ClockConfig::default(),
+            occupancy_snapshot_period: None,
+        }
+    }
+}
+
+impl WorldConfig {
+    /// Convenience constructor: default configuration with a given seed.
+    #[must_use]
+    pub fn with_seed(seed: u64) -> Self {
+        WorldConfig {
+            seed,
+            ..WorldConfig::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let c = WorldConfig::default();
+        assert!(c.radio.range_ft > 0.0);
+        assert!((0.0..1.0).contains(&c.radio.loss_prob));
+        assert!(c.energy.battery_mj > 0.0);
+        assert!(c.acoustics.level_update_period > SimDuration::ZERO);
+    }
+
+    #[test]
+    fn with_seed_sets_only_seed() {
+        let c = WorldConfig::with_seed(99);
+        assert_eq!(c.seed, 99);
+        assert_eq!(c.radio, RadioConfig::default());
+    }
+
+    #[test]
+    fn debug_never_empty() {
+        let c = WorldConfig::with_seed(7);
+        let s = format!("{c:?}");
+        assert!(s.contains("seed: 7"));
+    }
+}

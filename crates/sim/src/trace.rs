@@ -1,0 +1,352 @@
+//! Simulation trace: the instrumented ground truth every metric is computed
+//! from.
+//!
+//! The trace is the reproduction's stand-in for the paper's offline log
+//! analysis: protocol nodes *emit* trace records as they act (via
+//! [`crate::Context::trace`]) and the world adds physical-layer records of
+//! its own (message deliveries, occupancy polls). Metrics crates only ever
+//! read the trace — they never reach into protocol state.
+
+use crate::acoustics::SourceId;
+use enviromic_types::{EventId, NodeId, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Why a recording attempt stored nothing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DropReason {
+    /// The local chunk store was full.
+    StorageFull,
+    /// The node's battery was exhausted.
+    EnergyExhausted,
+}
+
+/// What produced a recorded interval.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RecordKind {
+    /// A leader-assigned cooperative recording task.
+    Task,
+    /// The uncoordinated prelude recorded at event onset (§II-A.1).
+    Prelude,
+    /// Independent recording by the uncoordinated baseline.
+    Baseline,
+}
+
+/// One trace record.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub enum TraceEvent {
+    /// A node stored an interval of audio in its local chunk store.
+    Recorded {
+        /// Recording node.
+        node: NodeId,
+        /// The event file the data was labeled with, if any (the baseline
+        /// labels none).
+        event: Option<EventId>,
+        /// Interval start (global clock).
+        t0: SimTime,
+        /// Interval end (global clock).
+        t1: SimTime,
+        /// Stored payload bytes.
+        bytes: u64,
+        /// What produced the recording.
+        kind: RecordKind,
+    },
+    /// A node wanted to record but had to drop the audio.
+    RecordDropped {
+        /// Node that dropped.
+        node: NodeId,
+        /// Interval start (global clock).
+        t0: SimTime,
+        /// Interval end (global clock).
+        t1: SimTime,
+        /// Why the data was dropped.
+        reason: DropReason,
+    },
+    /// A node erased a previously stored interval (the losing prelude
+    /// copies).
+    Erased {
+        /// Erasing node.
+        node: NodeId,
+        /// Interval start (global clock).
+        t0: SimTime,
+        /// Interval end (global clock).
+        t1: SimTime,
+        /// Erased payload bytes.
+        bytes: u64,
+    },
+    /// A control or data message left a node's radio.
+    MessageSent {
+        /// Sending node.
+        node: NodeId,
+        /// Protocol-level message kind (e.g. `"TASK_REQUEST"`).
+        kind: &'static str,
+        /// Encoded size in bytes.
+        bytes: u32,
+        /// Send time (global clock).
+        t: SimTime,
+    },
+    /// A chunk entered a node's store (local recording or migration-in).
+    ///
+    /// Together with [`TraceEvent::ChunkRemoved`] this reconstructs the
+    /// network-wide stored-audio multiset at any instant, from which the
+    /// redundancy figures are computed.
+    ChunkStored {
+        /// The storing node.
+        node: NodeId,
+        /// The node that originally recorded the audio.
+        origin: NodeId,
+        /// Event file the chunk belongs to, if labeled.
+        event: Option<EventId>,
+        /// Audio interval start (recorder's global-time estimate).
+        audio_t0: SimTime,
+        /// Audio interval end.
+        audio_t1: SimTime,
+        /// Payload bytes.
+        bytes: u32,
+        /// Store time (global clock).
+        t: SimTime,
+    },
+    /// A chunk left a node's store (migrated out after acknowledgement, or
+    /// erased).
+    ChunkRemoved {
+        /// The node the chunk left.
+        node: NodeId,
+        /// The original recorder.
+        origin: NodeId,
+        /// Audio interval start.
+        audio_t0: SimTime,
+        /// Audio interval end.
+        audio_t1: SimTime,
+        /// Removal time (global clock).
+        t: SimTime,
+    },
+    /// A bulk storage-balancing transfer finished.
+    Migrated {
+        /// Donor node.
+        from: NodeId,
+        /// Recipient node.
+        to: NodeId,
+        /// Chunks moved.
+        chunks: u32,
+        /// Payload bytes moved.
+        bytes: u64,
+        /// True when the donor also kept its copy (lost final ACK), i.e.
+        /// the transfer duplicated data.
+        duplicated: bool,
+        /// Completion time (global clock).
+        t: SimTime,
+    },
+    /// A node became leader for an event.
+    LeaderElected {
+        /// The new leader.
+        node: NodeId,
+        /// The event it minted or adopted.
+        event: EventId,
+        /// True when this was a handoff (RESIGN path) rather than a fresh
+        /// election.
+        handoff: bool,
+        /// Election time (global clock).
+        t: SimTime,
+    },
+    /// Periodic storage occupancy poll.
+    Occupancy {
+        /// Polled node.
+        node: NodeId,
+        /// Used chunk slots.
+        used: u64,
+        /// Total chunk slots.
+        capacity: u64,
+        /// Poll time (global clock).
+        t: SimTime,
+    },
+    /// Ground-truth: a source became active (world-emitted).
+    SourceStarted {
+        /// The source.
+        source: SourceId,
+        /// Activation time.
+        t: SimTime,
+    },
+    /// Ground-truth: a source went silent (world-emitted).
+    SourceStopped {
+        /// The source.
+        source: SourceId,
+        /// Deactivation time.
+        t: SimTime,
+    },
+}
+
+impl TraceEvent {
+    /// The global-clock time the record refers to (interval records use
+    /// their start).
+    #[must_use]
+    pub fn time(&self) -> SimTime {
+        match *self {
+            TraceEvent::Recorded { t0, .. }
+            | TraceEvent::RecordDropped { t0, .. }
+            | TraceEvent::Erased { t0, .. } => t0,
+            TraceEvent::MessageSent { t, .. }
+            | TraceEvent::ChunkStored { t, .. }
+            | TraceEvent::ChunkRemoved { t, .. }
+            | TraceEvent::Migrated { t, .. }
+            | TraceEvent::LeaderElected { t, .. }
+            | TraceEvent::Occupancy { t, .. }
+            | TraceEvent::SourceStarted { t, .. }
+            | TraceEvent::SourceStopped { t, .. } => t,
+        }
+    }
+}
+
+/// An append-only collection of [`TraceEvent`]s in emission order.
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct Trace {
+    events: Vec<TraceEvent>,
+}
+
+impl Trace {
+    /// Creates an empty trace.
+    #[must_use]
+    pub fn new() -> Self {
+        Trace::default()
+    }
+
+    /// Appends a record.
+    pub fn push(&mut self, event: TraceEvent) {
+        self.events.push(event);
+    }
+
+    /// All records in emission order.
+    #[must_use]
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Number of records.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when no records have been emitted.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Iterates over records in emission order.
+    pub fn iter(&self) -> core::slice::Iter<'_, TraceEvent> {
+        self.events.iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a Trace {
+    type Item = &'a TraceEvent;
+    type IntoIter = core::slice::Iter<'a, TraceEvent>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.events.iter()
+    }
+}
+
+impl Extend<TraceEvent> for Trace {
+    fn extend<T: IntoIterator<Item = TraceEvent>>(&mut self, iter: T) {
+        self.events.extend(iter);
+    }
+}
+
+impl FromIterator<TraceEvent> for Trace {
+    fn from_iter<T: IntoIterator<Item = TraceEvent>>(iter: T) -> Self {
+        Trace {
+            events: iter.into_iter().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_event(t: u64) -> TraceEvent {
+        TraceEvent::MessageSent {
+            node: NodeId(1),
+            kind: "SENSING",
+            bytes: 12,
+            t: SimTime::from_jiffies(t),
+        }
+    }
+
+    #[test]
+    fn push_and_iterate_preserves_order() {
+        let mut tr = Trace::new();
+        assert!(tr.is_empty());
+        tr.push(sample_event(5));
+        tr.push(sample_event(2));
+        assert_eq!(tr.len(), 2);
+        let times: Vec<u64> = tr.iter().map(|e| e.time().as_jiffies()).collect();
+        assert_eq!(times, vec![5, 2]);
+    }
+
+    #[test]
+    fn collect_and_extend() {
+        let tr: Trace = (0..3).map(sample_event).collect();
+        assert_eq!(tr.len(), 3);
+        let mut tr2 = Trace::new();
+        tr2.extend(tr.iter().cloned());
+        assert_eq!(tr2.len(), 3);
+    }
+
+    #[test]
+    fn time_accessor_covers_all_variants() {
+        let t = SimTime::from_jiffies(9);
+        let evs = [
+            TraceEvent::Recorded {
+                node: NodeId(0),
+                event: None,
+                t0: t,
+                t1: t,
+                bytes: 1,
+                kind: RecordKind::Task,
+            },
+            TraceEvent::RecordDropped {
+                node: NodeId(0),
+                t0: t,
+                t1: t,
+                reason: DropReason::StorageFull,
+            },
+            TraceEvent::Erased {
+                node: NodeId(0),
+                t0: t,
+                t1: t,
+                bytes: 0,
+            },
+            TraceEvent::Migrated {
+                from: NodeId(0),
+                to: NodeId(1),
+                chunks: 1,
+                bytes: 232,
+                duplicated: false,
+                t,
+            },
+            TraceEvent::LeaderElected {
+                node: NodeId(0),
+                event: EventId::new(NodeId(0), 1),
+                handoff: false,
+                t,
+            },
+            TraceEvent::Occupancy {
+                node: NodeId(0),
+                used: 0,
+                capacity: 10,
+                t,
+            },
+            TraceEvent::SourceStarted {
+                source: SourceId(1),
+                t,
+            },
+            TraceEvent::SourceStopped {
+                source: SourceId(1),
+                t,
+            },
+        ];
+        for e in evs {
+            assert_eq!(e.time(), t);
+        }
+    }
+}

@@ -1,0 +1,1071 @@
+//! The simulated world: nodes, radio medium, acoustic field, clocks, and
+//! energy, advanced by a deterministic discrete-event loop.
+
+use crate::acoustics::{AcousticField, SourceSpec};
+use crate::app::{Application, AudioBlock, Timer, TimerHandle};
+use crate::config::WorldConfig;
+use crate::queue::EventQueue;
+use crate::rng::RngStreams;
+use crate::trace::{Trace, TraceEvent};
+use enviromic_types::{audio, NodeId, Position, SimDuration, SimTime};
+use rand::rngs::SmallRng;
+use rand::Rng;
+use std::collections::HashSet;
+
+/// Internal queue payloads.
+#[derive(Debug)]
+enum Ev {
+    Timer {
+        node: NodeId,
+        handle: u64,
+        token: u32,
+    },
+    Deliver {
+        to: NodeId,
+        from: NodeId,
+        bytes: std::rc::Rc<Vec<u8>>,
+    },
+    AcousticTick,
+    AudioBlock {
+        node: NodeId,
+        session: u64,
+    },
+    OccupancyPoll,
+    SourceMark {
+        source: crate::acoustics::SourceId,
+        started: bool,
+    },
+}
+
+/// Per-node physical state.
+#[derive(Debug)]
+struct NodeSlot {
+    pos: Position,
+    radio_on: bool,
+    alive: bool,
+    /// Local clock skew as a ratio multiplier (1.0 = perfect).
+    skew: f64,
+    /// Fixed microphone gain multiplier (1.0 = nominal).
+    mic_gain: f64,
+    /// Local clock offset in jiffies (non-negative).
+    offset_jiffies: u64,
+    energy_mj: f64,
+    last_energy_update: SimTime,
+    /// Active recording session id, if sampling.
+    session: Option<ActiveSession>,
+    rng: SmallRng,
+    audio_rng: SmallRng,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct ActiveSession {
+    id: u64,
+    block_start: SimTime,
+}
+
+/// Everything in the world except the applications themselves; the
+/// [`Context`] handed to application callbacks is a view into this.
+#[derive(Debug)]
+struct Inner {
+    cfg: WorldConfig,
+    streams: RngStreams,
+    queue: EventQueue<Ev>,
+    now: SimTime,
+    field: AcousticField,
+    nodes: Vec<NodeSlot>,
+    trace: Trace,
+    cancelled: HashSet<u64>,
+    next_timer_handle: u64,
+    next_session: u64,
+    medium_rng: SmallRng,
+}
+
+/// The simulated world.
+///
+/// Build one with [`World::new`], add nodes ([`World::add_node`]) and
+/// acoustic sources ([`World::add_source`]), then advance time with
+/// [`World::run_until`]. Afterwards, read results from the [`Trace`]
+/// ([`World::trace`]) or inspect node state via [`World::app_as`].
+pub struct World {
+    inner: Inner,
+    apps: Vec<Option<Box<dyn Application>>>,
+    started: bool,
+}
+
+impl std::fmt::Debug for World {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("World")
+            .field("now", &self.inner.now)
+            .field("nodes", &self.inner.nodes.len())
+            .field("pending_events", &self.inner.queue.len())
+            .finish()
+    }
+}
+
+impl World {
+    /// Creates an empty world.
+    #[must_use]
+    pub fn new(cfg: WorldConfig) -> Self {
+        let streams = RngStreams::new(cfg.seed);
+        let medium_rng = streams.stream("medium", 0);
+        World {
+            inner: Inner {
+                cfg,
+                streams,
+                queue: EventQueue::new(),
+                now: SimTime::ZERO,
+                field: AcousticField::new(),
+                nodes: Vec::new(),
+                trace: Trace::new(),
+                cancelled: HashSet::new(),
+                next_timer_handle: 0,
+                next_session: 0,
+                medium_rng,
+            },
+            apps: Vec::new(),
+            started: false,
+        }
+    }
+
+    /// Adds a node at `pos` running `app`. Returns its [`NodeId`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if called after the simulation has started running, or if
+    /// more than `u16::MAX` nodes are added.
+    pub fn add_node(&mut self, pos: Position, app: Box<dyn Application>) -> NodeId {
+        assert!(!self.started, "nodes must be added before the world runs");
+        let idx = self.inner.nodes.len();
+        let id = NodeId(u16::try_from(idx).expect("too many nodes"));
+        let mut clock_rng = self.inner.streams.stream("clock", idx as u64);
+        let ppm = self.inner.cfg.clock.max_skew_ppm;
+        let skew = 1.0 + clock_rng.gen_range(-ppm..=ppm) * 1e-6;
+        let max_off = self.inner.cfg.clock.max_offset.as_jiffies();
+        let offset_jiffies = if max_off == 0 {
+            0
+        } else {
+            clock_rng.gen_range(0..=max_off)
+        };
+        let gain_spread = self.inner.cfg.acoustics.mic_gain_spread;
+        let mic_gain = if gain_spread > 0.0 {
+            let mut mic_rng = self.inner.streams.stream("mic-gain", idx as u64);
+            1.0 + mic_rng.gen_range(-gain_spread..=gain_spread)
+        } else {
+            1.0
+        };
+        self.inner.nodes.push(NodeSlot {
+            pos,
+            radio_on: true,
+            alive: true,
+            skew,
+            mic_gain,
+            offset_jiffies,
+            energy_mj: self.inner.cfg.energy.battery_mj,
+            last_energy_update: SimTime::ZERO,
+            session: None,
+            rng: self.inner.streams.stream("node", idx as u64),
+            audio_rng: self.inner.streams.stream("audio", idx as u64),
+        });
+        self.apps.push(Some(app));
+        id
+    }
+
+    /// Adds a ground-truth acoustic source.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SourceSpec::validate`] failures.
+    pub fn add_source(&mut self, spec: SourceSpec) -> Result<(), String> {
+        self.inner.queue.schedule(
+            spec.start,
+            Ev::SourceMark {
+                source: spec.id,
+                started: true,
+            },
+        );
+        self.inner.queue.schedule(
+            spec.stop,
+            Ev::SourceMark {
+                source: spec.id,
+                started: false,
+            },
+        );
+        self.inner.field.add_source(spec)
+    }
+
+    /// Number of nodes in the world.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.inner.nodes.len()
+    }
+
+    /// Deployment position of `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` was not added to this world.
+    #[must_use]
+    pub fn position_of(&self, node: NodeId) -> Position {
+        self.inner.nodes[node.index()].pos
+    }
+
+    /// Current simulation time.
+    #[must_use]
+    pub fn now(&self) -> SimTime {
+        self.inner.now
+    }
+
+    /// The accumulated trace.
+    #[must_use]
+    pub fn trace(&self) -> &Trace {
+        &self.inner.trace
+    }
+
+    /// Consumes the world and returns its trace.
+    #[must_use]
+    pub fn into_trace(self) -> Trace {
+        self.inner.trace
+    }
+
+    /// Remaining battery energy of `node`, in millijoules (integrated up to
+    /// the current instant).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` was not added to this world.
+    #[must_use]
+    pub fn energy_of(&mut self, node: NodeId) -> f64 {
+        self.inner.integrate_energy(node);
+        self.inner.nodes[node.index()].energy_mj
+    }
+
+    /// Borrows the application running on `node`, downcast to `T`.
+    ///
+    /// Returns `None` when the node's application is not a `T`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` was not added to this world or if called from
+    /// inside a dispatch (the slot is temporarily empty then).
+    #[must_use]
+    pub fn app_as<T: Application + 'static>(&self, node: NodeId) -> Option<&T> {
+        self.apps[node.index()]
+            .as_ref()
+            .expect("app slot empty during dispatch")
+            .as_any()
+            .downcast_ref::<T>()
+    }
+
+    /// Mutably borrows the application running on `node`, downcast to `T`.
+    ///
+    /// Returns `None` when the node's application is not a `T`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` was not added to this world or if called from
+    /// inside a dispatch.
+    #[must_use]
+    pub fn app_as_mut<T: Application + 'static>(&mut self, node: NodeId) -> Option<&mut T> {
+        self.apps[node.index()]
+            .as_mut()
+            .expect("app slot empty during dispatch")
+            .as_any_mut()
+            .downcast_mut::<T>()
+    }
+
+    /// Runs the simulation until the clock reaches `t_end` (inclusive of
+    /// events scheduled exactly at `t_end`).
+    pub fn run_until(&mut self, t_end: SimTime) {
+        self.ensure_started();
+        while let Some(at) = self.inner.queue.peek_time() {
+            if at > t_end {
+                break;
+            }
+            let (at, ev) = self.inner.queue.pop().expect("peeked entry vanished");
+            self.inner.now = at;
+            self.dispatch(ev);
+        }
+        self.inner.now = t_end.max(self.inner.now);
+    }
+
+    /// Runs until `secs` seconds of simulated time have elapsed.
+    pub fn run_for_secs(&mut self, secs: f64) {
+        let t = self.inner.now + SimDuration::from_secs_f64(secs);
+        self.run_until(t);
+    }
+
+    fn ensure_started(&mut self) {
+        if self.started {
+            return;
+        }
+        self.started = true;
+        // Start the acoustic level ticker and the occupancy poller.
+        self.inner.queue.schedule(SimTime::ZERO, Ev::AcousticTick);
+        if self.inner.cfg.occupancy_snapshot_period.is_some() {
+            self.inner.queue.schedule(SimTime::ZERO, Ev::OccupancyPoll);
+        }
+        for idx in 0..self.apps.len() {
+            let node = NodeId(idx as u16);
+            self.with_app(node, |app, ctx| app.on_start(ctx));
+        }
+    }
+
+    fn with_app(&mut self, node: NodeId, f: impl FnOnce(&mut dyn Application, &mut Context<'_>)) {
+        // Settle battery drain before every callback so a node that ran out
+        // of energy since its last activity is dead *before* it acts.
+        self.inner.integrate_energy(node);
+        if !self.inner.nodes[node.index()].alive {
+            return;
+        }
+        let mut app = self.apps[node.index()]
+            .take()
+            .expect("re-entrant dispatch on one node");
+        {
+            let mut ctx = Context {
+                inner: &mut self.inner,
+                node,
+            };
+            f(app.as_mut(), &mut ctx);
+        }
+        self.apps[node.index()] = Some(app);
+    }
+
+    fn dispatch(&mut self, ev: Ev) {
+        match ev {
+            Ev::Timer {
+                node,
+                handle,
+                token,
+            } => {
+                if self.inner.cancelled.remove(&handle) {
+                    return;
+                }
+                self.with_app(node, |app, ctx| {
+                    app.on_timer(
+                        ctx,
+                        Timer {
+                            handle: TimerHandle(handle),
+                            token,
+                        },
+                    );
+                });
+            }
+            Ev::Deliver { to, from, bytes } => {
+                let slot = &self.inner.nodes[to.index()];
+                if !slot.alive || !slot.radio_on || slot.session.is_some() {
+                    // Radio off (or the CPU is saturated by sampling):
+                    // the packet is lost to this receiver.
+                    return;
+                }
+                self.with_app(to, |app, ctx| app.on_packet(ctx, from, &bytes));
+            }
+            Ev::AcousticTick => {
+                let period = self.inner.cfg.acoustics.level_update_period;
+                let next = self.inner.now + period;
+                self.inner.queue.schedule(next, Ev::AcousticTick);
+                for idx in 0..self.apps.len() {
+                    let node = NodeId(idx as u16);
+                    let level = self.inner.sample_level(node);
+                    self.with_app(node, |app, ctx| app.on_acoustic_level(ctx, level));
+                }
+            }
+            Ev::AudioBlock { node, session } => {
+                let slot = &self.inner.nodes[node.index()];
+                if !slot.alive {
+                    return;
+                }
+                let Some(active) = slot.session else { return };
+                if active.id != session {
+                    return;
+                }
+                let t0 = active.block_start;
+                let t1 = self.inner.now;
+                let block = self.inner.synthesize_block(node, t0, t1);
+                // Advance the session to the next block before the app runs.
+                let next_end = t1 + audio::chunk_duration();
+                self.inner.nodes[node.index()].session = Some(ActiveSession {
+                    id: session,
+                    block_start: t1,
+                });
+                self.inner
+                    .queue
+                    .schedule(next_end, Ev::AudioBlock { node, session });
+                self.with_app(node, |app, ctx| app.on_audio_block(ctx, block));
+            }
+            Ev::OccupancyPoll => {
+                if let Some(period) = self.inner.cfg.occupancy_snapshot_period {
+                    let next = self.inner.now + period;
+                    self.inner.queue.schedule(next, Ev::OccupancyPoll);
+                }
+                let t = self.inner.now;
+                for (idx, app) in self.apps.iter().enumerate() {
+                    let Some(app) = app.as_ref() else { continue };
+                    if let Some(occ) = app.poll_occupancy() {
+                        self.inner.trace.push(TraceEvent::Occupancy {
+                            node: NodeId(idx as u16),
+                            used: occ.used,
+                            capacity: occ.capacity,
+                            t,
+                        });
+                    }
+                }
+            }
+            Ev::SourceMark { source, started } => {
+                let t = self.inner.now;
+                self.inner.trace.push(if started {
+                    TraceEvent::SourceStarted { source, t }
+                } else {
+                    TraceEvent::SourceStopped { source, t }
+                });
+            }
+        }
+    }
+}
+
+impl Inner {
+    /// Integrates battery drain for `node` up to the current instant.
+    fn integrate_energy(&mut self, node: NodeId) {
+        let e = &self.cfg.energy;
+        let slot = &mut self.nodes[node.index()];
+        let elapsed = self.now.saturating_since(slot.last_energy_update);
+        slot.last_energy_update = self.now;
+        if !slot.alive || elapsed.is_zero() {
+            return;
+        }
+        let secs = elapsed.as_secs_f64();
+        let mut mw = e.idle_mw;
+        if slot.radio_on {
+            mw += e.radio_listen_mw;
+        }
+        if slot.session.is_some() {
+            mw += e.sampling_mw;
+        }
+        slot.energy_mj -= mw * secs;
+        if slot.energy_mj <= 0.0 {
+            slot.energy_mj = 0.0;
+            slot.alive = false;
+            slot.radio_on = false;
+            slot.session = None;
+        }
+    }
+
+    /// Charges a one-off energy cost to `node`.
+    fn charge(&mut self, node: NodeId, mj: f64) {
+        self.integrate_energy(node);
+        let slot = &mut self.nodes[node.index()];
+        if !slot.alive {
+            return;
+        }
+        slot.energy_mj -= mj;
+        if slot.energy_mj <= 0.0 {
+            slot.energy_mj = 0.0;
+            slot.alive = false;
+            slot.radio_on = false;
+            slot.session = None;
+        }
+    }
+
+    /// The microphone level node currently perceives: field peak plus
+    /// ambient noise.
+    fn sample_level(&mut self, node: NodeId) -> f64 {
+        let pos = self.nodes[node.index()].pos;
+        let gain = self.nodes[node.index()].mic_gain;
+        let peak = self.field.peak_level(pos, self.now) * gain;
+        let a = &self.cfg.acoustics;
+        let noise = self.nodes[node.index()]
+            .rng
+            .gen_range(-2.0 * a.background_sigma..=2.0 * a.background_sigma);
+        (a.background_level + noise + peak).clamp(0.0, 255.0)
+    }
+
+    /// Synthesizes the audio a node heard over `[t0, t1)`.
+    fn synthesize_block(&mut self, node: NodeId, t0: SimTime, t1: SimTime) -> AudioBlock {
+        let pos = self.nodes[node.index()].pos;
+        let span_s = t1.saturating_since(t0).as_secs_f64();
+        let n = ((span_s * audio::SAMPLE_RATE_HZ as f64).round() as usize)
+            .min(audio::SAMPLES_PER_CHUNK as usize);
+        let sigma = self.cfg.acoustics.background_sigma;
+        let t0_s = t0.as_secs_f64();
+        let mut samples = Vec::with_capacity(n);
+        for i in 0..n {
+            let t_s = t0_s + i as f64 / audio::SAMPLE_RATE_HZ as f64;
+            let noise = self.nodes[node.index()]
+                .audio_rng
+                .gen_range(-2.0 * sigma..=2.0 * sigma);
+            samples.push(self.field.sample(pos, t_s, noise));
+        }
+        AudioBlock { t0, t1, samples }
+    }
+
+    fn local_time(&self, node: NodeId) -> SimTime {
+        let slot = &self.nodes[node.index()];
+        let local = self.now.as_jiffies() as f64 * slot.skew + slot.offset_jiffies as f64;
+        SimTime::from_jiffies(local.round() as u64)
+    }
+}
+
+/// The per-callback view a node application gets of the world.
+///
+/// All side effects a protocol can have — timers, radio, sampling, energy,
+/// tracing — go through here.
+pub struct Context<'a> {
+    inner: &'a mut Inner,
+    node: NodeId,
+}
+
+impl std::fmt::Debug for Context<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Context")
+            .field("node", &self.node)
+            .field("now", &self.inner.now)
+            .finish()
+    }
+}
+
+impl Context<'_> {
+    /// The node this context is scoped to.
+    #[must_use]
+    pub fn node_id(&self) -> NodeId {
+        self.node
+    }
+
+    /// Global simulation time. Protocol code should prefer
+    /// [`Context::local_time`]; the global clock is exposed for trace
+    /// records (it is the instrumented ground truth).
+    #[must_use]
+    pub fn now(&self) -> SimTime {
+        self.inner.now
+    }
+
+    /// The node's own (skewed, offset) clock reading.
+    #[must_use]
+    pub fn local_time(&self) -> SimTime {
+        self.inner.local_time(self.node)
+    }
+
+    /// The node's deployment position.
+    #[must_use]
+    pub fn position(&self) -> Position {
+        self.inner.nodes[self.node.index()].pos
+    }
+
+    /// The node's deterministic RNG stream.
+    pub fn rng(&mut self) -> &mut SmallRng {
+        &mut self.inner.nodes[self.node.index()].rng
+    }
+
+    /// Schedules a timer to fire after `delay`; `token` is handed back in
+    /// the [`Timer`] so the application can tell its logical timers apart.
+    pub fn set_timer(&mut self, delay: SimDuration, token: u32) -> TimerHandle {
+        let handle = self.inner.next_timer_handle;
+        self.inner.next_timer_handle += 1;
+        self.inner.queue.schedule(
+            self.inner.now + delay,
+            Ev::Timer {
+                node: self.node,
+                handle,
+                token,
+            },
+        );
+        TimerHandle(handle)
+    }
+
+    /// Cancels a pending timer. Cancelling an already-fired timer is a
+    /// no-op.
+    pub fn cancel_timer(&mut self, handle: TimerHandle) {
+        self.inner.cancelled.insert(handle.0);
+    }
+
+    /// Turns the node's radio on or off. While off, the node neither
+    /// receives nor can send.
+    pub fn set_radio(&mut self, on: bool) {
+        self.inner.integrate_energy(self.node);
+        self.inner.nodes[self.node.index()].radio_on = on;
+    }
+
+    /// Whether the radio is currently on.
+    #[must_use]
+    pub fn radio_is_on(&self) -> bool {
+        self.inner.nodes[self.node.index()].radio_on
+    }
+
+    /// Broadcasts `bytes` to every node in radio range.
+    ///
+    /// `kind` is a protocol-level label recorded in the trace (the message
+    /// census of Fig. 12 is computed from it). Returns `false` — and sends
+    /// nothing — when the radio is off or the node is dead.
+    pub fn broadcast(&mut self, kind: &'static str, bytes: Vec<u8>) -> bool {
+        let slot = &self.inner.nodes[self.node.index()];
+        if !slot.alive || !slot.radio_on {
+            return false;
+        }
+        let r = &self.inner.cfg.radio;
+        let airtime_s = (bytes.len() as f64 * 8.0) / r.bitrate_bps as f64;
+        let airtime = SimDuration::from_secs_f64(airtime_s);
+        let mac = {
+            let max = r.mac_delay_max.as_jiffies();
+            let d = if max == 0 {
+                0
+            } else {
+                self.inner.medium_rng.gen_range(0..=max)
+            };
+            SimDuration::from_jiffies(d)
+        };
+        let deliver_at = self.inner.now + mac + airtime + r.per_hop_latency;
+        self.inner.trace.push(TraceEvent::MessageSent {
+            node: self.node,
+            kind,
+            bytes: bytes.len() as u32,
+            t: self.inner.now,
+        });
+        // TX energy for the airtime.
+        let tx_mj = self.inner.cfg.energy.radio_tx_mw * airtime_s;
+        self.inner.charge(self.node, tx_mj);
+
+        let sender_pos = self.inner.nodes[self.node.index()].pos;
+        let range = self.inner.cfg.radio.range_ft;
+        let loss = self.inner.cfg.radio.loss_prob;
+        let payload = std::rc::Rc::new(bytes);
+        for idx in 0..self.inner.nodes.len() {
+            if idx == self.node.index() {
+                continue;
+            }
+            let other = &self.inner.nodes[idx];
+            if !other.alive || other.pos.distance_to(sender_pos) > range {
+                continue;
+            }
+            if loss > 0.0 && self.inner.medium_rng.gen::<f64>() < loss {
+                continue;
+            }
+            self.inner.queue.schedule(
+                deliver_at,
+                Ev::Deliver {
+                    to: NodeId(idx as u16),
+                    from: self.node,
+                    bytes: std::rc::Rc::clone(&payload),
+                },
+            );
+        }
+        true
+    }
+
+    /// Starts an acoustic sampling session. Audio arrives through
+    /// [`Application::on_audio_block`] every chunk duration until
+    /// [`Context::stop_recording`].
+    ///
+    /// Returns `false` when a session is already active.
+    pub fn start_recording(&mut self) -> bool {
+        self.inner.integrate_energy(self.node);
+        let slot = &self.inner.nodes[self.node.index()];
+        if !slot.alive || slot.session.is_some() {
+            return false;
+        }
+        let id = self.inner.next_session;
+        self.inner.next_session += 1;
+        self.inner.nodes[self.node.index()].session = Some(ActiveSession {
+            id,
+            block_start: self.inner.now,
+        });
+        self.inner.queue.schedule(
+            self.inner.now + audio::chunk_duration(),
+            Ev::AudioBlock {
+                node: self.node,
+                session: id,
+            },
+        );
+        true
+    }
+
+    /// Whether a sampling session is active.
+    #[must_use]
+    pub fn is_recording(&self) -> bool {
+        self.inner.nodes[self.node.index()].session.is_some()
+    }
+
+    /// Stops the active sampling session, returning the final partial block
+    /// (audio sampled since the last full block boundary), if any.
+    pub fn stop_recording(&mut self) -> Option<AudioBlock> {
+        self.inner.integrate_energy(self.node);
+        let active = self.inner.nodes[self.node.index()].session.take()?;
+        let t0 = active.block_start;
+        let t1 = self.inner.now;
+        if t1 <= t0 {
+            return None;
+        }
+        Some(self.inner.synthesize_block(self.node, t0, t1))
+    }
+
+    /// The node's current microphone level (field peak + ambient noise),
+    /// for pull-style detectors.
+    #[must_use]
+    pub fn current_acoustic_level(&mut self) -> f64 {
+        self.inner.sample_level(self.node)
+    }
+
+    /// Remaining battery energy, millijoules.
+    #[must_use]
+    pub fn energy_mj(&mut self) -> f64 {
+        self.inner.integrate_energy(self.node);
+        self.inner.nodes[self.node.index()].energy_mj
+    }
+
+    /// The energy model, for protocol-side rate computations
+    /// (`TTL_energy`).
+    #[must_use]
+    pub fn energy_config(&self) -> &crate::config::EnergyConfig {
+        &self.inner.cfg.energy
+    }
+
+    /// Charges the energy cost of writing `blocks` flash blocks.
+    pub fn charge_flash_write(&mut self, blocks: u32) {
+        let mj = self.inner.cfg.energy.flash_write_mj_per_block * f64::from(blocks);
+        self.inner.charge(self.node, mj);
+    }
+
+    /// Appends a record to the world trace.
+    pub fn trace(&mut self, event: TraceEvent) {
+        self.inner.trace.push(event);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::acoustics::{Motion, SourceId, Waveform};
+    use std::any::Any;
+
+    /// Records every callback it sees.
+    #[derive(Default)]
+    struct Probe {
+        started: bool,
+        timers: Vec<u32>,
+        packets: Vec<(NodeId, Vec<u8>)>,
+        levels: Vec<f64>,
+        blocks: Vec<AudioBlock>,
+    }
+
+    impl Application for Probe {
+        fn on_start(&mut self, _ctx: &mut Context<'_>) {
+            self.started = true;
+        }
+        fn on_timer(&mut self, _ctx: &mut Context<'_>, timer: Timer) {
+            self.timers.push(timer.token);
+        }
+        fn on_packet(&mut self, _ctx: &mut Context<'_>, from: NodeId, bytes: &[u8]) {
+            self.packets.push((from, bytes.to_vec()));
+        }
+        fn on_acoustic_level(&mut self, _ctx: &mut Context<'_>, level: f64) {
+            self.levels.push(level);
+        }
+        fn on_audio_block(&mut self, _ctx: &mut Context<'_>, block: AudioBlock) {
+            self.blocks.push(block);
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    /// Sends one packet at start, sets a timer chain.
+    struct Chatter;
+    impl Application for Chatter {
+        fn on_start(&mut self, ctx: &mut Context<'_>) {
+            ctx.broadcast("HELLO", vec![1, 2, 3]);
+            ctx.set_timer(SimDuration::from_millis(100), 7);
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    fn quiet_cfg(seed: u64) -> WorldConfig {
+        let mut cfg = WorldConfig::with_seed(seed);
+        cfg.radio.loss_prob = 0.0;
+        cfg.clock.max_skew_ppm = 0.0;
+        cfg.clock.max_offset = SimDuration::ZERO;
+        cfg
+    }
+
+    #[test]
+    fn start_callback_runs_once() {
+        let mut w = World::new(quiet_cfg(1));
+        let a = w.add_node(Position::new(0.0, 0.0), Box::new(Probe::default()));
+        w.run_for_secs(0.1);
+        assert!(w.app_as::<Probe>(a).unwrap().started);
+    }
+
+    #[test]
+    fn broadcast_reaches_nodes_in_range_only() {
+        let mut w = World::new(quiet_cfg(2));
+        let _tx = w.add_node(Position::new(0.0, 0.0), Box::new(Chatter));
+        let near = w.add_node(Position::new(1.0, 0.0), Box::new(Probe::default()));
+        let far = w.add_node(Position::new(100.0, 0.0), Box::new(Probe::default()));
+        w.run_for_secs(1.0);
+        assert_eq!(w.app_as::<Probe>(near).unwrap().packets.len(), 1);
+        assert_eq!(w.app_as::<Probe>(near).unwrap().packets[0].1, vec![1, 2, 3]);
+        assert!(w.app_as::<Probe>(far).unwrap().packets.is_empty());
+    }
+
+    #[test]
+    fn timer_fires_with_token() {
+        let mut w = World::new(quiet_cfg(3));
+        let n = w.add_node(Position::new(0.0, 0.0), Box::new(Chatter));
+        // Chatter has no timer record, use a probe alongside to check time
+        // advances; Chatter's timer fires without panicking.
+        w.run_for_secs(0.5);
+        assert!(w.now() >= SimTime::ZERO + SimDuration::from_millis(500));
+        let _ = n;
+    }
+
+    #[test]
+    fn cancelled_timer_does_not_fire() {
+        struct CancelApp;
+        impl Application for CancelApp {
+            fn on_start(&mut self, ctx: &mut Context<'_>) {
+                let h = ctx.set_timer(SimDuration::from_millis(10), 1);
+                ctx.cancel_timer(h);
+                ctx.set_timer(SimDuration::from_millis(20), 2);
+            }
+            fn on_timer(&mut self, _ctx: &mut Context<'_>, timer: Timer) {
+                assert_eq!(timer.token, 2, "cancelled timer fired");
+            }
+            fn as_any(&self) -> &dyn Any {
+                self
+            }
+            fn as_any_mut(&mut self) -> &mut dyn Any {
+                self
+            }
+        }
+        let mut w = World::new(quiet_cfg(4));
+        w.add_node(Position::new(0.0, 0.0), Box::new(CancelApp));
+        w.run_for_secs(1.0);
+    }
+
+    #[test]
+    fn radio_off_blocks_reception() {
+        struct DeafApp(Probe);
+        impl Application for DeafApp {
+            fn on_start(&mut self, ctx: &mut Context<'_>) {
+                ctx.set_radio(false);
+            }
+            fn on_packet(&mut self, _ctx: &mut Context<'_>, from: NodeId, bytes: &[u8]) {
+                self.0.packets.push((from, bytes.to_vec()));
+            }
+            fn as_any(&self) -> &dyn Any {
+                self
+            }
+            fn as_any_mut(&mut self) -> &mut dyn Any {
+                self
+            }
+        }
+        let mut w = World::new(quiet_cfg(5));
+        let _tx = w.add_node(Position::new(0.0, 0.0), Box::new(Chatter));
+        let deaf = w.add_node(Position::new(1.0, 0.0), Box::new(DeafApp(Probe::default())));
+        w.run_for_secs(1.0);
+        assert!(w.app_as::<DeafApp>(deaf).unwrap().0.packets.is_empty());
+    }
+
+    #[test]
+    fn acoustic_levels_follow_sources() {
+        struct RecOnLoud {
+            recording: bool,
+        }
+        impl Application for RecOnLoud {
+            fn on_acoustic_level(&mut self, ctx: &mut Context<'_>, level: f64) {
+                if level > 50.0 && !self.recording {
+                    self.recording = true;
+                    ctx.start_recording();
+                }
+            }
+            fn as_any(&self) -> &dyn Any {
+                self
+            }
+            fn as_any_mut(&mut self) -> &mut dyn Any {
+                self
+            }
+        }
+        let mut w = World::new(quiet_cfg(6));
+        let n = w.add_node(Position::new(0.0, 0.0), Box::new(Probe::default()));
+        let _rec = w.add_node(
+            Position::new(0.5, 0.0),
+            Box::new(RecOnLoud { recording: false }),
+        );
+        w.add_source(SourceSpec {
+            id: SourceId(1),
+            start: SimTime::ZERO + SimDuration::from_secs_f64(1.0),
+            stop: SimTime::ZERO + SimDuration::from_secs_f64(2.0),
+            amplitude: 100.0,
+            range_ft: 3.0,
+            motion: Motion::Static(Position::new(0.0, 0.0)),
+            waveform: Waveform::Tone { freq_hz: 440.0 },
+        })
+        .unwrap();
+        w.run_for_secs(3.0);
+        let probe = w.app_as::<Probe>(n).unwrap();
+        let max_level = probe.levels.iter().cloned().fold(0.0, f64::max);
+        let min_level = probe.levels.iter().cloned().fold(255.0, f64::min);
+        assert!(max_level > 90.0, "loud period seen: {max_level}");
+        assert!(min_level < 15.0, "quiet period seen: {min_level}");
+    }
+
+    #[test]
+    fn recording_yields_blocks_and_partial_tail() {
+        struct OneShot {
+            total_samples: usize,
+            tail: Option<usize>,
+        }
+        impl Application for OneShot {
+            fn on_start(&mut self, ctx: &mut Context<'_>) {
+                ctx.start_recording();
+                ctx.set_timer(SimDuration::from_secs_f64(1.0), 1);
+            }
+            fn on_timer(&mut self, ctx: &mut Context<'_>, _timer: Timer) {
+                let tail = ctx.stop_recording();
+                self.tail = tail.map(|b| b.samples.len());
+            }
+            fn on_audio_block(&mut self, _ctx: &mut Context<'_>, block: AudioBlock) {
+                self.total_samples += block.samples.len();
+            }
+            fn as_any(&self) -> &dyn Any {
+                self
+            }
+            fn as_any_mut(&mut self) -> &mut dyn Any {
+                self
+            }
+        }
+        let mut w = World::new(quiet_cfg(7));
+        let n = w.add_node(
+            Position::new(0.0, 0.0),
+            Box::new(OneShot {
+                total_samples: 0,
+                tail: None,
+            }),
+        );
+        w.run_for_secs(2.0);
+        let app = w.app_as::<OneShot>(n).unwrap();
+        let total = app.total_samples + app.tail.unwrap_or(0);
+        // One second at 2730 Hz, +-1 sample of rounding.
+        assert!(
+            (total as i64 - 2730).abs() <= audio::SAMPLES_PER_CHUNK as i64,
+            "got {total} samples"
+        );
+        assert!(app.tail.is_some(), "partial tail expected");
+    }
+
+    #[test]
+    fn energy_drains_and_kills_node() {
+        let mut cfg = quiet_cfg(8);
+        cfg.energy.battery_mj = 100.0; // tiny battery
+        cfg.energy.idle_mw = 0.0;
+        cfg.energy.radio_listen_mw = 100.0; // 1 second of life
+        let mut w = World::new(cfg);
+        let n = w.add_node(Position::new(0.0, 0.0), Box::new(Probe::default()));
+        w.run_for_secs(2.0);
+        assert_eq!(w.energy_of(n), 0.0);
+        // Dead nodes stop getting acoustic callbacks: level count stops
+        // growing at ~10 Hz * 1 s = ~10 (first delivered at t=0).
+        let count = w.app_as::<Probe>(n).unwrap().levels.len();
+        assert!(count <= 12, "dead node kept sensing: {count} levels");
+    }
+
+    #[test]
+    fn trace_records_messages_and_sources() {
+        let mut w = World::new(quiet_cfg(9));
+        w.add_node(Position::new(0.0, 0.0), Box::new(Chatter));
+        w.add_source(SourceSpec {
+            id: SourceId(3),
+            start: SimTime::ZERO + SimDuration::from_secs_f64(0.5),
+            stop: SimTime::ZERO + SimDuration::from_secs_f64(0.6),
+            amplitude: 10.0,
+            range_ft: 1.0,
+            motion: Motion::Static(Position::new(5.0, 5.0)),
+            waveform: Waveform::Noise,
+        })
+        .unwrap();
+        w.run_for_secs(1.0);
+        let kinds: Vec<&str> = w
+            .trace()
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::MessageSent { kind, .. } => Some(*kind),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(kinds, vec!["HELLO"]);
+        let marks = w
+            .trace()
+            .iter()
+            .filter(|e| {
+                matches!(
+                    e,
+                    TraceEvent::SourceStarted { .. } | TraceEvent::SourceStopped { .. }
+                )
+            })
+            .count();
+        assert_eq!(marks, 2);
+    }
+
+    #[test]
+    fn identical_seeds_identical_traces() {
+        let run = |seed| {
+            let mut w = World::new(quiet_cfg(seed));
+            w.add_node(Position::new(0.0, 0.0), Box::new(Chatter));
+            w.add_node(Position::new(1.0, 0.0), Box::new(Chatter));
+            w.run_for_secs(1.0);
+            format!("{:?}", w.trace().events())
+        };
+        assert_eq!(run(42), run(42));
+    }
+
+    #[test]
+    fn different_seeds_draw_different_node_randomness() {
+        let sample = |seed| {
+            let mut w = World::new(WorldConfig::with_seed(seed));
+            let n = w.add_node(Position::new(0.0, 0.0), Box::new(Probe::default()));
+            w.run_for_secs(1.0);
+            w.app_as::<Probe>(n).unwrap().levels.clone()
+        };
+        assert_ne!(sample(42), sample(43));
+    }
+
+    #[test]
+    fn local_clock_reflects_offset() {
+        let mut cfg = quiet_cfg(10);
+        cfg.clock.max_offset = SimDuration::from_millis(1000);
+        cfg.clock.max_skew_ppm = 0.0;
+        struct ClockApp {
+            local_minus_global: Option<i64>,
+        }
+        impl Application for ClockApp {
+            fn on_timer(&mut self, ctx: &mut Context<'_>, _t: Timer) {
+                let l = ctx.local_time().as_jiffies() as i64;
+                let g = ctx.now().as_jiffies() as i64;
+                self.local_minus_global = Some(l - g);
+            }
+            fn on_start(&mut self, ctx: &mut Context<'_>) {
+                ctx.set_timer(SimDuration::from_millis(100), 0);
+            }
+            fn as_any(&self) -> &dyn Any {
+                self
+            }
+            fn as_any_mut(&mut self) -> &mut dyn Any {
+                self
+            }
+        }
+        let mut w = World::new(cfg);
+        let n = w.add_node(
+            Position::new(0.0, 0.0),
+            Box::new(ClockApp {
+                local_minus_global: None,
+            }),
+        );
+        w.run_for_secs(1.0);
+        let delta = w.app_as::<ClockApp>(n).unwrap().local_minus_global.unwrap();
+        assert!(delta >= 0, "offsets are non-negative, got {delta}");
+    }
+}

@@ -1,0 +1,71 @@
+//! Property tests for the simulation kernel: queue ordering against a
+//! reference model and waveform/motion invariants.
+
+use enviromic_sim::acoustics::{Motion, SourceId, SourceSpec, Waveform};
+use enviromic_sim::queue::EventQueue;
+use enviromic_types::{Position, SimTime};
+use proptest::prelude::*;
+
+proptest! {
+    /// The event queue pops in (time, insertion-order) order for arbitrary
+    /// schedules, matching a stable sort of the input.
+    #[test]
+    fn queue_matches_stable_sort(times in proptest::collection::vec(0u64..1000, 0..200)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule(SimTime::from_jiffies(t), i);
+        }
+        let mut expect: Vec<(u64, usize)> =
+            times.iter().enumerate().map(|(i, &t)| (t, i)).collect();
+        expect.sort_by_key(|&(t, _)| t); // stable: preserves insertion order
+        let got: Vec<(u64, usize)> =
+            std::iter::from_fn(|| q.pop().map(|(t, i)| (t.as_jiffies(), i))).collect();
+        prop_assert_eq!(got, expect);
+    }
+
+    /// Waypoint interpolation never leaves the bounding box of its
+    /// waypoints and is monotone along a straight line.
+    #[test]
+    fn motion_stays_in_bounds(
+        x0 in -100.0f64..100.0,
+        x1 in -100.0f64..100.0,
+        t_end in 1u64..1_000_000,
+        sample in 0u64..2_000_000,
+    ) {
+        let m = Motion::Waypoints(vec![
+            (SimTime::ZERO, Position::new(x0, 0.0)),
+            (SimTime::from_jiffies(t_end), Position::new(x1, 0.0)),
+        ]);
+        let p = m.position_at(SimTime::from_jiffies(sample));
+        let (lo, hi) = (x0.min(x1), x0.max(x1));
+        prop_assert!(p.x >= lo - 1e-9 && p.x <= hi + 1e-9, "{} not in [{lo}, {hi}]", p.x);
+    }
+
+    /// Source levels are non-negative, bounded by the amplitude, and zero
+    /// outside both the active window and the audible range.
+    #[test]
+    fn level_bounds(
+        amp in 1.0f64..200.0,
+        range in 0.5f64..50.0,
+        start in 0u64..1000,
+        len in 1u64..1000,
+        lx in -100.0f64..100.0,
+        t in 0u64..3000,
+    ) {
+        let s = SourceSpec {
+            id: SourceId(1),
+            start: SimTime::from_jiffies(start),
+            stop: SimTime::from_jiffies(start + len),
+            amplitude: amp,
+            range_ft: range,
+            motion: Motion::Static(Position::new(0.0, 0.0)),
+            waveform: Waveform::Noise,
+        };
+        let listener = Position::new(lx, 0.0);
+        let level = s.level_at(listener, SimTime::from_jiffies(t));
+        prop_assert!(level >= 0.0 && level <= amp);
+        if t < start || t >= start + len || lx.abs() >= range {
+            prop_assert_eq!(level, 0.0);
+        }
+    }
+}

@@ -1,0 +1,423 @@
+//! FTSP-style loose time synchronization (§III-A).
+//!
+//! Recorded chunks are timestamped so the basestation can correlate audio
+//! across motes, which requires the network to be *loosely* synchronized.
+//! The paper adapts FTSP (Maróti et al., SenSys '04) with two
+//! power-oriented twists, both reproduced here:
+//!
+//! * **adaptive beaconing** — "to make it more power-efficient, we reduce
+//!   synchronization frequency when events are rare"
+//!   ([`BeaconScheduler`]);
+//! * **piggyback sync** — "clocks at recorders are further synchronized by
+//!   the receipt of the leader's task assignment messages"
+//!   ([`SyncState::on_leader_time`]).
+//!
+//! [`SyncState`] holds the per-node regression table mapping the local
+//! skewed clock to the elected reference node's clock. The reference is
+//! the lowest node ID heard, as in FTSP.
+//!
+//! # Examples
+//!
+//! ```
+//! use enviromic_timesync::SyncState;
+//! use enviromic_types::{NodeId, SimTime};
+//!
+//! let mut sync = SyncState::new(NodeId(5));
+//! // Two beacons from root n0: local clock runs 100 jiffies ahead.
+//! sync.on_beacon(NodeId(0), 0, SimTime::from_jiffies(1100), SimTime::from_jiffies(1000));
+//! sync.on_beacon(NodeId(0), 1, SimTime::from_jiffies(2100), SimTime::from_jiffies(2000));
+//! let est = sync.global_estimate(SimTime::from_jiffies(3100));
+//! assert_eq!(est.as_jiffies(), 3000);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use enviromic_types::{NodeId, SimDuration, SimTime};
+
+/// Maximum regression table entries (FTSP uses 8).
+const WINDOW: usize = 8;
+
+/// Per-node synchronization state: reference election plus an offset/skew
+/// regression over recent beacons.
+#[derive(Debug, Clone)]
+pub struct SyncState {
+    me: NodeId,
+    root: NodeId,
+    highest_seq: Option<u32>,
+    /// (local receive time, root reference time) pairs.
+    table: Vec<(f64, f64)>,
+    /// Regression coefficients: `ref ≈ slope * local + intercept`.
+    slope: f64,
+    intercept: f64,
+    synced: bool,
+}
+
+impl SyncState {
+    /// Creates unsynchronized state for node `me`. Until beacons arrive,
+    /// the node considers itself the reference.
+    #[must_use]
+    pub fn new(me: NodeId) -> Self {
+        SyncState {
+            me,
+            root: me,
+            highest_seq: None,
+            table: Vec::new(),
+            slope: 1.0,
+            intercept: 0.0,
+            synced: false,
+        }
+    }
+
+    /// The node this state belongs to.
+    #[must_use]
+    pub fn node(&self) -> NodeId {
+        self.me
+    }
+
+    /// The currently elected reference node.
+    #[must_use]
+    pub fn root(&self) -> NodeId {
+        self.root
+    }
+
+    /// True when the node currently believes it is the reference and
+    /// should originate beacons.
+    #[must_use]
+    pub fn is_root(&self) -> bool {
+        self.root == self.me
+    }
+
+    /// True once at least one beacon produced a usable mapping.
+    #[must_use]
+    pub fn is_synced(&self) -> bool {
+        self.synced
+    }
+
+    /// The sequence number for the next originated beacon (root role).
+    #[must_use]
+    pub fn next_seq(&self) -> u32 {
+        self.highest_seq.map_or(0, |s| s.wrapping_add(1))
+    }
+
+    /// Processes a `TIME_SYNC` beacon heard at local time `local_recv`
+    /// carrying the root's clock `ref_time`.
+    ///
+    /// Returns `true` when the beacon was fresh (new root or new sequence)
+    /// and should be re-flooded by multihop deployments.
+    pub fn on_beacon(
+        &mut self,
+        root: NodeId,
+        seq: u32,
+        local_recv: SimTime,
+        ref_time: SimTime,
+    ) -> bool {
+        // FTSP root election: lower ID wins.
+        if root > self.root {
+            return false;
+        }
+        if root < self.root {
+            self.root = root;
+            self.highest_seq = None;
+            self.table.clear();
+            self.synced = false;
+        }
+        if let Some(h) = self.highest_seq {
+            if seq <= h {
+                return false; // stale or duplicate flood
+            }
+        }
+        self.highest_seq = Some(seq);
+        self.insert_pair(local_recv, ref_time);
+        true
+    }
+
+    /// Cheap single-point resynchronization from a leader's task
+    /// assignment message (§III-A): treats the leader's clock as a
+    /// reference sample without changing root election.
+    pub fn on_leader_time(&mut self, local_recv: SimTime, leader_time: SimTime) {
+        self.insert_pair(local_recv, leader_time);
+    }
+
+    fn insert_pair(&mut self, local: SimTime, reference: SimTime) {
+        if self.table.len() == WINDOW {
+            self.table.remove(0);
+        }
+        self.table
+            .push((local.as_jiffies() as f64, reference.as_jiffies() as f64));
+        self.recompute();
+    }
+
+    fn recompute(&mut self) {
+        match self.table.len() {
+            0 => {
+                self.slope = 1.0;
+                self.intercept = 0.0;
+                self.synced = false;
+            }
+            1 => {
+                // One sample: assume perfect rate, correct offset only.
+                self.slope = 1.0;
+                self.intercept = self.table[0].1 - self.table[0].0;
+                self.synced = true;
+            }
+            n => {
+                // Least-squares ref = slope * local + intercept, computed
+                // around the centroid for numerical stability.
+                let n_f = n as f64;
+                let mean_x = self.table.iter().map(|p| p.0).sum::<f64>() / n_f;
+                let mean_y = self.table.iter().map(|p| p.1).sum::<f64>() / n_f;
+                let mut sxx = 0.0;
+                let mut sxy = 0.0;
+                for &(x, y) in &self.table {
+                    sxx += (x - mean_x) * (x - mean_x);
+                    sxy += (x - mean_x) * (y - mean_y);
+                }
+                self.slope = if sxx > 0.0 { sxy / sxx } else { 1.0 };
+                self.intercept = mean_y - self.slope * mean_x;
+                self.synced = true;
+            }
+        }
+    }
+
+    /// Maps a local clock reading to estimated reference (global) time.
+    /// Before any beacon arrives this is the identity.
+    #[must_use]
+    pub fn global_estimate(&self, local: SimTime) -> SimTime {
+        if !self.synced {
+            return local;
+        }
+        let est = self.slope * local.as_jiffies() as f64 + self.intercept;
+        SimTime::from_jiffies(est.max(0.0).round() as u64)
+    }
+
+    /// The regression's current skew estimate (reference jiffies per local
+    /// jiffy).
+    #[must_use]
+    pub fn skew(&self) -> f64 {
+        self.slope
+    }
+}
+
+/// Adaptive beacon scheduling: frequent sync while acoustic events are
+/// happening, exponentially rarer when the field is quiet.
+#[derive(Debug, Clone)]
+pub struct BeaconScheduler {
+    min_period: SimDuration,
+    max_period: SimDuration,
+    current: SimDuration,
+    next_due: SimTime,
+}
+
+impl BeaconScheduler {
+    /// Creates a scheduler that starts at `min_period` and backs off to
+    /// `max_period` while no events occur.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `min_period` is zero or exceeds `max_period`.
+    #[must_use]
+    pub fn new(min_period: SimDuration, max_period: SimDuration) -> Self {
+        assert!(!min_period.is_zero(), "beacon period must be positive");
+        assert!(min_period <= max_period, "min period must not exceed max");
+        BeaconScheduler {
+            min_period,
+            max_period,
+            current: min_period,
+            next_due: SimTime::ZERO + min_period,
+        }
+    }
+
+    /// The current inter-beacon period.
+    #[must_use]
+    pub fn period(&self) -> SimDuration {
+        self.current
+    }
+
+    /// When the next beacon should be sent.
+    #[must_use]
+    pub fn next_due(&self) -> SimTime {
+        self.next_due
+    }
+
+    /// Notes that a beacon was sent at `now`; backs the period off
+    /// (doubling toward the maximum) since nothing reset it.
+    pub fn beacon_sent(&mut self, now: SimTime) {
+        self.current = (self.current * 2).min(self.max_period);
+        self.next_due = now + self.current;
+    }
+
+    /// Notes acoustic activity: sync matters now, so return to the fast
+    /// period.
+    pub fn activity(&mut self, now: SimTime) {
+        self.current = self.min_period;
+        if self.next_due > now + self.current {
+            self.next_due = now + self.current;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A skewed local clock for test purposes.
+    fn local_clock(global: u64, skew_ppm: f64, offset: u64) -> SimTime {
+        SimTime::from_jiffies((global as f64 * (1.0 + skew_ppm * 1e-6)).round() as u64 + offset)
+    }
+
+    #[test]
+    fn unsynced_estimate_is_identity() {
+        let s = SyncState::new(NodeId(3));
+        assert!(!s.is_synced());
+        assert!(s.is_root());
+        let t = SimTime::from_jiffies(123);
+        assert_eq!(s.global_estimate(t), t);
+    }
+
+    #[test]
+    fn converges_on_offset_and_skew() {
+        let mut s = SyncState::new(NodeId(5));
+        let skew = 40.0; // ppm
+        let offset = 32_768 * 3; // 3 s ahead
+        for k in 0..8u64 {
+            let global = (k + 1) * 32_768 * 30; // every 30 s
+            assert!(s.on_beacon(
+                NodeId(0),
+                k as u32,
+                local_clock(global, skew, offset),
+                SimTime::from_jiffies(global),
+            ));
+        }
+        assert!(s.is_synced());
+        // Estimate a time 60 s past the last beacon.
+        let global = 32_768 * (8 * 30 + 60);
+        let est = s.global_estimate(local_clock(global, skew, offset));
+        let err = est.as_jiffies() as i64 - global as i64;
+        assert!(err.abs() <= 2, "sync error {err} jiffies");
+        assert!((s.skew() - 1.0 / (1.0 + skew * 1e-6)).abs() < 1e-4);
+    }
+
+    #[test]
+    fn lower_id_root_preempts() {
+        let mut s = SyncState::new(NodeId(5));
+        assert!(s.on_beacon(
+            NodeId(3),
+            0,
+            SimTime::from_jiffies(10),
+            SimTime::from_jiffies(10)
+        ));
+        assert_eq!(s.root(), NodeId(3));
+        // Higher-ID root is ignored.
+        assert!(!s.on_beacon(
+            NodeId(4),
+            9,
+            SimTime::from_jiffies(20),
+            SimTime::from_jiffies(20)
+        ));
+        assert_eq!(s.root(), NodeId(3));
+        // Lower-ID root takes over and resets the table.
+        assert!(s.on_beacon(
+            NodeId(1),
+            0,
+            SimTime::from_jiffies(30),
+            SimTime::from_jiffies(29)
+        ));
+        assert_eq!(s.root(), NodeId(1));
+        assert!(!s.is_root());
+    }
+
+    #[test]
+    fn stale_sequences_are_ignored() {
+        let mut s = SyncState::new(NodeId(5));
+        assert!(s.on_beacon(
+            NodeId(0),
+            5,
+            SimTime::from_jiffies(10),
+            SimTime::from_jiffies(10)
+        ));
+        assert!(!s.on_beacon(
+            NodeId(0),
+            5,
+            SimTime::from_jiffies(20),
+            SimTime::from_jiffies(20)
+        ));
+        assert!(!s.on_beacon(
+            NodeId(0),
+            4,
+            SimTime::from_jiffies(30),
+            SimTime::from_jiffies(30)
+        ));
+        assert!(s.on_beacon(
+            NodeId(0),
+            6,
+            SimTime::from_jiffies(40),
+            SimTime::from_jiffies(40)
+        ));
+        assert_eq!(s.next_seq(), 7);
+    }
+
+    #[test]
+    fn leader_time_sync_corrects_offset_without_beacons() {
+        let mut s = SyncState::new(NodeId(5));
+        let offset = 1000;
+        s.on_leader_time(
+            SimTime::from_jiffies(5000 + offset),
+            SimTime::from_jiffies(5000),
+        );
+        assert!(s.is_synced());
+        let est = s.global_estimate(SimTime::from_jiffies(9000 + offset));
+        assert_eq!(est.as_jiffies(), 9000);
+    }
+
+    #[test]
+    fn window_keeps_most_recent_pairs() {
+        let mut s = SyncState::new(NodeId(5));
+        // Early pairs are wildly wrong; the 8-pair window must forget them.
+        for k in 0..12u64 {
+            s.on_beacon(
+                NodeId(0),
+                k as u32,
+                SimTime::from_jiffies(k * 1000 + 500_000),
+                SimTime::from_jiffies(k * 1000),
+            );
+        }
+        for k in 12..20u64 {
+            s.on_beacon(
+                NodeId(0),
+                k as u32,
+                SimTime::from_jiffies(k * 1000 + 7),
+                SimTime::from_jiffies(k * 1000),
+            );
+        }
+        let est = s.global_estimate(SimTime::from_jiffies(25_000 + 7));
+        let err = est.as_jiffies() as i64 - 25_000;
+        assert!(err.abs() <= 2, "old pairs still dominate: err {err}");
+    }
+
+    #[test]
+    fn scheduler_backs_off_and_resets() {
+        let min = SimDuration::from_millis(1000);
+        let max = SimDuration::from_millis(8000);
+        let mut b = BeaconScheduler::new(min, max);
+        assert_eq!(b.period(), min);
+        let t0 = SimTime::ZERO + min;
+        b.beacon_sent(t0);
+        assert_eq!(b.period(), min * 2);
+        b.beacon_sent(b.next_due());
+        b.beacon_sent(b.next_due());
+        b.beacon_sent(b.next_due());
+        assert_eq!(b.period(), max, "clamped at max");
+        let now = b.next_due();
+        b.activity(now);
+        assert_eq!(b.period(), min);
+        // The due time never moves later than one fast period from now.
+        assert!(b.next_due() <= now + min);
+    }
+
+    #[test]
+    #[should_panic(expected = "must not exceed")]
+    fn inverted_periods_panic() {
+        let _ = BeaconScheduler::new(SimDuration::from_millis(10), SimDuration::from_millis(5));
+    }
+}

@@ -1,0 +1,49 @@
+//! Property tests: the FTSP-style regression recovers arbitrary affine
+//! clock relationships from beacon samples.
+
+use enviromic_timesync::SyncState;
+use enviromic_types::{NodeId, SimTime};
+use proptest::prelude::*;
+
+proptest! {
+    /// For any skew within crystal tolerance and any offset, eight beacons
+    /// let the regression map local time back to the reference frame with
+    /// sub-millisecond error.
+    #[test]
+    fn regression_recovers_affine_clocks(
+        skew_ppm in -100.0f64..100.0,
+        offset in 0u64..(32_768 * 10),
+        period_s in 5u64..120,
+        probe_gap_s in 1u64..600,
+    ) {
+        let local_of = |global: u64| -> SimTime {
+            SimTime::from_jiffies(
+                (global as f64 * (1.0 + skew_ppm * 1e-6)).round() as u64 + offset,
+            )
+        };
+        let mut s = SyncState::new(NodeId(9));
+        for k in 0..8u64 {
+            let global = (k + 1) * period_s * 32_768;
+            s.on_beacon(NodeId(0), k as u32, local_of(global), SimTime::from_jiffies(global));
+        }
+        prop_assert!(s.is_synced());
+        let probe = (8 * period_s + probe_gap_s) * 32_768;
+        let est = s.global_estimate(local_of(probe));
+        let err = est.as_jiffies() as i64 - probe as i64;
+        // Sub-millisecond: 32.768 jiffies per ms.
+        prop_assert!(err.abs() < 33, "error {err} jiffies (skew {skew_ppm}ppm)");
+    }
+
+    /// Root election is stable: the lowest ID ever heard wins regardless
+    /// of arrival order.
+    #[test]
+    fn lowest_root_wins(ids in proptest::collection::vec(0u16..100, 1..20)) {
+        let mut s = SyncState::new(NodeId(200));
+        for (k, &id) in ids.iter().enumerate() {
+            let t = SimTime::from_jiffies((k as u64 + 1) * 1000);
+            let _ = s.on_beacon(NodeId(id), 0, t, t);
+        }
+        let expect = ids.iter().copied().min().expect("non-empty");
+        prop_assert_eq!(s.root(), NodeId(expect));
+    }
+}

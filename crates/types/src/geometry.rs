@@ -1,0 +1,94 @@
+//! Planar deployment geometry.
+
+use core::fmt;
+use serde::{Deserialize, Serialize};
+
+/// A point in the deployment plane, in feet.
+///
+/// Both of the paper's testbeds are specified in feet (an 8×6 grid with
+/// 2 ft spacing indoors; a 105 ft × 105 ft forest plot outdoors), so the
+/// reproduction keeps that unit throughout.
+///
+/// # Examples
+///
+/// ```
+/// use enviromic_types::Position;
+///
+/// let a = Position::new(0.0, 0.0);
+/// let b = Position::new(3.0, 4.0);
+/// assert_eq!(a.distance_to(b), 5.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Position {
+    /// East-west coordinate, feet.
+    pub x: f64,
+    /// North-south coordinate, feet.
+    pub y: f64,
+}
+
+impl Position {
+    /// Creates a position from `x`/`y` coordinates in feet.
+    #[must_use]
+    pub const fn new(x: f64, y: f64) -> Self {
+        Position { x, y }
+    }
+
+    /// Euclidean distance to `other`, in feet.
+    #[must_use]
+    pub fn distance_to(self, other: Position) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        (dx * dx + dy * dy).sqrt()
+    }
+
+    /// Linear interpolation from `self` toward `to`.
+    ///
+    /// `t = 0` yields `self`, `t = 1` yields `to`; values outside `[0, 1]`
+    /// extrapolate along the segment.
+    #[must_use]
+    pub fn lerp(self, to: Position, t: f64) -> Position {
+        Position {
+            x: self.x + (to.x - self.x) * t,
+            y: self.y + (to.y - self.y) * t,
+        }
+    }
+}
+
+impl fmt::Display for Position {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({:.1}, {:.1})", self.x, self.y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distance_is_symmetric() {
+        let a = Position::new(1.0, 2.0);
+        let b = Position::new(-3.0, 7.5);
+        assert!((a.distance_to(b) - b.distance_to(a)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn distance_to_self_is_zero() {
+        let p = Position::new(4.2, -1.0);
+        assert_eq!(p.distance_to(p), 0.0);
+    }
+
+    #[test]
+    fn lerp_endpoints_and_midpoint() {
+        let a = Position::new(0.0, 0.0);
+        let b = Position::new(10.0, -6.0);
+        assert_eq!(a.lerp(b, 0.0), a);
+        assert_eq!(a.lerp(b, 1.0), b);
+        let mid = a.lerp(b, 0.5);
+        assert_eq!(mid, Position::new(5.0, -3.0));
+    }
+
+    #[test]
+    fn display_formats_one_decimal() {
+        assert_eq!(Position::new(1.25, 2.0).to_string(), "(1.2, 2.0)");
+    }
+}

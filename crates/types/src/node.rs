@@ -1,0 +1,73 @@
+//! Mote identity.
+
+use core::fmt;
+use serde::{Deserialize, Serialize};
+
+/// The identity of a mote (sensor node).
+///
+/// Node IDs are dense small integers assigned at deployment time, exactly as
+/// on the paper's MicaZ testbeds; the simulator uses them as indices into
+/// its node tables. A `NodeId` is *not* a position — topology crates map IDs
+/// to coordinates.
+///
+/// # Examples
+///
+/// ```
+/// use enviromic_types::NodeId;
+///
+/// let n = NodeId(3);
+/// assert_eq!(n.to_string(), "n3");
+/// assert_eq!(n.index(), 3);
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct NodeId(pub u16);
+
+impl NodeId {
+    /// Returns the ID as a `usize` index for table lookups.
+    #[must_use]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl From<u16> for NodeId {
+    fn from(raw: u16) -> Self {
+        NodeId(raw)
+    }
+}
+
+impl From<NodeId> for u16 {
+    fn from(id: NodeId) -> Self {
+        id.0
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_round_trip() {
+        let n = NodeId::from(42u16);
+        assert_eq!(u16::from(n), 42);
+        assert_eq!(n.index(), 42);
+    }
+
+    #[test]
+    fn ordering_is_numeric() {
+        assert!(NodeId(2) < NodeId(10));
+    }
+
+    #[test]
+    fn display_is_prefixed() {
+        assert_eq!(NodeId(0).to_string(), "n0");
+    }
+}

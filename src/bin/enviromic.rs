@@ -1,0 +1,191 @@
+//! `enviromic` — command-line scenario runner.
+//!
+//! The tool a field scientist would script against: build a deployment,
+//! run a recording campaign, and print the harvest report.
+//!
+//! ```text
+//! enviromic [OPTIONS]
+//!   --scenario indoor|mobile|forest|voice   workload (default indoor)
+//!   --mode     full|coop|baseline           protocol mode (default full)
+//!   --duration SECS                         override scenario length
+//!   --seed     N                            RNG seed (default 1)
+//!   --flash    CHUNKS                       per-node flash capacity
+//!   --beta-max X                            balancer sensitivity bound
+//!   --prelude  SECS                         enable the prelude optimization
+//!   --series                                also print the miss-ratio series
+//! ```
+
+use enviromic::core::{Mode, NodeConfig};
+use enviromic::harness::{forest_world_config, indoor_world_config, run_scenario};
+use enviromic::sim::{RecordKind, TraceEvent, WorldConfig};
+use enviromic::types::SimDuration;
+use enviromic::workloads::{
+    forest_scenario, indoor_scenario, mobile_scenario, voice_scenario, ForestParams, IndoorParams,
+    MobileParams, Scenario,
+};
+
+#[derive(Debug)]
+struct Options {
+    scenario: String,
+    mode: Mode,
+    duration: Option<f64>,
+    seed: u64,
+    flash: Option<u32>,
+    beta_max: Option<f64>,
+    prelude: Option<f64>,
+    series: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: enviromic [--scenario indoor|mobile|forest|voice] \
+         [--mode full|coop|baseline] [--duration SECS] [--seed N] \
+         [--flash CHUNKS] [--beta-max X] [--prelude SECS] [--series]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Options {
+    let mut opts = Options {
+        scenario: "indoor".into(),
+        mode: Mode::Full,
+        duration: None,
+        seed: 1,
+        flash: None,
+        beta_max: None,
+        prelude: None,
+        series: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = || args.next().unwrap_or_else(|| usage());
+        match arg.as_str() {
+            "--scenario" => opts.scenario = value(),
+            "--mode" => {
+                opts.mode = match value().as_str() {
+                    "full" => Mode::Full,
+                    "coop" => Mode::CooperativeOnly,
+                    "baseline" => Mode::Uncoordinated,
+                    _ => usage(),
+                }
+            }
+            "--duration" => opts.duration = value().parse().ok().or_else(|| usage()),
+            "--seed" => opts.seed = value().parse().unwrap_or_else(|_| usage()),
+            "--flash" => opts.flash = value().parse().ok().or_else(|| usage()),
+            "--beta-max" => opts.beta_max = value().parse().ok().or_else(|| usage()),
+            "--prelude" => opts.prelude = value().parse().ok().or_else(|| usage()),
+            "--series" => opts.series = true,
+            "--help" | "-h" => usage(),
+            _ => usage(),
+        }
+    }
+    opts
+}
+
+fn build_scenario(opts: &Options) -> (Scenario, WorldConfig) {
+    match opts.scenario.as_str() {
+        "indoor" => {
+            let params = IndoorParams {
+                duration_secs: opts.duration.unwrap_or(1100.0),
+                ..IndoorParams::default()
+            };
+            let mut wcfg = indoor_world_config(opts.seed);
+            wcfg.acoustics.mic_gain_spread = 0.10;
+            (indoor_scenario(&params, opts.seed), wcfg)
+        }
+        "mobile" => (
+            mobile_scenario(&MobileParams::default()),
+            indoor_world_config(opts.seed),
+        ),
+        "voice" => (voice_scenario(), indoor_world_config(opts.seed)),
+        "forest" => {
+            let params = ForestParams {
+                duration_secs: opts.duration.unwrap_or(1800.0),
+                ..ForestParams::default()
+            };
+            let mut wcfg = forest_world_config(opts.seed);
+            wcfg.acoustics.mic_gain_spread = 0.10;
+            (forest_scenario(&params, opts.seed), wcfg)
+        }
+        _ => usage(),
+    }
+}
+
+fn main() {
+    let opts = parse_args();
+    let (scenario, world_cfg) = build_scenario(&opts);
+    let horizon = scenario.duration.as_secs_f64();
+
+    let mut cfg = NodeConfig::default().with_mode(opts.mode);
+    if let Some(chunks) = opts.flash {
+        cfg = cfg.with_flash_chunks(chunks);
+    }
+    if let Some(beta) = opts.beta_max {
+        cfg = cfg.with_beta_max(beta);
+    }
+    if let Some(secs) = opts.prelude {
+        cfg = cfg.with_prelude(SimDuration::from_secs_f64(secs));
+    }
+
+    eprintln!(
+        "[enviromic] {} scenario: {} nodes, {} events, {:.0}s, mode {:?}",
+        opts.scenario,
+        scenario.topology.len(),
+        scenario.sources.len(),
+        horizon,
+        cfg.mode,
+    );
+    let run = run_scenario(scenario, &cfg, world_cfg, 20.0);
+    let exp = run.experiment();
+
+    // Harvest report.
+    let kinds = exp.recorded_secs_by_kind();
+    let recorded: f64 = kinds.values().sum();
+    let total_event = run.scenario.total_event_secs();
+    let miss = exp.miss_ratio(horizon);
+    let redundancy = exp
+        .redundancy_series(horizon, horizon)
+        .last()
+        .map_or(0.0, |p| p.1);
+    let packets = run
+        .trace
+        .iter()
+        .filter(|e| matches!(e, TraceEvent::MessageSent { .. }))
+        .count();
+    let migrations: u64 = run
+        .trace
+        .iter()
+        .filter_map(|e| match e {
+            TraceEvent::Migrated {
+                duplicated: false,
+                chunks,
+                ..
+            } => Some(u64::from(*chunks)),
+            _ => None,
+        })
+        .sum();
+
+    println!("harvest report");
+    println!("  event audio available : {total_event:>9.1} s");
+    println!("  audio recorded        : {recorded:>9.1} s");
+    for (kind, secs) in [
+        ("cooperative tasks", kinds.get(&RecordKind::Task)),
+        ("preludes", kinds.get(&RecordKind::Prelude)),
+        ("baseline intervals", kinds.get(&RecordKind::Baseline)),
+    ] {
+        if let Some(secs) = secs {
+            println!("    {kind:<19} : {secs:>9.1} s");
+        }
+    }
+    println!("  miss ratio            : {miss:>9.3}");
+    println!("  stored redundancy     : {redundancy:>9.3}");
+    println!("  radio packets         : {packets:>9}");
+    println!("  chunks migrated       : {migrations:>9}");
+
+    if opts.series {
+        println!("\nmiss-ratio series:");
+        for (t, m) in exp.miss_ratio_series(horizon, horizon / 10.0) {
+            println!("  {t:>8.0}s  {m:.3}");
+        }
+    }
+}

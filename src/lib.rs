@@ -1,0 +1,59 @@
+//! EnviroMic — a reproduction of *"EnviroMic: Towards Cooperative Storage
+//! and Retrieval in Audio Sensor Networks"* (Luo, Cao, Huang, Abdelzaher,
+//! Stankovic, Ward; ICDCS 2007) as a pure-Rust library.
+//!
+//! EnviroMic is a distributed acoustic monitoring, storage, and trace
+//! retrieval system for *disconnected* mote networks: recording is
+//! sound-activated, nearby nodes elect a leader that rotates the recording
+//! task to avoid redundant copies, stored audio migrates from noisy to
+//! quiet regions to balance flash utilization, and data is retrieved
+//! rarely — by a data mule or by physically collecting the motes.
+//!
+//! The original system ran on MicaZ motes; this workspace substitutes a
+//! deterministic discrete-event simulation of the mote platform
+//! ([`sim`]) and reimplements every subsystem on top of it. See
+//! `DESIGN.md` for the full inventory and `EXPERIMENTS.md` for the
+//! figure-by-figure reproduction record.
+//!
+//! # Crate map
+//!
+//! | Module (re-export) | Contents |
+//! |---|---|
+//! | [`types`] | IDs, jiffy time base, geometry, audio constants |
+//! | [`sim`] | discrete-event world: radio, acoustic field, energy, clocks |
+//! | [`flash`] | block device, chunk store, EEPROM crash recovery |
+//! | [`net`] | packet codec, piggyback broadcast, bulk transfer, tree |
+//! | [`timesync`] | FTSP-style offset/skew regression |
+//! | [`core`] | the EnviroMic protocol node, baselines, data mule |
+//! | [`workloads`] | paper testbed topologies and acoustic scenarios |
+//! | [`metrics`] | miss ratio, redundancy, overhead, contours |
+//! | [`harness`] | one-call experiment assembly and execution |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use enviromic::core::{Mode, NodeConfig};
+//! use enviromic::harness::{indoor_world_config, run_scenario};
+//! use enviromic::workloads::{mobile_scenario, MobileParams};
+//!
+//! // Record a mobile acoustic target crossing the paper's 8x6 testbed.
+//! let scenario = mobile_scenario(&MobileParams::default());
+//! let cfg = NodeConfig::default().with_mode(Mode::CooperativeOnly);
+//! let run = run_scenario(scenario, &cfg, indoor_world_config(1), 2.0);
+//! let miss = run.experiment().miss_ratio(13.0);
+//! assert!(miss < 0.6);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod harness;
+
+pub use enviromic_core as core;
+pub use enviromic_flash as flash;
+pub use enviromic_metrics as metrics;
+pub use enviromic_net as net;
+pub use enviromic_sim as sim;
+pub use enviromic_timesync as timesync;
+pub use enviromic_types as types;
+pub use enviromic_workloads as workloads;

@@ -1,0 +1,142 @@
+//! Fault injection: dead motes, saturated storage, and extreme loss —
+//! the failure modes §VI worries about ("defunct or lost motes can cause
+//! data loss").
+
+use enviromic::core::{recover_collected_mote, EnviroMicNode, Mode, NodeConfig};
+use enviromic::harness::{build_world, indoor_world_config};
+use enviromic::sim::acoustics::{Motion, SourceId, SourceSpec, Waveform};
+use enviromic::sim::{TraceEvent, World};
+use enviromic::types::{NodeId, Position, SimDuration, SimTime};
+use enviromic::workloads::{indoor_scenario, mobile_scenario, IndoorParams, MobileParams};
+
+fn tone(id: u32, pos: Position, start_s: f64, stop_s: f64, range: f64) -> SourceSpec {
+    SourceSpec {
+        id: SourceId(id),
+        start: SimTime::ZERO + SimDuration::from_secs_f64(start_s),
+        stop: SimTime::ZERO + SimDuration::from_secs_f64(stop_s),
+        amplitude: 120.0,
+        range_ft: range,
+        motion: Motion::Static(pos),
+        waveform: Waveform::Tone { freq_hz: 440.0 },
+    }
+}
+
+#[test]
+fn network_survives_a_node_dying_mid_run() {
+    // Node batteries sized so one heavy recorder dies partway through;
+    // the group keeps recording with the survivors.
+    let mut wcfg = indoor_world_config(31);
+    wcfg.radio.range_ft = 11.0;
+    // Deplete fast: idle draw high enough that nodes die around t=60 s.
+    wcfg.energy.battery_mj = 6_000.0;
+    wcfg.energy.idle_mw = 0.0;
+    wcfg.energy.radio_listen_mw = 59.1;
+    let mut world = World::new(wcfg);
+    let cfg = NodeConfig::default().with_mode(Mode::CooperativeOnly);
+    let nodes: Vec<NodeId> = (0..4)
+        .map(|i| {
+            world.add_node(
+                Position::new(f64::from(i) * 2.0, 0.0),
+                Box::new(EnviroMicNode::new(cfg.clone())),
+            )
+        })
+        .collect();
+    // Events before and after the die-off around t ≈ 100 s.
+    world
+        .add_source(tone(1, Position::new(3.0, 0.0), 5.0, 12.0, 10.0))
+        .unwrap();
+    world
+        .add_source(tone(2, Position::new(3.0, 0.0), 160.0, 167.0, 10.0))
+        .unwrap();
+    world.run_for_secs(180.0);
+
+    // At least one node died (recording costs energy on top of listening).
+    let energies: Vec<f64> = nodes.iter().map(|&n| world.energy_of(n)).collect();
+    assert!(
+        energies.contains(&0.0),
+        "fault injection failed to kill anyone: {energies:?}"
+    );
+    // The first event was recorded.
+    let early = world
+        .trace()
+        .iter()
+        .any(|e| matches!(e, TraceEvent::Recorded { t0, .. } if t0.as_secs_f64() < 20.0));
+    assert!(early, "first event missed");
+    // Dead nodes stop transmitting: no message in the trace is sent by a
+    // node after its battery hit zero (checked implicitly by the world;
+    // here we just confirm the sim kept going to the horizon).
+    assert!(world.now().as_secs_f64() >= 180.0);
+}
+
+#[test]
+fn collected_dead_mote_yields_its_data() {
+    // A mote records, "dies", and is physically collected: offline
+    // recovery from flash + EEPROM returns every chunk it held.
+    let scenario = mobile_scenario(&MobileParams::default());
+    let cfg = NodeConfig::default().with_mode(Mode::CooperativeOnly);
+    let mut world = build_world(&scenario, &cfg, indoor_world_config(32));
+    world.run_for_secs(16.0);
+    let mut recovered_total = 0u32;
+    for i in 0..scenario.topology.len() {
+        let node = world
+            .app_as::<EnviroMicNode>(NodeId(i as u16))
+            .expect("protocol node");
+        let live = node.stored_chunks();
+        let recovered = recover_collected_mote(node.store().clone());
+        assert!(
+            recovered.len() as u32 >= live,
+            "n{i}: recovery lost chunks ({} < {live})",
+            recovered.len()
+        );
+        recovered_total += recovered.len() as u32;
+    }
+    assert!(recovered_total > 0, "nothing recorded at all");
+}
+
+#[test]
+fn extreme_packet_loss_degrades_gracefully() {
+    // At 40% loss the protocol must still record a useful fraction and
+    // must not deadlock or panic.
+    let params = IndoorParams {
+        duration_secs: 300.0,
+        ..IndoorParams::default()
+    };
+    let scenario = indoor_scenario(&params, 33);
+    let mut wcfg = indoor_world_config(33);
+    wcfg.radio.loss_prob = 0.40;
+    wcfg.acoustics.mic_gain_spread = 0.10;
+    let cfg = NodeConfig::default().with_flash_chunks(650);
+    let run = enviromic::harness::run_scenario(scenario, &cfg, wcfg, 10.0);
+    let miss = run.experiment().miss_ratio(300.0);
+    assert!(
+        miss < 0.6,
+        "40% loss should degrade, not destroy, recording: miss {miss:.3}"
+    );
+}
+
+#[test]
+fn full_store_reports_drops_not_crashes() {
+    // A node with a near-zero store must keep running and account every
+    // dropped block.
+    let mut wcfg = indoor_world_config(34);
+    wcfg.radio.range_ft = 11.0;
+    let mut world = World::new(wcfg);
+    let cfg = NodeConfig::default()
+        .with_mode(Mode::CooperativeOnly)
+        .with_flash_chunks(4); // < one second of audio
+    for i in 0..3 {
+        world.add_node(
+            Position::new(f64::from(i) * 2.0, 0.0),
+            Box::new(EnviroMicNode::new(cfg.clone())),
+        );
+    }
+    world
+        .add_source(tone(1, Position::new(2.0, 0.0), 2.0, 12.0, 8.0))
+        .unwrap();
+    world.run_for_secs(20.0);
+    let dropped = world
+        .trace()
+        .iter()
+        .any(|e| matches!(e, TraceEvent::RecordDropped { .. }));
+    assert!(dropped, "saturated stores must surface drops in the trace");
+}
