@@ -1,0 +1,28 @@
+//! `Option` strategies (`proptest::option`).
+
+use rand::Rng as _;
+
+use crate::{Strategy, TestRng};
+
+/// A strategy yielding `None` about a quarter of the time and `Some` of
+/// the inner strategy's values otherwise (proptest's default ratio).
+pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+    OptionStrategy { inner }
+}
+
+/// The result of [`of`].
+pub struct OptionStrategy<S> {
+    inner: S,
+}
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        if rng.rng().gen_range(0u32..4) == 0 {
+            None
+        } else {
+            Some(self.inner.generate(rng))
+        }
+    }
+}

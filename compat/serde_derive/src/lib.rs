@@ -1,0 +1,460 @@
+//! `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the offline
+//! serde compat crate.
+//!
+//! Implemented without `syn`/`quote` (unavailable offline): a small
+//! hand-rolled parser extracts the item's shape — struct field names,
+//! tuple arities, enum variants — which is all the generated code needs,
+//! since field *types* are recovered by inference at the call sites of
+//! `Serialize::to_value` / `Deserialize::from_value`. Supports the forms
+//! this workspace derives on: non-generic named/tuple/unit structs and
+//! enums with unit, tuple, and struct variants. No `#[serde(...)]`
+//! attributes.
+
+#![forbid(unsafe_code)]
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize` (the compat crate's `to_value`).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item).parse().expect("generated impl parses")
+}
+
+/// Derives `serde::Deserialize` (the compat crate's `from_value`).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("generated impl parses")
+}
+
+// ------------------------------------------------------------------ model
+
+struct Item {
+    name: String,
+    kind: Kind,
+}
+
+enum Kind {
+    Unit,
+    Named(Vec<String>),
+    Tuple(usize),
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    shape: Shape,
+}
+
+enum Shape {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+// ----------------------------------------------------------------- parser
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut toks = input.into_iter().peekable();
+    loop {
+        match toks.peek() {
+            // Outer attributes (doc comments arrive as `#[doc = ...]`).
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                toks.next();
+                toks.next(); // the bracketed attribute body
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                toks.next();
+                // `pub(crate)` and friends carry a parenthesized group.
+                if let Some(TokenTree::Group(g)) = toks.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        toks.next();
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+    let keyword = match toks.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected `struct` or `enum`, got {other:?}"),
+    };
+    let name = match toks.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected item name, got {other:?}"),
+    };
+    if matches!(&toks.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde compat derive does not support generic type `{name}`");
+    }
+    let kind = match keyword.as_str() {
+        "struct" => match toks.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::Named(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Kind::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Kind::Unit,
+            other => panic!("unsupported struct body for `{name}`: {other:?}"),
+        },
+        "enum" => match toks.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("unsupported enum body for `{name}`: {other:?}"),
+        },
+        other => panic!("cannot derive serde impls for `{other} {name}`"),
+    };
+    Item { name, kind }
+}
+
+/// Extracts field names from the contents of a `{ ... }` field list.
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut toks = stream.into_iter().peekable();
+    loop {
+        // Skip attributes and visibility before the field name.
+        loop {
+            match toks.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    toks.next();
+                    toks.next();
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    toks.next();
+                    if let Some(TokenTree::Group(g)) = toks.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            toks.next();
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
+        match toks.next() {
+            Some(TokenTree::Ident(id)) => fields.push(id.to_string()),
+            None => break,
+            other => panic!("expected field name, got {other:?}"),
+        }
+        match toks.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("expected ':' after field name, got {other:?}"),
+        }
+        skip_type_until_comma(&mut toks);
+    }
+    fields
+}
+
+/// Counts the comma-separated types in a tuple struct/variant body.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut toks = stream.into_iter().peekable();
+    let mut count = 0;
+    loop {
+        // Skip attributes/visibility, then require at least one type token.
+        loop {
+            match toks.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    toks.next();
+                    toks.next();
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    toks.next();
+                    if let Some(TokenTree::Group(g)) = toks.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            toks.next();
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
+        if toks.peek().is_none() {
+            break;
+        }
+        count += 1;
+        skip_type_until_comma(&mut toks);
+    }
+    count
+}
+
+/// Consumes type tokens up to (and including) the next top-level comma,
+/// tracking `<...>` nesting so generic-argument commas don't split fields.
+fn skip_type_until_comma(toks: &mut core::iter::Peekable<proc_macro::token_stream::IntoIter>) {
+    let mut angle_depth = 0usize;
+    let mut prev_dash = false;
+    while let Some(tok) = toks.peek() {
+        match tok {
+            TokenTree::Punct(p) => {
+                let c = p.as_char();
+                if c == ',' && angle_depth == 0 {
+                    toks.next();
+                    return;
+                }
+                match c {
+                    '<' => angle_depth += 1,
+                    // Ignore the '>' of a '->' return-type arrow.
+                    '>' if !prev_dash => angle_depth = angle_depth.saturating_sub(1),
+                    _ => {}
+                }
+                prev_dash = c == '-';
+            }
+            _ => prev_dash = false,
+        }
+        toks.next();
+    }
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    let mut toks = stream.into_iter().peekable();
+    loop {
+        loop {
+            match toks.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    toks.next();
+                    toks.next();
+                }
+                _ => break,
+            }
+        }
+        let name = match toks.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("expected variant name, got {other:?}"),
+        };
+        let shape = match toks.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = count_tuple_fields(g.stream());
+                toks.next();
+                Shape::Tuple(arity)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                toks.next();
+                Shape::Named(fields)
+            }
+            _ => Shape::Unit,
+        };
+        match toks.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => {}
+            None => {
+                variants.push(Variant { name, shape });
+                break;
+            }
+            other => panic!("expected ',' after variant, got {other:?}"),
+        }
+        variants.push(Variant { name, shape });
+    }
+    variants
+}
+
+// -------------------------------------------------------------- generators
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        Kind::Unit => "::serde::Value::Null".to_string(),
+        Kind::Named(fields) => named_to_value(fields, |f| format!("&self.{f}")),
+        // serde_json convention: newtype structs are transparent.
+        Kind::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Kind::Tuple(arity) => {
+            let items: Vec<String> = (0..*arity)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Seq(vec![{}])", items.join(", "))
+        }
+        Kind::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vname = &v.name;
+                    match &v.shape {
+                        Shape::Unit => format!(
+                            "{name}::{vname} => ::serde::Value::Str(\"{vname}\".to_string()),"
+                        ),
+                        Shape::Tuple(1) => format!(
+                            "{name}::{vname}(f0) => ::serde::Value::Map(vec![(\
+                             \"{vname}\".to_string(), ::serde::Serialize::to_value(f0))]),"
+                        ),
+                        Shape::Tuple(arity) => {
+                            let binds: Vec<String> = (0..*arity).map(|i| format!("f{i}")).collect();
+                            let items: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!(
+                                "{name}::{vname}({binds}) => ::serde::Value::Map(vec![(\
+                                 \"{vname}\".to_string(), ::serde::Value::Seq(vec![{items}]))]),",
+                                binds = binds.join(", "),
+                                items = items.join(", ")
+                            )
+                        }
+                        Shape::Named(fields) => {
+                            let inner = named_to_value(fields, |f| f.to_string());
+                            format!(
+                                "{name}::{vname} {{ {binds} }} => ::serde::Value::Map(vec![(\
+                                 \"{vname}\".to_string(), {inner})]),",
+                                binds = fields.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{\n{}\n}}", arms.join("\n"))
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n\
+         }}"
+    )
+}
+
+fn named_to_value(fields: &[String], access: impl Fn(&str) -> String) -> String {
+    let entries: Vec<String> = fields
+        .iter()
+        .map(|f| {
+            format!(
+                "(\"{f}\".to_string(), ::serde::Serialize::to_value({}))",
+                access(f)
+            )
+        })
+        .collect();
+    format!("::serde::Value::Map(vec![{}])", entries.join(", "))
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        Kind::Unit => format!(
+            "match v {{\n\
+                 ::serde::Value::Null => Ok({name}),\n\
+                 other => Err(::serde::DeError::custom(format!(\
+                     \"expected null for unit struct {name}, got {{other:?}}\"))),\n\
+             }}"
+        ),
+        Kind::Named(fields) => {
+            let extracts: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_value(::serde::map_get(entries, \"{f}\")\
+                         .ok_or_else(|| ::serde::DeError::custom(\
+                             \"missing field `{f}` of {name}\"))?)?,"
+                    )
+                })
+                .collect();
+            format!(
+                "let entries = v.as_map().ok_or_else(|| ::serde::DeError::custom(format!(\
+                     \"expected map for struct {name}, got {{v:?}}\")))?;\n\
+                 Ok({name} {{\n{}\n}})",
+                extracts.join("\n")
+            )
+        }
+        Kind::Tuple(1) => format!("Ok({name}(::serde::Deserialize::from_value(v)?))"),
+        Kind::Tuple(arity) => {
+            let extracts: Vec<String> = (0..*arity)
+                .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                .collect();
+            format!(
+                "let items = v.as_seq().ok_or_else(|| ::serde::DeError::custom(format!(\
+                     \"expected sequence for tuple struct {name}, got {{v:?}}\")))?;\n\
+                 if items.len() != {arity} {{\n\
+                     return Err(::serde::DeError::custom(format!(\
+                         \"expected {arity} elements for {name}, got {{}}\", items.len())));\n\
+                 }}\n\
+                 Ok({name}({}))",
+                extracts.join(", ")
+            )
+        }
+        Kind::Enum(variants) => gen_enum_deserialize(name, variants),
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(v: &::serde::Value) -> Result<Self, ::serde::DeError> {{\n{body}\n}}\n\
+         }}"
+    )
+}
+
+fn gen_enum_deserialize(name: &str, variants: &[Variant]) -> String {
+    let unit_arms: Vec<String> = variants
+        .iter()
+        .filter(|v| matches!(v.shape, Shape::Unit))
+        .map(|v| format!("\"{vname}\" => return Ok({name}::{vname}),", vname = v.name))
+        .collect();
+    let data_arms: Vec<String> = variants
+        .iter()
+        .filter_map(|v| {
+            let vname = &v.name;
+            match &v.shape {
+                Shape::Unit => None,
+                Shape::Tuple(1) => Some(format!(
+                    "\"{vname}\" => return Ok({name}::{vname}(\
+                     ::serde::Deserialize::from_value(payload)?)),"
+                )),
+                Shape::Tuple(arity) => {
+                    let extracts: Vec<String> = (0..*arity)
+                        .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                        .collect();
+                    Some(format!(
+                        "\"{vname}\" => {{\n\
+                             let items = payload.as_seq().ok_or_else(|| \
+                                 ::serde::DeError::custom(\
+                                     \"expected sequence for {name}::{vname}\"))?;\n\
+                             if items.len() != {arity} {{\n\
+                                 return Err(::serde::DeError::custom(format!(\
+                                     \"expected {arity} elements for {name}::{vname}, got {{}}\", \
+                                     items.len())));\n\
+                             }}\n\
+                             return Ok({name}::{vname}({}));\n\
+                         }}",
+                        extracts.join(", ")
+                    ))
+                }
+                Shape::Named(fields) => {
+                    let extracts: Vec<String> = fields
+                        .iter()
+                        .map(|f| {
+                            format!(
+                                "{f}: ::serde::Deserialize::from_value(\
+                                 ::serde::map_get(entries, \"{f}\").ok_or_else(|| \
+                                     ::serde::DeError::custom(\
+                                         \"missing field `{f}` of {name}::{vname}\"))?)?,"
+                            )
+                        })
+                        .collect();
+                    Some(format!(
+                        "\"{vname}\" => {{\n\
+                             let entries = payload.as_map().ok_or_else(|| \
+                                 ::serde::DeError::custom(\
+                                     \"expected map for {name}::{vname}\"))?;\n\
+                             return Ok({name}::{vname} {{\n{}\n}});\n\
+                         }}",
+                        extracts.join("\n")
+                    ))
+                }
+            }
+        })
+        .collect();
+    format!(
+        "if let Some(tag) = v.as_str() {{\n\
+             match tag {{\n{unit}\n_ => {{}}\n}}\n\
+         }}\n\
+         if let Some(entries) = v.as_map() {{\n\
+             if entries.len() == 1 {{\n\
+                 let (tag, payload) = &entries[0];\n\
+                 let _ = payload;\n\
+                 match tag.as_str() {{\n{data}\n_ => {{}}\n}}\n\
+             }}\n\
+         }}\n\
+         Err(::serde::DeError::custom(format!(\
+             \"unrecognized {name} variant: {{v:?}}\")))",
+        unit = unit_arms.join("\n"),
+        data = data_arms.join("\n")
+    )
+}

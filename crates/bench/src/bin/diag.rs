@@ -1,20 +1,32 @@
 //! Diagnostic tool: dissects redundancy and balancing behaviour of one
-//! indoor run. Not part of the figure set; useful when calibrating.
+//! indoor run, then prints the run's telemetry dashboard. Not part of the
+//! figure set; useful when calibrating.
+//!
+//! ```text
+//! diag [SECS] [coop|full|baseline] [-q|--quiet] [-v|--verbose]
+//! diag mobile
+//! ```
 
 use enviromic::core::{Mode, NodeConfig};
 use enviromic::harness::run_scenario;
 use enviromic::sim::{RecordKind, TraceEvent};
 use enviromic::workloads::{indoor_scenario, IndoorParams};
 use enviromic_bench::indoor::suite_world_config;
+use enviromic_telemetry::{log, log_info};
 
 fn main() {
-    let first = std::env::args().nth(1).unwrap_or_else(|| "900".into());
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let quiet = args.iter().any(|a| a == "-q" || a == "--quiet");
+    let verbose = args.iter().any(|a| a == "-v" || a == "--verbose");
+    args.retain(|a| !matches!(a.as_str(), "-q" | "--quiet" | "-v" | "--verbose"));
+    log::init_from_flags(quiet, verbose);
+    let first = args.first().cloned().unwrap_or_else(|| "900".into());
     if first == "mobile" {
         diag_mobile();
         return;
     }
     let secs: f64 = first.parse().unwrap_or(900.0);
-    let mode = std::env::args().nth(2).unwrap_or_else(|| "coop".into());
+    let mode = args.get(1).cloned().unwrap_or_else(|| "coop".into());
     let params = IndoorParams {
         duration_secs: secs,
         ..IndoorParams::default()
@@ -26,6 +38,7 @@ fn main() {
         _ => NodeConfig::default().with_mode(Mode::CooperativeOnly),
     }
     .with_flash_chunks(650);
+    log_info!("[diag] indoor run: {secs:.0}s, mode {mode}...");
     let run = run_scenario(scenario, &cfg, suite_world_config(1), 20.0);
     let exp = run.experiment();
 
@@ -139,6 +152,8 @@ fn main() {
             .map(|p| p.1)
             .unwrap_or(0.0)
     );
+    println!();
+    print!("{}", run.telemetry.render_dashboard());
 }
 
 /// Gap forensics for the Fig. 6 mobile workload: where inside the event

@@ -1,45 +1,67 @@
 //! Figure-reproduction driver.
 //!
 //! ```text
-//! repro [FIGURE ...] [--seed N] [--quick]
+//! repro [FIGURE ...] [--seed N] [--quick] [-q | --verbose]
+//!       [--telemetry-out PATH]
 //!
 //! FIGURE: fig3 fig6 fig7 fig8 fig10 fig11 fig12 fig13 fig14
 //!         fig16 fig17 fig18 headline all    (default: all)
-//! --seed N   root seed (default 1)
-//! --quick    shortened runs (CI-friendly): 1/4 duration, 5 reps
+//! --seed N             root seed (default 1)
+//! --quick              shortened runs (CI-friendly): 1/4 duration, 5 reps
+//! -q / --quiet         suppress status lines
+//! -v / --verbose       extra detail + print the telemetry dashboard
+//! --telemetry-out PATH telemetry JSON destination
+//!                      (default target/telemetry/repro.json)
 //! ```
 //!
 //! Each figure prints the same rows/series the paper plots; EXPERIMENTS.md
-//! records how the output compares to the published results.
+//! records how the output compares to the published results. Every run
+//! also snapshots the runtime telemetry (protocol counters, latency
+//! histograms, per-phase wall-clock spans) to `--telemetry-out`, giving
+//! perf work a machine-readable baseline per invocation.
 
 use enviromic::metrics::render_series;
 use enviromic_bench::{ablation, fig03, fig06, fig08, indoor, outdoor};
+use enviromic_telemetry::{log, log_info, log_warn, Registry, TelemetryReport};
 use std::collections::BTreeSet;
 
 struct Options {
     figures: BTreeSet<String>,
     seed: u64,
     quick: bool,
+    telemetry_out: String,
 }
 
 fn parse_args() -> Options {
     let mut figures = BTreeSet::new();
     let mut seed = 1u64;
     let mut quick = false;
+    let mut quiet = false;
+    let mut verbose = false;
+    let mut telemetry_out = String::from("target/telemetry/repro.json");
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--seed" => {
                 seed = args.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| {
-                    eprintln!("--seed expects an integer");
+                    log_warn!("--seed expects an integer");
                     std::process::exit(2);
                 });
             }
             "--quick" => quick = true,
+            "--quiet" | "-q" => quiet = true,
+            "--verbose" | "-v" => verbose = true,
+            "--telemetry-out" => {
+                telemetry_out = args.next().unwrap_or_else(|| {
+                    log_warn!("--telemetry-out expects a path");
+                    std::process::exit(2);
+                });
+            }
             "--help" | "-h" => {
                 println!(
                     "usage: repro [fig3 fig6 fig7 fig8 fig10 fig11 fig12 fig13 fig14 \
-                     fig16 fig17 fig18 headline ablation all] [--seed N] [--quick]"
+                     fig16 fig17 fig18 headline ablation all] [--seed N] [--quick] \
+                     [-q|--quiet] [-v|--verbose] [--telemetry-out PATH]"
                 );
                 std::process::exit(0);
             }
@@ -48,6 +70,7 @@ fn parse_args() -> Options {
             }
         }
     }
+    log::init_from_flags(quiet, verbose);
     if figures.is_empty() || figures.contains("all") {
         for f in [
             "fig3", "fig6", "fig7", "fig8", "fig10", "fig11", "fig12", "fig13", "fig14", "fig16",
@@ -60,6 +83,7 @@ fn parse_args() -> Options {
         figures,
         seed,
         quick,
+        telemetry_out,
     }
 }
 
@@ -82,27 +106,42 @@ fn main() {
     let indoor_figures = ["fig10", "fig11", "fig12", "fig13", "fig14", "headline"];
     let needs_indoor = indoor_figures.iter().any(|f| wants(f));
 
+    // Session registry: per-phase wall-clock spans, plus every run's
+    // protocol/physical-layer metrics folded in. `totals` additionally
+    // aggregates runs under their unprefixed metric names.
+    let registry = Registry::new();
+    let mut totals = TelemetryReport::default();
+
     if wants("fig3") {
+        let _phase = registry.span("fig3");
         println!("{}", fig03::render(&fig03::run(opts.seed)));
     }
     if wants("fig6") {
+        let _phase = registry.span("fig6");
         let runs = if opts.quick { 5 } else { 15 };
-        eprintln!("[repro] fig6: sweeping Dta x Trc ({runs} runs per point)...");
+        log_info!("[repro] fig6: sweeping Dta x Trc ({runs} runs per point)...");
         let sweep = fig06::run_sweep(opts.seed, runs);
         println!("{}", fig06::render_sweep(&sweep));
     }
     if wants("fig7") {
+        let _phase = registry.span("fig7");
         let (rows, event) = fig06::run_timeline(opts.seed);
         println!("{}", fig06::render_timeline(&rows, event));
     }
     if wants("fig8") {
+        let _phase = registry.span("fig8");
         println!("{}", fig08::render(&fig08::run(opts.seed)));
     }
 
     if needs_indoor {
+        let _phase = registry.span("indoor-suite");
         let duration = if opts.quick { 1100.0 } else { 4400.0 };
-        eprintln!("[repro] indoor suite: 5 settings x {duration:.0}s (parallel)...");
+        log_info!("[repro] indoor suite: 5 settings x {duration:.0}s (parallel)...");
         let suite = indoor::run_suite(opts.seed, duration);
+        for (setting, run) in &suite.runs {
+            registry.absorb(&setting.label(), &run.telemetry);
+            totals.merge(&run.telemetry);
+        }
         let sample = duration / 8.0;
         if wants("fig10") {
             println!(
@@ -165,15 +204,18 @@ fn main() {
     }
 
     if wants("ablation") {
+        let _phase = registry.span("ablation");
         let duration = if opts.quick { 700.0 } else { 2200.0 };
-        eprintln!("[repro] ablation battery: 7 configurations x {duration:.0}s (parallel)...");
+        log_info!("[repro] ablation battery: 7 configurations x {duration:.0}s (parallel)...");
         println!("{}", ablation::render(&ablation::run(opts.seed, duration)));
     }
 
     if wants("fig16") || wants("fig17") || wants("fig18") {
+        let _phase = registry.span("outdoor");
         let duration = if opts.quick { 2700.0 } else { 10_800.0 };
-        eprintln!("[repro] outdoor deployment: 36 nodes x {duration:.0}s...");
+        log_info!("[repro] outdoor deployment: 36 nodes x {duration:.0}s...");
         let run = outdoor::run(opts.seed, duration);
+        totals.merge(&run.run.telemetry);
         if wants("fig16") {
             println!(
                 "{}",
@@ -196,5 +238,24 @@ fn main() {
                 ))
             );
         }
+    }
+
+    // Telemetry export: spans + per-setting breakdown from the registry,
+    // plus the unprefixed cross-run totals.
+    let mut report = registry.report();
+    report.merge(&totals);
+    let dashboard = report.render_dashboard();
+    if log::enabled(log::Level::Debug) {
+        eprint!("{dashboard}");
+    }
+    let path = std::path::Path::new(&opts.telemetry_out);
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            let _ = std::fs::create_dir_all(parent);
+        }
+    }
+    match std::fs::write(path, report.to_json()) {
+        Ok(()) => log_info!("[repro] telemetry report written to {}", opts.telemetry_out),
+        Err(e) => log_warn!("could not write {}: {e}", opts.telemetry_out),
     }
 }

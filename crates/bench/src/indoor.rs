@@ -16,6 +16,7 @@
 use enviromic::core::{Mode, NodeConfig};
 use enviromic::harness::{indoor_world_config, run_scenario, ExperimentRun};
 use enviromic::metrics::{ContourGrid, Experiment};
+use enviromic::telemetry::TelemetryReport;
 use enviromic::types::SimDuration;
 use enviromic::workloads::{indoor_scenario, IndoorParams, Topology};
 
@@ -213,6 +214,18 @@ impl IndoorSuite {
         let run = self.lb2_run();
         let counts = run.experiment().per_node_message_counts(CONTROL_KINDS);
         node_grid(&run.scenario.topology, &counts)
+    }
+
+    /// The suite's telemetry, folded into one report with each run's
+    /// metrics prefixed by its setting label (`lb-bmax2.core.election.won`,
+    /// ...), so the five settings stay comparable side by side.
+    #[must_use]
+    pub fn telemetry_report(&self) -> TelemetryReport {
+        let mut total = TelemetryReport::default();
+        for (setting, run) in &self.runs {
+            total.merge(&run.telemetry.with_prefix(&setting.label()));
+        }
+        total
     }
 
     /// Whole-run miss ratio per setting.

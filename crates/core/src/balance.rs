@@ -140,6 +140,8 @@ impl EnviroMicNode {
         }
         let session = self.session_seq;
         self.session_seq += 1;
+        self.metrics.migrate_offered.inc();
+        self.metrics.beta.observe(beta);
         self.pending_offer = Some(PendingOffer {
             to: target,
             session,
@@ -170,6 +172,7 @@ impl EnviroMicNode {
             return;
         }
         if self.bulk_in.is_some() || self.store.free() == 0 {
+            self.metrics.migrate_rejected.inc();
             return; // busy or full: ignore and let the offer expire
         }
         if self.cfg.global_balance_hints {
@@ -178,14 +181,17 @@ impl EnviroMicNode {
             // shed onward do not become dumping grounds (Fig. 13(c)).
             let own_free = f64::from(self.store.free()) / f64::from(self.store.capacity());
             if own_free < self.net_avg_free * 0.8 {
+                self.metrics.migrate_rejected.inc();
                 return;
             }
         }
         let granted =
             u16::try_from(u64::from(chunks).min(u64::from(self.store.free()))).unwrap_or(u16::MAX);
         if granted == 0 {
+            self.metrics.migrate_rejected.inc();
             return;
         }
+        self.metrics.migrate_accepted.inc();
         self.bulk_in = Some(InboundBulk {
             recv: BulkReceiver::new(from, session),
             accepted: 0,
@@ -279,6 +285,7 @@ impl EnviroMicNode {
                 inbound.accepted += 1;
                 inbound.bytes += chunk_bytes;
                 self.stats.chunks_migrated_in += 1;
+                self.metrics.chunks_migrated_in.inc();
             } else {
                 // Out of space mid-transfer: withhold the ACK so the donor
                 // backs off and keeps its copy.
@@ -329,6 +336,7 @@ impl EnviroMicNode {
                     let _ = self.store.pop_front(ctx);
                 }
                 self.stats.chunks_migrated_out += 1;
+                self.metrics.chunks_migrated_out.inc();
             }
         }
         let Some(outbound) = &mut self.bulk_out else {

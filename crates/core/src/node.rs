@@ -20,6 +20,7 @@ use enviromic_sim::{
     Application, AudioBlock, Context, DropReason, RecordKind, StorageOccupancy, Timer, TimerHandle,
     TraceEvent,
 };
+use enviromic_telemetry::{Counter, Histogram, Registry};
 use enviromic_timesync::{BeaconScheduler, SyncState};
 use enviromic_types::{EventId, NodeId, SimDuration, SimTime};
 use rand::Rng;
@@ -65,6 +66,9 @@ pub(crate) struct LeaderState {
     pub task_seq: u32,
     /// Member awaiting TASK_CONFIRM.
     pub pending: Option<NodeId>,
+    /// When the outstanding TASK_REQUEST was sent (assignment-latency
+    /// telemetry).
+    pub pending_at: SimTime,
     /// Members excluded in the current round (timed out or recording).
     pub excluded: Vec<NodeId>,
     pub attempts: u32,
@@ -133,6 +137,53 @@ pub(crate) struct PendingReply {
     pub all: bool,
     pub chunks: Vec<Chunk>,
     pub next: usize,
+}
+
+/// Telemetry handles for the protocol subsystems, resolved once from the
+/// world registry at `on_start`. Default-constructed handles are detached
+/// (they record into private cells nobody reads), so a node built outside
+/// a world stays harmless.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct CoreMetrics {
+    pub elections_started: Counter,
+    pub elections_won: Counter,
+    pub handoffs_won: Counter,
+    pub resigns_sent: Counter,
+    pub tasks_assigned: Counter,
+    pub tasks_recorded: Counter,
+    pub confirm_timeouts: Counter,
+    /// TASK_REQUEST → TASK_CONFIRM round-trip, simulated milliseconds.
+    pub assign_latency_ms: Histogram,
+    pub migrate_offered: Counter,
+    pub migrate_accepted: Counter,
+    pub migrate_rejected: Counter,
+    pub chunks_migrated_out: Counter,
+    pub chunks_migrated_in: Counter,
+    pub chunks_dropped: Counter,
+    /// β threshold in force at each migration offer (§II-B).
+    pub beta: Histogram,
+}
+
+impl CoreMetrics {
+    fn attach(reg: &Registry) -> Self {
+        CoreMetrics {
+            elections_started: reg.counter("core.election.started"),
+            elections_won: reg.counter("core.election.won"),
+            handoffs_won: reg.counter("core.election.handoff_won"),
+            resigns_sent: reg.counter("core.election.resigned"),
+            tasks_assigned: reg.counter("core.task.assigned"),
+            tasks_recorded: reg.counter("core.task.recorded"),
+            confirm_timeouts: reg.counter("core.task.confirm_timeout"),
+            assign_latency_ms: reg.histogram("core.task.assign_latency_ms"),
+            migrate_offered: reg.counter("core.migrate.offered"),
+            migrate_accepted: reg.counter("core.migrate.accepted"),
+            migrate_rejected: reg.counter("core.migrate.rejected"),
+            chunks_migrated_out: reg.counter("core.migrate.chunks_out"),
+            chunks_migrated_in: reg.counter("core.migrate.chunks_in"),
+            chunks_dropped: reg.counter("core.storage.chunks_dropped"),
+            beta: reg.histogram("core.balance.beta"),
+        }
+    }
 }
 
 /// Counters exposed for tests and experiment harnesses.
@@ -219,6 +270,7 @@ pub struct EnviroMicNode {
     // plumbing
     pub(crate) timers: HashMap<u32, TimerHandle>,
     pub(crate) stats: NodeStats,
+    pub(crate) metrics: CoreMetrics,
 }
 
 impl EnviroMicNode {
@@ -277,6 +329,7 @@ impl EnviroMicNode {
             pending_reply: None,
             timers: HashMap::new(),
             stats: NodeStats::default(),
+            metrics: CoreMetrics::default(),
         }
     }
 
@@ -464,6 +517,7 @@ impl EnviroMicNode {
             // Hand leadership to whoever still hears the event (§II-A.1).
             self.disarm(ctx, T_ASSIGN);
             self.disarm(ctx, T_CONFIRM);
+            self.metrics.resigns_sent.inc();
             self.send(
                 ctx,
                 Message::Resign {
@@ -520,6 +574,7 @@ impl EnviroMicNode {
             return;
         }
         if self.leader.is_none() {
+            self.metrics.elections_started.inc();
             let backoff = {
                 let max = self.cfg.election_backoff_max.as_jiffies().max(1);
                 SimDuration::from_jiffies(ctx.rng().gen_range(0..max))
@@ -597,6 +652,7 @@ impl EnviroMicNode {
                 let task = self.task.as_mut().expect("task checked above");
                 task.dropped_from.get_or_insert(block.t0);
                 self.stats.chunks_dropped += 1;
+                self.metrics.chunks_dropped.inc();
             }
         }
     }
@@ -649,6 +705,7 @@ impl EnviroMicNode {
             }
             RecordKind::Task => {
                 self.stats.tasks_recorded += 1;
+                self.metrics.tasks_recorded.inc();
                 // If we are the leader and just recorded our own
                 // assignment, the assignment timer takes over.
                 self.check_leader_liveness(ctx);
@@ -670,6 +727,7 @@ impl Application for EnviroMicNode {
     fn on_start(&mut self, ctx: &mut Context<'_>) {
         self.me = ctx.node_id();
         self.sync = SyncState::new(self.me);
+        self.metrics = CoreMetrics::attach(ctx.telemetry());
         // Stagger periodic services so co-located nodes do not self-
         // synchronize.
         let state_stagger = {
@@ -744,6 +802,11 @@ impl Application for EnviroMicNode {
 
     fn poll_occupancy(&self) -> Option<StorageOccupancy> {
         Some(self.store.occupancy())
+    }
+
+    fn on_finish(&mut self, ctx: &mut Context<'_>) {
+        // End-of-run flash wear scrape (§III-B.3 wear-leveling evidence).
+        enviromic_flash::record_wear(ctx.telemetry(), self.store.inner().flash());
     }
 
     fn as_any(&self) -> &dyn core::any::Any {

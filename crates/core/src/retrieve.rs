@@ -21,6 +21,7 @@ use enviromic_net::{
     decode_envelope, encode_envelope, BulkReceiver, BulkSender, Message, TreeAction,
 };
 use enviromic_sim::{Application, Context, Timer};
+use enviromic_telemetry::Counter;
 use enviromic_types::{EventId, NodeId, SimDuration, SimTime};
 use rand::Rng;
 use std::collections::{BTreeMap, HashMap, HashSet};
@@ -336,6 +337,10 @@ pub struct DataMule {
     new_this_round: usize,
     consecutive_empty_rounds: u32,
     finished: bool,
+    /// Re-query rounds issued to close gaps left by lost answers (§II-C).
+    m_requeries: Counter,
+    /// Unique chunks accepted across all rounds.
+    m_chunks: Counter,
 }
 
 impl DataMule {
@@ -355,6 +360,8 @@ impl DataMule {
             new_this_round: 0,
             consecutive_empty_rounds: 0,
             finished: false,
+            m_requeries: Counter::default(),
+            m_chunks: Counter::default(),
         }
     }
 
@@ -398,6 +405,7 @@ impl DataMule {
         if self.seen.insert(key) {
             self.chunks.push(chunk);
             self.new_this_round += 1;
+            self.m_chunks.inc();
         }
     }
 
@@ -439,6 +447,8 @@ impl DataMule {
 impl Application for DataMule {
     fn on_start(&mut self, ctx: &mut Context<'_>) {
         self.me = ctx.node_id();
+        self.m_requeries = ctx.telemetry().counter("core.retrieve.requery_rounds");
+        self.m_chunks = ctx.telemetry().counter("core.retrieve.chunks_received");
         ctx.set_timer(self.cfg.start_after, MULE_T_BEGIN);
     }
 
@@ -467,8 +477,10 @@ impl Application for DataMule {
                     // Rebuild the tree before every round: a single build
                     // wave can die on a lossy hop, leaving far nodes
                     // unattached and unable to route answers.
+                    self.m_requeries.inc();
                     self.rebuild_tree_then_query(ctx);
                 } else {
+                    self.m_requeries.inc();
                     self.send_query(ctx);
                 }
             }

@@ -229,6 +229,7 @@ impl EnviroMicNode {
         let event = EventId::new(self.me, self.event_seq);
         self.event_seq += 1;
         self.stats.elections_won += 1;
+        self.metrics.elections_won.inc();
         self.become_leader(ctx, event, 0, SimDuration::ZERO, false);
     }
 
@@ -282,6 +283,7 @@ impl EnviroMicNode {
             .next_assign_at
             .saturating_since(self.global_now(ctx));
         self.stats.handoffs_won += 1;
+        self.metrics.handoffs_won.inc();
         self.become_leader(ctx, pending.event, pending.task_seq, delay, true);
     }
 
@@ -312,6 +314,7 @@ impl EnviroMicNode {
             event,
             task_seq,
             pending: None,
+            pending_at: SimTime::ZERO,
             excluded: Vec::new(),
             attempts: 0,
             current_recorder: None,
@@ -440,6 +443,7 @@ impl EnviroMicNode {
                 ls.current_recorder = Some(self.me);
                 ls.pending = None;
             }
+            self.metrics.tasks_assigned.inc();
             self.start_task(ctx, Some(event), RecordKind::Task, dur);
             self.arm(ctx, T_ASSIGN, next);
             if let Some(ls) = &mut self.leader {
@@ -448,6 +452,7 @@ impl EnviroMicNode {
         } else {
             if let Some(ls) = &mut self.leader {
                 ls.pending = Some(chosen);
+                ls.pending_at = ctx.now();
             }
             self.arm(ctx, T_CONFIRM, self.cfg.confirm_timeout);
         }
@@ -468,9 +473,16 @@ impl EnviroMicNode {
         }
         // Assignment settled: schedule the next round Dta before this task
         // expires (Fig. 4).
-        ls.pending = None;
+        if ls.pending.take().is_some() {
+            // Request → confirm round trip, in simulated milliseconds.
+            let latency = ctx.now().saturating_since(ls.pending_at);
+            self.metrics
+                .assign_latency_ms
+                .observe(latency.as_secs_f64() * 1e3);
+        }
         ls.current_recorder = Some(recorder);
         ls.task_seq += 1;
+        self.metrics.tasks_assigned.inc();
         self.disarm(ctx, T_CONFIRM);
         let next = self.cfg.trc.saturating_sub(self.cfg.dta);
         self.arm(ctx, T_ASSIGN, next);
@@ -516,6 +528,7 @@ impl EnviroMicNode {
         // pick another member (§II-A.2).
         ls.excluded.push(pending);
         ls.attempts += 1;
+        self.metrics.confirm_timeouts.inc();
         if ls.attempts < self.cfg.max_assign_attempts {
             self.try_assign(ctx);
         } else {

@@ -41,8 +41,10 @@ mod device;
 mod eeprom;
 mod meta;
 mod store;
+mod wear;
 
 pub use device::{Flash, FlashError, BLOCK_BYTES};
 pub use eeprom::{Checkpoint, Eeprom, EepromWornOut};
 pub use meta::{Chunk, ChunkMeta, DecodeError};
 pub use store::{ChunkStore, StoreError};
+pub use wear::record_wear;

@@ -1,0 +1,51 @@
+//! Wear telemetry: folds a device's per-block write accounting into a
+//! metrics registry.
+
+use crate::Flash;
+use enviromic_telemetry::Registry;
+
+/// Records one device's wear state into `registry`:
+///
+/// * `flash.writes.total` — counter, completed block writes;
+/// * `flash.block_writes` — histogram over per-block write counts (its
+///   min/max spread shows how well the circular layout levels wear);
+/// * `flash.wear_spread` — histogram of max−min write-count spreads, one
+///   observation per scraped device (§III-B.3 keeps each ≤ 1).
+///
+/// Intended for an end-of-run scrape (e.g. from an application's
+/// `on_finish` hook); calling it repeatedly on the same device would
+/// double-count.
+pub fn record_wear(registry: &Registry, flash: &Flash) {
+    let per_block = registry.histogram("flash.block_writes");
+    let mut total = 0u64;
+    for index in 0..flash.block_count() {
+        let n = flash.write_count(index);
+        total += n;
+        per_block.observe(n as f64);
+    }
+    registry.counter("flash.writes.total").add(total);
+    registry
+        .histogram("flash.wear_spread")
+        .observe(flash.wear_spread() as f64);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scrape_reports_totals_and_spread() {
+        let mut flash = Flash::new(4, 100);
+        flash.write_block(0, &[1]).unwrap();
+        flash.write_block(0, &[2]).unwrap();
+        flash.write_block(1, &[3]).unwrap();
+        let reg = Registry::new();
+        record_wear(&reg, &flash);
+        let report = reg.report();
+        assert_eq!(report.counter("flash.writes.total"), Some(3));
+        let blocks = report.histogram("flash.block_writes").unwrap();
+        assert_eq!(blocks.count, 4, "one observation per block");
+        assert_eq!(blocks.max, 2.0);
+        assert_eq!(report.histogram("flash.wear_spread").unwrap().max, 2.0);
+    }
+}

@@ -99,6 +99,13 @@ pub trait Application {
         None
     }
 
+    /// Invoked once by [`crate::World::finish`] after the last event, so
+    /// the application can export end-of-run statistics (e.g. flash wear)
+    /// into the telemetry registry via [`crate::Context::telemetry`].
+    fn on_finish(&mut self, ctx: &mut crate::Context<'_>) {
+        let _ = ctx;
+    }
+
     /// Upcast for post-run inspection via [`crate::World::app_as`].
     ///
     /// Implement as `fn as_any(&self) -> &dyn Any { self }`.

@@ -6,6 +6,11 @@
 //! [`crate::Context::trace`]) and the world adds physical-layer records of
 //! its own (message deliveries, occupancy polls). Metrics crates only ever
 //! read the trace — they never reach into protocol state.
+//!
+//! The trace is the *post-hoc* record; its runtime counterpart is the
+//! `enviromic-telemetry` registry reachable through
+//! [`crate::Context::telemetry`], which aggregates live counters,
+//! latency histograms, and wall-clock span timings while a run executes.
 
 use crate::acoustics::SourceId;
 use enviromic_types::{EventId, NodeId, SimTime};

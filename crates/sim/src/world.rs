@@ -7,10 +7,12 @@ use crate::config::WorldConfig;
 use crate::queue::EventQueue;
 use crate::rng::RngStreams;
 use crate::trace::{Trace, TraceEvent};
+use enviromic_telemetry::{Counter, Histogram, Registry, TelemetryReport};
 use enviromic_types::{audio, NodeId, Position, SimDuration, SimTime};
 use rand::rngs::SmallRng;
 use rand::Rng;
 use std::collections::HashSet;
+use std::time::Instant;
 
 /// Internal queue payloads.
 #[derive(Debug)]
@@ -63,6 +65,31 @@ struct ActiveSession {
     block_start: SimTime,
 }
 
+/// Telemetry handles pre-resolved once so the hot event loop never does
+/// a by-name registry lookup.
+#[derive(Debug)]
+struct SimMetrics {
+    packets_sent: Counter,
+    packets_delivered: Counter,
+    packets_lost: Counter,
+    packets_blocked_rx: Counter,
+    timers_fired: Counter,
+    dispatch_us: Histogram,
+}
+
+impl SimMetrics {
+    fn new(reg: &Registry) -> Self {
+        SimMetrics {
+            packets_sent: reg.counter("sim.packets.sent"),
+            packets_delivered: reg.counter("sim.packets.delivered"),
+            packets_lost: reg.counter("sim.packets.lost"),
+            packets_blocked_rx: reg.counter("sim.packets.blocked_rx"),
+            timers_fired: reg.counter("sim.timers.fired"),
+            dispatch_us: reg.histogram("sim.dispatch_us"),
+        }
+    }
+}
+
 /// Everything in the world except the applications themselves; the
 /// [`Context`] handed to application callbacks is a view into this.
 #[derive(Debug)]
@@ -78,6 +105,8 @@ struct Inner {
     next_timer_handle: u64,
     next_session: u64,
     medium_rng: SmallRng,
+    telemetry: Registry,
+    metrics: SimMetrics,
 }
 
 /// The simulated world.
@@ -108,6 +137,8 @@ impl World {
     pub fn new(cfg: WorldConfig) -> Self {
         let streams = RngStreams::new(cfg.seed);
         let medium_rng = streams.stream("medium", 0);
+        let telemetry = Registry::new();
+        let metrics = SimMetrics::new(&telemetry);
         World {
             inner: Inner {
                 cfg,
@@ -121,6 +152,8 @@ impl World {
                 next_timer_handle: 0,
                 next_session: 0,
                 medium_rng,
+                telemetry,
+                metrics,
             },
             apps: Vec::new(),
             started: false,
@@ -227,6 +260,45 @@ impl World {
         self.inner.trace
     }
 
+    /// The world's telemetry registry. Applications reach it through
+    /// [`Context::telemetry`]; harnesses clone it to add run-level
+    /// metrics alongside the simulation's own.
+    #[must_use]
+    pub fn telemetry(&self) -> &Registry {
+        &self.inner.telemetry
+    }
+
+    /// Consumes the world and returns its trace together with a final
+    /// telemetry snapshot.
+    #[must_use]
+    pub fn into_parts(self) -> (Trace, TelemetryReport) {
+        let report = self.inner.telemetry.report();
+        (self.inner.trace, report)
+    }
+
+    /// Invokes every application's [`Application::on_finish`] hook so
+    /// protocols can export end-of-run statistics (flash wear, final
+    /// protocol state) into the telemetry registry. Dead nodes get the
+    /// callback too — their accumulated state is still of interest.
+    ///
+    /// Call at most once, after the last [`World::run_until`].
+    pub fn finish(&mut self) {
+        self.ensure_started();
+        for idx in 0..self.apps.len() {
+            let node = NodeId(idx as u16);
+            self.inner.integrate_energy(node);
+            let mut app = self.apps[idx].take().expect("re-entrant finish");
+            {
+                let mut ctx = Context {
+                    inner: &mut self.inner,
+                    node,
+                };
+                app.on_finish(&mut ctx);
+            }
+            self.apps[idx] = Some(app);
+        }
+    }
+
     /// Remaining battery energy of `node`, in millijoules (integrated up to
     /// the current instant).
     ///
@@ -321,11 +393,18 @@ impl World {
             .take()
             .expect("re-entrant dispatch on one node");
         {
+            let started = Instant::now();
             let mut ctx = Context {
                 inner: &mut self.inner,
                 node,
             };
             f(app.as_mut(), &mut ctx);
+            // Wall-clock cost of the callback; purely observational, so
+            // simulation determinism is unaffected.
+            self.inner
+                .metrics
+                .dispatch_us
+                .observe(started.elapsed().as_secs_f64() * 1e6);
         }
         self.apps[node.index()] = Some(app);
     }
@@ -340,6 +419,7 @@ impl World {
                 if self.inner.cancelled.remove(&handle) {
                     return;
                 }
+                self.inner.metrics.timers_fired.inc();
                 self.with_app(node, |app, ctx| {
                     app.on_timer(
                         ctx,
@@ -355,8 +435,10 @@ impl World {
                 if !slot.alive || !slot.radio_on || slot.session.is_some() {
                     // Radio off (or the CPU is saturated by sampling):
                     // the packet is lost to this receiver.
+                    self.inner.metrics.packets_blocked_rx.inc();
                     return;
                 }
+                self.inner.metrics.packets_delivered.inc();
                 self.with_app(to, |app, ctx| app.on_packet(ctx, from, &bytes));
             }
             Ev::AcousticTick => {
@@ -612,6 +694,7 @@ impl Context<'_> {
             SimDuration::from_jiffies(d)
         };
         let deliver_at = self.inner.now + mac + airtime + r.per_hop_latency;
+        self.inner.metrics.packets_sent.inc();
         self.inner.trace.push(TraceEvent::MessageSent {
             node: self.node,
             kind,
@@ -635,6 +718,7 @@ impl Context<'_> {
                 continue;
             }
             if loss > 0.0 && self.inner.medium_rng.gen::<f64>() < loss {
+                self.inner.metrics.packets_lost.inc();
                 continue;
             }
             self.inner.queue.schedule(
@@ -725,6 +809,15 @@ impl Context<'_> {
     /// Appends a record to the world trace.
     pub fn trace(&mut self, event: TraceEvent) {
         self.inner.trace.push(event);
+    }
+
+    /// The world's telemetry registry, for protocol-level counters and
+    /// histograms (`core.*`, `flash.*`). Handles obtained from it stay
+    /// valid across callbacks, so applications should resolve them once
+    /// and cache them rather than looking them up per event.
+    #[must_use]
+    pub fn telemetry(&self) -> &Registry {
+        &self.inner.telemetry
     }
 }
 

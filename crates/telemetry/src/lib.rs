@@ -1,0 +1,49 @@
+//! Runtime telemetry for the EnviroMic stack.
+//!
+//! The post-hoc [`Trace`](../enviromic_sim/trace/index.html) answers
+//! "what happened" after a run; this crate answers "what is happening"
+//! while one executes, and "where does wall-clock go" across a whole
+//! benchmark session. It provides:
+//!
+//! * a [`Registry`] of named [`Counter`]s, [`Gauge`]s, and log-bucket
+//!   [`Histogram`]s (p50/p90/p99 quantile estimates), cheap enough to
+//!   update on protocol hot paths;
+//! * hierarchical wall-clock [`Span`] timers for profiling phases of a
+//!   benchmark run;
+//! * a serializable [`TelemetryReport`] snapshot that merges across runs,
+//!   exports as JSON next to the figure CSVs, and renders as a plain-text
+//!   [dashboard](TelemetryReport::render_dashboard);
+//! * a process-wide leveled [logger](log) behind `--verbose`/`-q` flags.
+//!
+//! Metric names follow a `subsystem.metric` convention, e.g.
+//! `core.election.won`, `sim.packets.delivered`, `flash.block_writes`
+//! (see DESIGN.md, "Telemetry & profiling").
+//!
+//! # Examples
+//!
+//! ```
+//! use enviromic_telemetry::Registry;
+//!
+//! let registry = Registry::new();
+//! let elections = registry.counter("core.election.won");
+//! elections.inc();
+//! let latency = registry.histogram("core.task.confirm_latency_ms");
+//! latency.observe(70.0);
+//!
+//! let report = registry.report();
+//! assert_eq!(report.counter("core.election.won"), Some(1));
+//! println!("{}", report.render_dashboard());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod histogram;
+pub mod log;
+mod registry;
+mod render;
+mod report;
+
+pub use histogram::{Histogram, HistogramSnapshot};
+pub use registry::{Counter, Gauge, Registry, Span};
+pub use report::{SpanSnapshot, TelemetryReport};

@@ -13,6 +13,9 @@
 //!   --beta-max X                            balancer sensitivity bound
 //!   --prelude  SECS                         enable the prelude optimization
 //!   --series                                also print the miss-ratio series
+//!   --stats                                 print the telemetry dashboard
+//!   -q / --quiet                            suppress status lines
+//!   -v / --verbose                          extra detail on stderr
 //! ```
 
 use enviromic::core::{Mode, NodeConfig};
@@ -23,6 +26,7 @@ use enviromic::workloads::{
     forest_scenario, indoor_scenario, mobile_scenario, voice_scenario, ForestParams, IndoorParams,
     MobileParams, Scenario,
 };
+use enviromic_telemetry::{log, log_info};
 
 #[derive(Debug)]
 struct Options {
@@ -34,13 +38,15 @@ struct Options {
     beta_max: Option<f64>,
     prelude: Option<f64>,
     series: bool,
+    stats: bool,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: enviromic [--scenario indoor|mobile|forest|voice] \
          [--mode full|coop|baseline] [--duration SECS] [--seed N] \
-         [--flash CHUNKS] [--beta-max X] [--prelude SECS] [--series]"
+         [--flash CHUNKS] [--beta-max X] [--prelude SECS] [--series] \
+         [--stats] [-q|--quiet] [-v|--verbose]"
     );
     std::process::exit(2);
 }
@@ -55,7 +61,10 @@ fn parse_args() -> Options {
         beta_max: None,
         prelude: None,
         series: false,
+        stats: false,
     };
+    let mut quiet = false;
+    let mut verbose = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         let mut value = || args.next().unwrap_or_else(|| usage());
@@ -75,10 +84,14 @@ fn parse_args() -> Options {
             "--beta-max" => opts.beta_max = value().parse().ok().or_else(|| usage()),
             "--prelude" => opts.prelude = value().parse().ok().or_else(|| usage()),
             "--series" => opts.series = true,
+            "--stats" => opts.stats = true,
+            "--quiet" | "-q" => quiet = true,
+            "--verbose" | "-v" => verbose = true,
             "--help" | "-h" => usage(),
             _ => usage(),
         }
     }
+    log::init_from_flags(quiet, verbose);
     opts
 }
 
@@ -127,7 +140,7 @@ fn main() {
         cfg = cfg.with_prelude(SimDuration::from_secs_f64(secs));
     }
 
-    eprintln!(
+    log_info!(
         "[enviromic] {} scenario: {} nodes, {} events, {:.0}s, mode {:?}",
         opts.scenario,
         scenario.topology.len(),
@@ -187,5 +200,10 @@ fn main() {
         for (t, m) in exp.miss_ratio_series(horizon, horizon / 10.0) {
             println!("  {t:>8.0}s  {m:.3}");
         }
+    }
+
+    if opts.stats {
+        println!();
+        print!("{}", run.telemetry.render_dashboard());
     }
 }

@@ -9,6 +9,7 @@
 use enviromic_core::{EnviroMicNode, NodeConfig};
 use enviromic_metrics::Experiment;
 use enviromic_sim::{Trace, World, WorldConfig};
+use enviromic_telemetry::TelemetryReport;
 use enviromic_types::{Position, SimDuration};
 use enviromic_workloads::Scenario;
 
@@ -38,13 +39,17 @@ pub fn forest_world_config(seed: u64) -> WorldConfig {
     cfg
 }
 
-/// A completed run: the scenario that drove it and the trace it produced.
+/// A completed run: the scenario that drove it, the trace it produced, and
+/// the runtime telemetry collected while it executed.
 #[derive(Debug)]
 pub struct ExperimentRun {
     /// The workload that was executed.
     pub scenario: Scenario,
     /// The resulting simulation trace.
     pub trace: Trace,
+    /// Snapshot of the run's telemetry registry: protocol counters,
+    /// latency histograms, flash wear, and physical-layer statistics.
+    pub telemetry: TelemetryReport,
 }
 
 impl ExperimentRun {
@@ -105,9 +110,12 @@ pub fn run_scenario(
     let mut world = build_world(&scenario, node_cfg, world_cfg);
     let end = scenario.end() + SimDuration::from_secs_f64(drain_secs);
     world.run_until(end);
+    world.finish();
+    let (trace, telemetry) = world.into_parts();
     ExperimentRun {
         scenario,
-        trace: world.into_trace(),
+        trace,
+        telemetry,
     }
 }
 

@@ -27,6 +27,7 @@
 //! | [`core`] | the EnviroMic protocol node, baselines, data mule |
 //! | [`workloads`] | paper testbed topologies and acoustic scenarios |
 //! | [`metrics`] | miss ratio, redundancy, overhead, contours |
+//! | [`telemetry`] | runtime counters, histograms, span timing, logging |
 //! | [`harness`] | one-call experiment assembly and execution |
 //!
 //! # Quickstart
@@ -54,6 +55,7 @@ pub use enviromic_flash as flash;
 pub use enviromic_metrics as metrics;
 pub use enviromic_net as net;
 pub use enviromic_sim as sim;
+pub use enviromic_telemetry as telemetry;
 pub use enviromic_timesync as timesync;
 pub use enviromic_types as types;
 pub use enviromic_workloads as workloads;
