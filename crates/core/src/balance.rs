@@ -13,7 +13,7 @@ use crate::node::{
 };
 use enviromic_flash::Chunk;
 use enviromic_net::{BulkReceiver, BulkSender, Message, SenderStep};
-use enviromic_sim::{Context, TraceEvent};
+use enviromic_runtime::{Runtime, TraceEvent};
 use enviromic_types::NodeId;
 use rand::Rng;
 
@@ -27,7 +27,7 @@ impl EnviroMicNode {
     /// quiet periods do not fold zeros into the average, so a node's
     /// storage horizon does not balloon to infinity between sporadic
     /// events (which would silently switch the balancer off).
-    pub(crate) fn on_rate_tick(&mut self, ctx: &mut Context<'_>) {
+    pub(crate) fn on_rate_tick(&mut self, ctx: &mut dyn Runtime) {
         let bytes = self.store.take_rate_bytes();
         if bytes > 0 {
             let period_secs = self.cfg.rate_period.as_secs_f64();
@@ -40,7 +40,7 @@ impl EnviroMicNode {
 
     // ----- periodic state beacon + balance check --------------------------------
 
-    pub(crate) fn on_state_tick(&mut self, ctx: &mut Context<'_>) {
+    pub(crate) fn on_state_tick(&mut self, ctx: &mut dyn Runtime) {
         self.neighbors.expire(ctx.now());
         // Withdraw an offer nobody answered within a period.
         if let Some(offer) = self.pending_offer {
@@ -86,7 +86,7 @@ impl EnviroMicNode {
 
     /// The migration decision of §II-B: find a neighbour `j` with
     /// `TTL_j / TTL_i > β_i` while energy is not the bottleneck.
-    fn balance_check(&mut self, ctx: &mut Context<'_>) {
+    fn balance_check(&mut self, ctx: &mut dyn Runtime) {
         if !self.cfg.mode.balancing()
             || self.bulk_out.is_some()
             || self.pending_offer.is_some()
@@ -162,7 +162,7 @@ impl EnviroMicNode {
 
     pub(crate) fn on_migrate_offer(
         &mut self,
-        ctx: &mut Context<'_>,
+        ctx: &mut dyn Runtime,
         from: NodeId,
         to: NodeId,
         chunks: u16,
@@ -210,7 +210,7 @@ impl EnviroMicNode {
 
     pub(crate) fn on_migrate_accept(
         &mut self,
-        ctx: &mut Context<'_>,
+        ctx: &mut dyn Runtime,
         from: NodeId,
         to: NodeId,
         session: u32,
@@ -255,7 +255,7 @@ impl EnviroMicNode {
     #[allow(clippy::too_many_arguments)]
     pub(crate) fn on_bulk_data(
         &mut self,
-        ctx: &mut Context<'_>,
+        ctx: &mut dyn Runtime,
         _from: NodeId,
         to: NodeId,
         session: u32,
@@ -313,7 +313,7 @@ impl EnviroMicNode {
 
     pub(crate) fn on_bulk_ack(
         &mut self,
-        ctx: &mut Context<'_>,
+        ctx: &mut dyn Runtime,
         to: NodeId,
         session: u32,
         seq: u16,
@@ -353,7 +353,7 @@ impl EnviroMicNode {
         }
     }
 
-    pub(crate) fn on_bulk_timeout(&mut self, ctx: &mut Context<'_>) {
+    pub(crate) fn on_bulk_timeout(&mut self, ctx: &mut dyn Runtime) {
         let Some(outbound) = &mut self.bulk_out else {
             return;
         };
@@ -387,7 +387,7 @@ impl EnviroMicNode {
 
     /// Post-session hook: retrieval sessions report completion to the
     /// querier.
-    fn after_bulk_out_finished(&mut self, ctx: &mut Context<'_>, purpose: BulkPurpose) {
+    fn after_bulk_out_finished(&mut self, ctx: &mut dyn Runtime, purpose: BulkPurpose) {
         if let BulkPurpose::Retrieval { root, query_id } = purpose {
             self.finish_query_answer(ctx, root, query_id);
         }

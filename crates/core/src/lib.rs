@@ -4,8 +4,12 @@
 //! This crate is the primary contribution of the reproduction: a complete
 //! implementation of the protocol suite from *"EnviroMic: Towards
 //! Cooperative Storage and Retrieval in Audio Sensor Networks"* (Luo et
-//! al., ICDCS 2007), running on the simulated mote substrate of
-//! [`enviromic_sim`].
+//! al., ICDCS 2007). The protocol is written against the backend-agnostic
+//! [`Runtime`](enviromic_runtime::Runtime) interface of
+//! `enviromic-runtime`, so the same code runs on the discrete-event
+//! simulator (`enviromic-sim`), the in-memory
+//! [`MockRuntime`](enviromic_runtime::MockRuntime) used by unit tests, or
+//! any future backend.
 //!
 //! * [`EnviroMicNode`] — one mote's full protocol stack: sound-activated
 //!   detection ([`SoundDetector`]), group management with leader election
@@ -22,16 +26,19 @@
 //!
 //! ```
 //! use enviromic_core::{EnviroMicNode, Mode, NodeConfig};
-//! use enviromic_sim::{World, WorldConfig};
-//! use enviromic_types::Position;
+//! use enviromic_runtime::MockRuntime;
+//! use enviromic_types::{NodeId, SimDuration};
 //!
-//! let mut world = World::new(WorldConfig::with_seed(7));
-//! for x in 0..4 {
-//!     let cfg = NodeConfig::default().with_mode(Mode::Full);
-//!     world.add_node(Position::new(x as f64 * 2.0, 0.0), Box::new(EnviroMicNode::new(cfg)));
-//! }
-//! world.run_for_secs(5.0);
+//! let cfg = NodeConfig::default().with_mode(Mode::Full);
+//! let mut node = EnviroMicNode::new(cfg);
+//! let mut rt = MockRuntime::new(NodeId(0));
+//! rt.start(&mut node);
+//! assert!(!rt.pending_timers().is_empty()); // periodic protocol timers armed
+//! rt.advance(&mut node, SimDuration::from_secs_f64(5.0));
 //! ```
+//!
+//! To run a whole network, hand boxed nodes to the simulator's
+//! `World::add_node` instead (see the root-crate harness).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

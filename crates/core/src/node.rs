@@ -16,8 +16,8 @@ use enviromic_flash::{Chunk, ChunkMeta};
 use enviromic_net::{
     decode_envelope, BulkReceiver, BulkSender, Message, NeighborTable, PiggybackQueue, TreeState,
 };
-use enviromic_sim::{
-    Application, AudioBlock, Context, DropReason, RecordKind, StorageOccupancy, Timer, TimerHandle,
+use enviromic_runtime::{
+    Application, AudioBlock, DropReason, RecordKind, Runtime, StorageOccupancy, Timer, TimerHandle,
     TraceEvent,
 };
 use enviromic_telemetry::{Counter, Histogram, Registry};
@@ -207,8 +207,9 @@ pub struct NodeStats {
 
 /// One EnviroMic mote's protocol stack.
 ///
-/// Construct with [`EnviroMicNode::new`] and hand to
-/// [`enviromic_sim::World::add_node`]. Behaviour is governed by the
+/// Construct with [`EnviroMicNode::new`] and hand to any [`Runtime`]
+/// backend (e.g. the simulator's `World::add_node`). Behaviour is
+/// governed by the
 /// [`NodeConfig`] [`Mode`]: the full system, cooperative recording only,
 /// or the uncoordinated baseline.
 #[derive(Debug)]
@@ -384,8 +385,8 @@ impl EnviroMicNode {
 
     /// `TTL_energy` (§II-B): expected seconds until the battery dies if
     /// the node keeps moving data out at its acquisition rate.
-    pub(crate) fn ttl_energy_f64(&self, ctx: &mut Context<'_>) -> f64 {
-        let e = ctx.energy_config();
+    pub(crate) fn ttl_energy_f64(&self, ctx: &mut dyn Runtime) -> f64 {
+        let e = ctx.energy_model();
         let tx_duty = if self.rate > 0.0 {
             (self.rate * 8.0 / 250_000.0).min(1.0)
         } else {
@@ -401,7 +402,7 @@ impl EnviroMicNode {
     // ----- timer plumbing ---------------------------------------------------
 
     /// Arms (or re-arms) the logical timer `token`.
-    pub(crate) fn arm(&mut self, ctx: &mut Context<'_>, token: u32, delay: SimDuration) {
+    pub(crate) fn arm(&mut self, ctx: &mut dyn Runtime, token: u32, delay: SimDuration) {
         let handle = ctx.set_timer(delay, token);
         if let Some(old) = self.timers.insert(token, handle) {
             ctx.cancel_timer(old);
@@ -409,7 +410,7 @@ impl EnviroMicNode {
     }
 
     /// Disarms the logical timer `token`.
-    pub(crate) fn disarm(&mut self, ctx: &mut Context<'_>, token: u32) {
+    pub(crate) fn disarm(&mut self, ctx: &mut dyn Runtime, token: u32) {
         if let Some(h) = self.timers.remove(&token) {
             ctx.cancel_timer(h);
         }
@@ -429,13 +430,13 @@ impl EnviroMicNode {
     // ----- message plumbing ---------------------------------------------------
 
     /// The node's estimate of reference-frame ("global") time.
-    pub(crate) fn global_now(&self, ctx: &mut Context<'_>) -> SimTime {
+    pub(crate) fn global_now(&self, ctx: &mut dyn Runtime) -> SimTime {
         self.sync.global_estimate(ctx.local_time())
     }
 
     /// Sends a message: delay-sensitive traffic leaves immediately with
     /// piggybacked passengers; delay-tolerant traffic waits for a ride.
-    pub(crate) fn send(&mut self, ctx: &mut Context<'_>, msg: Message) {
+    pub(crate) fn send(&mut self, ctx: &mut dyn Runtime, msg: Message) {
         if !self.cfg.piggybacking {
             let kind = msg.kind();
             let bytes = enviromic_net::encode_envelope(core::slice::from_ref(&msg));
@@ -458,7 +459,7 @@ impl EnviroMicNode {
         }
     }
 
-    fn flush_piggyback(&mut self, ctx: &mut Context<'_>) {
+    fn flush_piggyback(&mut self, ctx: &mut dyn Runtime) {
         let due = self.piggyback.flush_due(ctx.now());
         if !due.is_empty() {
             let kind = due[0].kind();
@@ -473,7 +474,7 @@ impl EnviroMicNode {
 
     // ----- detector transitions --------------------------------------------
 
-    fn handle_event_start(&mut self, ctx: &mut Context<'_>, level: f64) {
+    fn handle_event_start(&mut self, ctx: &mut dyn Runtime, level: f64) {
         self.hearing = true;
         self.current_level = level;
         self.beacons.activity(ctx.now());
@@ -499,7 +500,7 @@ impl EnviroMicNode {
         }
     }
 
-    fn handle_event_stop(&mut self, ctx: &mut Context<'_>) {
+    fn handle_event_stop(&mut self, ctx: &mut dyn Runtime) {
         self.hearing = false;
         self.current_level = 0.0;
         self.disarm(ctx, T_ELECTION);
@@ -536,7 +537,7 @@ impl EnviroMicNode {
 
     /// Enters the candidate phase: start SENSING beacons and the election
     /// back-off (§II-A.1).
-    pub(crate) fn begin_candidacy(&mut self, ctx: &mut Context<'_>) {
+    pub(crate) fn begin_candidacy(&mut self, ctx: &mut dyn Runtime) {
         if !self.hearing {
             return;
         }
@@ -588,7 +589,7 @@ impl EnviroMicNode {
     /// Starts a recording run: radio off, sampling on, end timer armed.
     pub(crate) fn start_task(
         &mut self,
-        ctx: &mut Context<'_>,
+        ctx: &mut dyn Runtime,
         event: Option<EventId>,
         kind: RecordKind,
         duration: SimDuration,
@@ -615,7 +616,7 @@ impl EnviroMicNode {
     }
 
     /// Stores one sampled block as a chunk.
-    fn store_block(&mut self, ctx: &mut Context<'_>, block: &AudioBlock) {
+    fn store_block(&mut self, ctx: &mut dyn Runtime, block: &AudioBlock) {
         let Some(task) = self.task.as_mut() else {
             return;
         };
@@ -659,7 +660,7 @@ impl EnviroMicNode {
 
     /// Finishes the active recording run: final partial block, trace
     /// records, radio back on, and follow-up transitions.
-    fn end_task(&mut self, ctx: &mut Context<'_>) {
+    fn end_task(&mut self, ctx: &mut dyn Runtime) {
         if let Some(final_block) = ctx.stop_recording() {
             self.store_block(ctx, &final_block);
         }
@@ -724,7 +725,7 @@ impl EnviroMicNode {
 }
 
 impl Application for EnviroMicNode {
-    fn on_start(&mut self, ctx: &mut Context<'_>) {
+    fn on_start(&mut self, ctx: &mut dyn Runtime) {
         self.me = ctx.node_id();
         self.sync = SyncState::new(self.me);
         self.metrics = CoreMetrics::attach(ctx.telemetry());
@@ -748,7 +749,7 @@ impl Application for EnviroMicNode {
         }
     }
 
-    fn on_timer(&mut self, ctx: &mut Context<'_>, timer: Timer) {
+    fn on_timer(&mut self, ctx: &mut dyn Runtime, timer: Timer) {
         if !self.is_current(timer) {
             return;
         }
@@ -770,7 +771,7 @@ impl Application for EnviroMicNode {
         }
     }
 
-    fn on_packet(&mut self, ctx: &mut Context<'_>, from: NodeId, bytes: &[u8]) {
+    fn on_packet(&mut self, ctx: &mut dyn Runtime, from: NodeId, bytes: &[u8]) {
         let Ok(messages) = decode_envelope(bytes) else {
             return;
         };
@@ -780,7 +781,7 @@ impl Application for EnviroMicNode {
         }
     }
 
-    fn on_acoustic_level(&mut self, ctx: &mut Context<'_>, level: f64) {
+    fn on_acoustic_level(&mut self, ctx: &mut dyn Runtime, level: f64) {
         match self.detector.on_level(level) {
             Detection::Started { level } => self.handle_event_start(ctx, level),
             Detection::Ongoing { level } => {
@@ -796,7 +797,7 @@ impl Application for EnviroMicNode {
         }
     }
 
-    fn on_audio_block(&mut self, ctx: &mut Context<'_>, block: AudioBlock) {
+    fn on_audio_block(&mut self, ctx: &mut dyn Runtime, block: AudioBlock) {
         self.store_block(ctx, &block);
     }
 
@@ -804,7 +805,7 @@ impl Application for EnviroMicNode {
         Some(self.store.occupancy())
     }
 
-    fn on_finish(&mut self, ctx: &mut Context<'_>) {
+    fn on_finish(&mut self, ctx: &mut dyn Runtime) {
         // End-of-run flash wear scrape (§III-B.3 wear-leveling evidence).
         enviromic_flash::record_wear(ctx.telemetry(), self.store.inner().flash());
     }

@@ -20,7 +20,7 @@ use enviromic_flash::{Chunk, ChunkStore};
 use enviromic_net::{
     decode_envelope, encode_envelope, BulkReceiver, BulkSender, Message, TreeAction,
 };
-use enviromic_sim::{Application, Context, Timer};
+use enviromic_runtime::{Application, Runtime, Timer};
 use enviromic_telemetry::Counter;
 use enviromic_types::{EventId, NodeId, SimDuration, SimTime};
 use rand::Rng;
@@ -34,7 +34,7 @@ const ANSWER_STAGGER: SimDuration = SimDuration::from_millis(120);
 impl EnviroMicNode {
     pub(crate) fn on_tree_build(
         &mut self,
-        ctx: &mut Context<'_>,
+        ctx: &mut dyn Runtime,
         from: NodeId,
         root: NodeId,
         build_id: u32,
@@ -47,7 +47,7 @@ impl EnviroMicNode {
 
     pub(crate) fn on_query(
         &mut self,
-        ctx: &mut Context<'_>,
+        ctx: &mut dyn Runtime,
         root: NodeId,
         query_id: u32,
         t0: SimTime,
@@ -78,7 +78,7 @@ impl EnviroMicNode {
         self.arm(ctx, T_REPLY_START, delay);
     }
 
-    pub(crate) fn on_reply_start(&mut self, ctx: &mut Context<'_>) {
+    pub(crate) fn on_reply_start(&mut self, ctx: &mut dyn Runtime) {
         let Some(reply) = &mut self.pending_reply else {
             return;
         };
@@ -132,7 +132,7 @@ impl EnviroMicNode {
         }
     }
 
-    pub(crate) fn on_reply_pace(&mut self, ctx: &mut Context<'_>) {
+    pub(crate) fn on_reply_pace(&mut self, ctx: &mut dyn Runtime) {
         let Some(reply) = &mut self.pending_reply else {
             return;
         };
@@ -175,7 +175,7 @@ impl EnviroMicNode {
     /// Reports completion of a bulk-path answer.
     pub(crate) fn finish_query_answer(
         &mut self,
-        ctx: &mut Context<'_>,
+        ctx: &mut dyn Runtime,
         root: NodeId,
         query_id: u32,
     ) {
@@ -192,7 +192,7 @@ impl EnviroMicNode {
 
     pub(crate) fn on_query_data(
         &mut self,
-        ctx: &mut Context<'_>,
+        ctx: &mut dyn Runtime,
         to: NodeId,
         root: NodeId,
         query_id: u32,
@@ -218,7 +218,7 @@ impl EnviroMicNode {
     #[allow(clippy::too_many_arguments)]
     pub(crate) fn on_query_done(
         &mut self,
-        ctx: &mut Context<'_>,
+        ctx: &mut dyn Runtime,
         to: NodeId,
         root: NodeId,
         query_id: u32,
@@ -409,13 +409,13 @@ impl DataMule {
         }
     }
 
-    fn broadcast(&self, ctx: &mut Context<'_>, msg: Message) {
+    fn broadcast(&self, ctx: &mut dyn Runtime, msg: Message) {
         let kind = msg.kind();
         let bytes = encode_envelope(core::slice::from_ref(&msg));
         ctx.broadcast(kind, bytes);
     }
 
-    fn rebuild_tree_then_query(&mut self, ctx: &mut Context<'_>) {
+    fn rebuild_tree_then_query(&mut self, ctx: &mut dyn Runtime) {
         self.build_id += 1;
         self.broadcast(
             ctx,
@@ -429,7 +429,7 @@ impl DataMule {
         ctx.set_timer(SimDuration::from_millis(800), MULE_T_QUERY);
     }
 
-    fn send_query(&mut self, ctx: &mut Context<'_>) {
+    fn send_query(&mut self, ctx: &mut dyn Runtime) {
         self.query_id += 1;
         self.new_this_round = 0;
         let q = Message::Query {
@@ -445,14 +445,14 @@ impl DataMule {
 }
 
 impl Application for DataMule {
-    fn on_start(&mut self, ctx: &mut Context<'_>) {
+    fn on_start(&mut self, ctx: &mut dyn Runtime) {
         self.me = ctx.node_id();
         self.m_requeries = ctx.telemetry().counter("core.retrieve.requery_rounds");
         self.m_chunks = ctx.telemetry().counter("core.retrieve.chunks_received");
         ctx.set_timer(self.cfg.start_after, MULE_T_BEGIN);
     }
 
-    fn on_timer(&mut self, ctx: &mut Context<'_>, timer: Timer) {
+    fn on_timer(&mut self, ctx: &mut dyn Runtime, timer: Timer) {
         match timer.token {
             MULE_T_BEGIN => match self.cfg.mode {
                 RetrievalMode::OneHop => self.send_query(ctx),
@@ -488,7 +488,7 @@ impl Application for DataMule {
         }
     }
 
-    fn on_packet(&mut self, ctx: &mut Context<'_>, from: NodeId, bytes: &[u8]) {
+    fn on_packet(&mut self, ctx: &mut dyn Runtime, from: NodeId, bytes: &[u8]) {
         let Ok(messages) = decode_envelope(bytes) else {
             return;
         };

@@ -7,7 +7,7 @@
 //! flash write is charged to the battery.
 
 use enviromic_flash::{Chunk, ChunkStore, StoreError};
-use enviromic_sim::{Context, StorageOccupancy, TraceEvent};
+use enviromic_runtime::{Runtime, StorageOccupancy, TraceEvent};
 use enviromic_types::audio;
 
 /// A [`ChunkStore`] that traces and meters every operation.
@@ -98,7 +98,7 @@ impl TracedStore {
     /// [`StoreError::Full`] when no slot is free.
     pub fn push(
         &mut self,
-        ctx: &mut Context<'_>,
+        ctx: &mut dyn Runtime,
         chunk: Chunk,
         counts_as_inflow: bool,
     ) -> Result<(), StoreError> {
@@ -123,7 +123,7 @@ impl TracedStore {
     }
 
     /// Removes the oldest chunk, tracing the removal.
-    pub fn pop_front(&mut self, ctx: &mut Context<'_>) -> Option<Chunk> {
+    pub fn pop_front(&mut self, ctx: &mut dyn Runtime) -> Option<Chunk> {
         let chunk = self.store.pop_front().ok().flatten()?;
         ctx.trace(TraceEvent::ChunkRemoved {
             node: ctx.node_id(),
@@ -136,7 +136,7 @@ impl TracedStore {
     }
 
     /// Removes the newest chunk (prelude erasure), tracing the removal.
-    pub fn pop_back(&mut self, ctx: &mut Context<'_>) -> Option<Chunk> {
+    pub fn pop_back(&mut self, ctx: &mut dyn Runtime) -> Option<Chunk> {
         let chunk = self.store.pop_back().ok().flatten()?;
         ctx.trace(TraceEvent::ChunkRemoved {
             node: ctx.node_id(),

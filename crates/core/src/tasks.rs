@@ -6,7 +6,7 @@ use crate::node::{
     T_SENSING, T_SYNC,
 };
 use enviromic_net::Message;
-use enviromic_sim::{Context, RecordKind, TraceEvent};
+use enviromic_runtime::{RecordKind, Runtime, TraceEvent};
 use enviromic_types::{EventId, NodeId, SimDuration, SimTime};
 use rand::Rng;
 
@@ -17,7 +17,7 @@ const ROUND_RETRY: SimDuration = SimDuration::from_millis(200);
 impl EnviroMicNode {
     // ----- message dispatch ---------------------------------------------------
 
-    pub(crate) fn handle_message(&mut self, ctx: &mut Context<'_>, from: NodeId, msg: Message) {
+    pub(crate) fn handle_message(&mut self, ctx: &mut dyn Runtime, from: NodeId, msg: Message) {
         match msg {
             Message::Sensing {
                 event,
@@ -126,12 +126,12 @@ impl EnviroMicNode {
 
     /// Records overheard event IDs as soft state (§II-A.2), usable even by
     /// nodes not currently hearing anything.
-    fn note_event(&mut self, ctx: &mut Context<'_>, event: EventId) {
+    fn note_event(&mut self, ctx: &mut dyn Runtime, event: EventId) {
         self.recent_event = Some((event, ctx.now()));
     }
 
     /// Records observed leader activity for the node's group event.
-    fn note_leader_activity(&mut self, ctx: &mut Context<'_>, event: EventId, task_seq: u32) {
+    fn note_leader_activity(&mut self, ctx: &mut dyn Runtime, event: EventId, task_seq: u32) {
         if self.group_event == Some(event) {
             self.last_leader_activity = ctx.now();
             self.last_seen_task_seq = self.last_seen_task_seq.max(task_seq);
@@ -142,7 +142,7 @@ impl EnviroMicNode {
     /// period concludes the leader is gone (its RESIGN may have been sent
     /// while every hearer's radio was off) and competes to take over,
     /// keeping the same event (file) ID.
-    pub(crate) fn check_leader_liveness(&mut self, ctx: &mut Context<'_>) {
+    pub(crate) fn check_leader_liveness(&mut self, ctx: &mut dyn Runtime) {
         let Some(event) = self.group_event else {
             return;
         };
@@ -176,7 +176,7 @@ impl EnviroMicNode {
     /// A node that hears the event but missed the announcement learns the
     /// event ID from any event-bearing message (keeps groups converging
     /// around mobile sources).
-    fn maybe_adopt_event(&mut self, ctx: &mut Context<'_>, event: EventId) {
+    fn maybe_adopt_event(&mut self, ctx: &mut dyn Runtime, event: EventId) {
         if self.hearing && self.group_event.is_none() && self.leader.is_none() {
             self.group_event = Some(event);
             self.last_leader_activity = ctx.now();
@@ -186,7 +186,7 @@ impl EnviroMicNode {
 
     // ----- leader election (§II-A.1) -----------------------------------------
 
-    fn on_leader_announce(&mut self, ctx: &mut Context<'_>, from: NodeId, event: EventId) {
+    fn on_leader_announce(&mut self, ctx: &mut dyn Runtime, from: NodeId, event: EventId) {
         self.note_event(ctx, event);
         self.note_leader_activity(ctx, event, 0);
         // An announcement supersedes any pending resign for this event.
@@ -222,7 +222,7 @@ impl EnviroMicNode {
         }
     }
 
-    pub(crate) fn on_election_backoff(&mut self, ctx: &mut Context<'_>) {
+    pub(crate) fn on_election_backoff(&mut self, ctx: &mut dyn Runtime) {
         if !self.hearing || self.group_event.is_some() || self.leader.is_some() {
             return;
         }
@@ -235,7 +235,7 @@ impl EnviroMicNode {
 
     fn on_resign(
         &mut self,
-        ctx: &mut Context<'_>,
+        ctx: &mut dyn Runtime,
         event: EventId,
         next_assign_at: SimTime,
         task_seq: u32,
@@ -272,7 +272,7 @@ impl EnviroMicNode {
         self.arm(ctx, T_HANDOFF, backoff);
     }
 
-    pub(crate) fn on_handoff_backoff(&mut self, ctx: &mut Context<'_>) {
+    pub(crate) fn on_handoff_backoff(&mut self, ctx: &mut dyn Runtime) {
         let Some(pending) = self.pending_handoff.take() else {
             return;
         };
@@ -289,7 +289,7 @@ impl EnviroMicNode {
 
     fn become_leader(
         &mut self,
-        ctx: &mut Context<'_>,
+        ctx: &mut dyn Runtime,
         event: EventId,
         task_seq: u32,
         first_round_delay: SimDuration,
@@ -326,7 +326,7 @@ impl EnviroMicNode {
 
     // ----- task assignment (§II-A.2) ------------------------------------------
 
-    pub(crate) fn on_assignment_round(&mut self, ctx: &mut Context<'_>) {
+    pub(crate) fn on_assignment_round(&mut self, ctx: &mut dyn Runtime) {
         let Some(ls) = &mut self.leader else { return };
         ls.attempts = 0;
         ls.excluded.clear();
@@ -344,7 +344,7 @@ impl EnviroMicNode {
     /// Picks the most suitable recorder and requests the task (§II-A.2:
     /// "the member that has the highest time-to-live or the one that has
     /// the best reception of the acoustic signal").
-    fn try_assign(&mut self, ctx: &mut Context<'_>) {
+    fn try_assign(&mut self, ctx: &mut dyn Runtime) {
         let Some(ls) = &self.leader else { return };
         let event = ls.event;
         let task_seq = ls.task_seq;
@@ -460,7 +460,7 @@ impl EnviroMicNode {
 
     fn on_task_confirm(
         &mut self,
-        ctx: &mut Context<'_>,
+        ctx: &mut dyn Runtime,
         event: EventId,
         recorder: NodeId,
         task_seq: u32,
@@ -493,7 +493,7 @@ impl EnviroMicNode {
 
     fn on_task_reject(
         &mut self,
-        ctx: &mut Context<'_>,
+        ctx: &mut dyn Runtime,
         event: EventId,
         recorder: NodeId,
         task_seq: u32,
@@ -519,7 +519,7 @@ impl EnviroMicNode {
         }
     }
 
-    pub(crate) fn on_confirm_timeout(&mut self, ctx: &mut Context<'_>) {
+    pub(crate) fn on_confirm_timeout(&mut self, ctx: &mut dyn Runtime) {
         let Some(ls) = &mut self.leader else { return };
         let Some(pending) = ls.pending.take() else {
             return;
@@ -544,7 +544,7 @@ impl EnviroMicNode {
     #[allow(clippy::too_many_arguments)]
     fn on_task_request(
         &mut self,
-        ctx: &mut Context<'_>,
+        ctx: &mut dyn Runtime,
         from: NodeId,
         event: EventId,
         recorder: NodeId,
@@ -613,7 +613,7 @@ impl EnviroMicNode {
     }
 
     /// Applies a leader's prelude-keeper decision to local prelude chunks.
-    fn apply_prelude_choice(&mut self, ctx: &mut Context<'_>, event: EventId, keeper: NodeId) {
+    fn apply_prelude_choice(&mut self, ctx: &mut dyn Runtime, event: EventId, keeper: NodeId) {
         if self.prelude_chunks == 0 {
             return;
         }
@@ -626,7 +626,7 @@ impl EnviroMicNode {
 
     /// Rewrites the prelude chunks at the store tail with the now-known
     /// event (file) ID, preserving order and file continuity.
-    fn retag_prelude(&mut self, ctx: &mut Context<'_>, event: EventId) {
+    fn retag_prelude(&mut self, ctx: &mut dyn Runtime, event: EventId) {
         let n = self.prelude_chunks;
         self.prelude_chunks = 0;
         let mut tail = Vec::with_capacity(n as usize);
@@ -646,7 +646,7 @@ impl EnviroMicNode {
     }
 
     /// Erases the losing prelude copy (§II-A.1).
-    fn erase_prelude(&mut self, ctx: &mut Context<'_>) {
+    fn erase_prelude(&mut self, ctx: &mut dyn Runtime) {
         let n = self.prelude_chunks;
         self.prelude_chunks = 0;
         let mut span: Option<(SimTime, SimTime, u64)> = None;
@@ -677,7 +677,7 @@ impl EnviroMicNode {
 
     // ----- SENSING beacons -------------------------------------------------------
 
-    pub(crate) fn on_sensing_beacon(&mut self, ctx: &mut Context<'_>) {
+    pub(crate) fn on_sensing_beacon(&mut self, ctx: &mut dyn Runtime) {
         if !self.hearing || !self.cfg.mode.cooperative() || self.task.is_some() {
             return;
         }
@@ -694,7 +694,7 @@ impl EnviroMicNode {
 
     // ----- time sync -------------------------------------------------------------
 
-    pub(crate) fn on_sync_tick(&mut self, ctx: &mut Context<'_>) {
+    pub(crate) fn on_sync_tick(&mut self, ctx: &mut dyn Runtime) {
         if self.sync.is_root() {
             let seq = self.sync.next_seq();
             let local = ctx.local_time();
@@ -714,7 +714,7 @@ impl EnviroMicNode {
         self.arm(ctx, T_SYNC, delay);
     }
 
-    fn on_time_sync(&mut self, ctx: &mut Context<'_>, root: NodeId, seq: u32, ref_time: SimTime) {
+    fn on_time_sync(&mut self, ctx: &mut dyn Runtime, root: NodeId, seq: u32, ref_time: SimTime) {
         let fresh = self.sync.on_beacon(root, seq, ctx.local_time(), ref_time);
         if fresh && root != self.me {
             // FTSP-style re-flood: re-originate with our own estimate of

@@ -1,0 +1,325 @@
+//! Protocol unit tests on the in-memory [`MockRuntime`] backend.
+//!
+//! These tests drive one `EnviroMicNode` by hand — scripted packets,
+//! manual clock advances, direct callback invocation — and assert on the
+//! packets it broadcasts, the trace it emits, and the telemetry counters
+//! it bumps. No `World` is stood up: this is the payoff of the runtime
+//! abstraction layer, exercising leader election, task sequencing, and
+//! the storage-balancing handshake in isolation.
+
+use enviromic_core::{EnviroMicNode, Mode, NodeConfig};
+use enviromic_flash::{Chunk, ChunkMeta};
+use enviromic_net::{decode_envelope, encode_envelope, Message};
+use enviromic_runtime::{Application, MockRuntime, Runtime, Timer, TimerHandle, TraceEvent};
+use enviromic_types::{EventId, NodeId, SimDuration, SimTime};
+
+/// Builds a started Full-mode node on a mock backend.
+fn started(node: u16) -> (EnviroMicNode, MockRuntime) {
+    let mut app = EnviroMicNode::new(NodeConfig::default().with_mode(Mode::Full));
+    let mut rt = MockRuntime::new(NodeId(node));
+    rt.start(&mut app);
+    (app, rt)
+}
+
+/// Encodes one message as a single-message envelope.
+fn envelope(msg: Message) -> Vec<u8> {
+    encode_envelope(core::slice::from_ref(&msg)).to_vec()
+}
+
+/// Every message the node has broadcast so far, unpacked from its
+/// (possibly piggybacked) envelopes.
+fn sent_messages(rt: &MockRuntime) -> Vec<Message> {
+    rt.sent()
+        .iter()
+        .flat_map(|p| decode_envelope(&p.bytes).expect("self-encoded envelope decodes"))
+        .collect()
+}
+
+/// Reads a telemetry counter, treating "never registered" as zero.
+fn counter(rt: &MockRuntime, name: &str) -> u64 {
+    rt.telemetry().report().counter(name).unwrap_or(0)
+}
+
+/// Steps the clock in 10 ms increments (up to `max_ms`) until a sent
+/// message satisfies `pred`, returning it.
+fn advance_until_sent(
+    rt: &mut MockRuntime,
+    app: &mut EnviroMicNode,
+    max_ms: u64,
+    pred: impl Fn(&Message) -> bool,
+) -> Option<Message> {
+    for _ in 0..max_ms.div_ceil(10) {
+        rt.advance(app, SimDuration::from_millis(10));
+        if let Some(m) = sent_messages(rt).into_iter().find(&pred) {
+            return Some(m);
+        }
+    }
+    None
+}
+
+// ----- leader election (§II-A.1) ---------------------------------------------
+
+#[test]
+fn election_backoff_elects_leader() {
+    let (mut node, mut rt) = started(1);
+    node.on_acoustic_level(&mut rt, 200.0); // Started: well above 8 + 25
+    assert_eq!(counter(&rt, "core.election.started"), 1);
+    assert_eq!(counter(&rt, "core.election.won"), 0);
+    assert!(!rt.pending_timers().is_empty(), "back-off timer armed");
+
+    // The random back-off is at most election_backoff_max = 500 ms.
+    rt.advance(&mut node, SimDuration::from_millis(600));
+
+    assert_eq!(counter(&rt, "core.election.won"), 1);
+    let event = EventId::new(NodeId(1), 0);
+    assert!(
+        sent_messages(&rt)
+            .iter()
+            .any(|m| matches!(m, Message::LeaderAnnounce { event: e } if *e == event)),
+        "winner announces leadership with its minted event ID"
+    );
+    assert!(
+        rt.captured_trace().iter().any(|e| matches!(
+            e,
+            TraceEvent::LeaderElected { node: n, handoff: false, .. } if *n == NodeId(1)
+        )),
+        "election lands in the trace"
+    );
+}
+
+#[test]
+fn overheard_announce_suppresses_pending_election() {
+    let (mut node, mut rt) = started(1);
+    node.on_acoustic_level(&mut rt, 200.0);
+
+    // Another candidate wins the race before our back-off expires.
+    let event = EventId::new(NodeId(2), 0);
+    let ann = envelope(Message::LeaderAnnounce { event });
+    assert!(rt.deliver_now(&mut node, NodeId(2), &ann));
+
+    rt.advance(&mut node, SimDuration::from_millis(600));
+    assert_eq!(counter(&rt, "core.election.won"), 0);
+    assert!(
+        !sent_messages(&rt)
+            .iter()
+            .any(|m| matches!(m, Message::LeaderAnnounce { .. })),
+        "the suppressed candidate must not announce"
+    );
+}
+
+#[test]
+fn stale_timer_handle_is_ignored() {
+    let (mut node, mut rt) = started(1);
+    node.on_acoustic_level(&mut rt, 200.0);
+
+    // Forge a fired timer whose handle was never issued for any armed
+    // token: the node must drop it without acting on the token.
+    for token in 0..16 {
+        node.on_timer(
+            &mut rt,
+            Timer {
+                handle: TimerHandle(u64::MAX),
+                token,
+            },
+        );
+    }
+    assert_eq!(counter(&rt, "core.election.won"), 0);
+    assert!(
+        !sent_messages(&rt)
+            .iter()
+            .any(|m| matches!(m, Message::LeaderAnnounce { .. })),
+        "stale handles must not trigger the election"
+    );
+
+    // The genuinely armed timer still fires and wins the election.
+    rt.advance(&mut node, SimDuration::from_millis(600));
+    assert_eq!(counter(&rt, "core.election.won"), 1);
+}
+
+// ----- task assignment (§II-A.2) ----------------------------------------------
+
+#[test]
+fn task_request_is_confirmed_and_recording_starts() {
+    let (mut node, mut rt) = started(1);
+    let event = EventId::new(NodeId(9), 0);
+    let req = envelope(Message::TaskRequest {
+        event,
+        recorder: NodeId(1),
+        task_seq: 0,
+        duration: SimDuration::from_secs_f64(1.0),
+        leader_time: SimTime::ZERO,
+        keep_prelude: None,
+    });
+    assert!(rt.deliver_now(&mut node, NodeId(9), &req));
+
+    assert!(
+        sent_messages(&rt).iter().any(|m| matches!(
+            m,
+            Message::TaskConfirm { event: e, recorder, task_seq: 0 }
+                if *e == event && *recorder == NodeId(1)
+        )),
+        "the assigned member confirms the task"
+    );
+    assert!(rt.is_recording(), "confirming starts the recording run");
+    assert!(!rt.radio_is_on(), "radio is off while recording");
+}
+
+#[test]
+fn overheard_confirm_makes_member_reject() {
+    let (mut node, mut rt) = started(1);
+    let event = EventId::new(NodeId(9), 0);
+
+    // Another member already confirmed this slot (Fig. 1 overhearing).
+    let confirm = envelope(Message::TaskConfirm {
+        event,
+        recorder: NodeId(3),
+        task_seq: 0,
+    });
+    assert!(rt.deliver_now(&mut node, NodeId(3), &confirm));
+
+    let req = envelope(Message::TaskRequest {
+        event,
+        recorder: NodeId(1),
+        task_seq: 0,
+        duration: SimDuration::from_secs_f64(1.0),
+        leader_time: SimTime::ZERO,
+        keep_prelude: None,
+    });
+    assert!(rt.deliver_now(&mut node, NodeId(9), &req));
+
+    assert!(
+        sent_messages(&rt).iter().any(|m| matches!(
+            m,
+            Message::TaskReject { event: e, recorder, task_seq: 0 }
+                if *e == event && *recorder == NodeId(1)
+        )),
+        "a member that overheard a confirm rejects instead of double-booking"
+    );
+    assert!(!rt.is_recording(), "the rejecting member must not record");
+    assert!(rt.radio_is_on());
+}
+
+#[test]
+fn leader_assigns_fresh_member_and_counts_the_confirm() {
+    let (mut node, mut rt) = started(1);
+
+    // A member with a fresh SENSING report, an infinite storage horizon
+    // and a stronger signal than the leader: the §II-A.2 selection rule
+    // must prefer it over leader self-assignment.
+    rt.advance(&mut node, SimDuration::from_millis(10));
+    let beacon = envelope(Message::Sensing {
+        event: None,
+        level: 255,
+        has_prelude: false,
+        ttl_secs: u32::MAX,
+    });
+    assert!(rt.deliver_now(&mut node, NodeId(2), &beacon));
+
+    node.on_acoustic_level(&mut rt, 200.0);
+    let request = advance_until_sent(&mut rt, &mut node, 700, |m| {
+        matches!(m, Message::TaskRequest { .. })
+    })
+    .expect("the new leader requests a recording task");
+    let Message::TaskRequest {
+        event,
+        recorder,
+        task_seq,
+        ..
+    } = request
+    else {
+        unreachable!()
+    };
+    assert_eq!(recorder, NodeId(2), "the fresh member is chosen");
+    assert_eq!(counter(&rt, "core.task.assigned"), 0, "not settled yet");
+
+    // The member confirms; the round-trip settles the assignment.
+    let confirm = envelope(Message::TaskConfirm {
+        event,
+        recorder: NodeId(2),
+        task_seq,
+    });
+    assert!(rt.deliver_now(&mut node, NodeId(2), &confirm));
+    assert_eq!(counter(&rt, "core.task.assigned"), 1);
+    assert_eq!(counter(&rt, "core.task.confirm_timeout"), 0);
+}
+
+// ----- storage balancing (§II-B) ----------------------------------------------
+
+#[test]
+fn migrate_offer_is_accepted_and_chunks_flow_in() {
+    let (mut node, mut rt) = started(1);
+
+    let offer = envelope(Message::MigrateOffer {
+        to: NodeId(1),
+        chunks: 2,
+        session: 7,
+    });
+    assert!(rt.deliver_now(&mut node, NodeId(5), &offer));
+    assert_eq!(counter(&rt, "core.migrate.accepted"), 1);
+    assert!(
+        sent_messages(&rt).iter().any(|m| matches!(
+            m,
+            Message::MigrateAccept {
+                to: NodeId(5),
+                session: 7,
+                granted: 2
+            }
+        )),
+        "a free recipient grants the full offer"
+    );
+
+    // While the inbound session is open, further offers are refused.
+    let second = envelope(Message::MigrateOffer {
+        to: NodeId(1),
+        chunks: 1,
+        session: 8,
+    });
+    assert!(rt.deliver_now(&mut node, NodeId(6), &second));
+    assert_eq!(counter(&rt, "core.migrate.rejected"), 1);
+    assert_eq!(counter(&rt, "core.migrate.accepted"), 1);
+
+    // One chunk of bulk data arrives and is stored.
+    let chunk = Chunk::new(
+        ChunkMeta {
+            origin: NodeId(5),
+            event: None,
+            t_start: SimTime::ZERO,
+        },
+        vec![7; 32],
+    );
+    let data = envelope(Message::BulkData {
+        to: NodeId(1),
+        session: 7,
+        seq: 0,
+        last: true,
+        chunk,
+    });
+    assert!(rt.deliver_now(&mut node, NodeId(5), &data));
+
+    assert_eq!(node.stored_chunks(), 1);
+    assert_eq!(counter(&rt, "core.migrate.chunks_in"), 1);
+    assert!(
+        sent_messages(&rt).iter().any(|m| matches!(
+            m,
+            Message::BulkAck {
+                to: NodeId(5),
+                session: 7,
+                seq: 0
+            }
+        )),
+        "the stored chunk is acknowledged"
+    );
+    assert!(
+        rt.captured_trace().iter().any(|e| matches!(
+            e,
+            TraceEvent::Migrated {
+                from: NodeId(5),
+                to: NodeId(1),
+                chunks: 1,
+                duplicated: false,
+                ..
+            }
+        )),
+        "the completed session lands in the trace"
+    );
+}

@@ -12,7 +12,7 @@
 
 use crate::wire::{Reader, WireError, Writer};
 use enviromic_flash::{Chunk, ChunkMeta};
-use enviromic_types::{EventId, NodeId, SimDuration, SimTime};
+use enviromic_types::{Bytes, EventId, NodeId, SimDuration, SimTime};
 
 /// A protocol message.
 #[derive(Debug, Clone, PartialEq)]
@@ -604,7 +604,7 @@ impl Message {
 
     /// Encodes one message as a single-entry envelope.
     #[must_use]
-    pub fn encode(&self) -> Vec<u8> {
+    pub fn encode(&self) -> Bytes {
         encode_envelope(core::slice::from_ref(self))
     }
 
@@ -620,19 +620,22 @@ impl Message {
 
 /// Encodes an envelope of messages sharing one radio packet.
 ///
+/// Returns a cheaply clonable [`Bytes`] so one encoded packet can be
+/// shared across every radio delivery without copying the payload.
+///
 /// # Panics
 ///
 /// Panics when more than 255 messages are supplied (far beyond any radio
 /// MTU).
 #[must_use]
-pub fn encode_envelope(messages: &[Message]) -> Vec<u8> {
+pub fn encode_envelope(messages: &[Message]) -> Bytes {
     let count = u8::try_from(messages.len()).expect("envelope of over 255 messages");
     let mut w = Writer::new();
     w.u8(count);
     for m in messages {
         m.encode_into(&mut w);
     }
-    w.into_bytes()
+    w.into_bytes().into()
 }
 
 /// Decodes an envelope produced by [`encode_envelope`].
@@ -816,7 +819,7 @@ mod tests {
             free_chunks: 2,
             avg_free_pct: 50,
         }];
-        let mut bytes = encode_envelope(&msgs);
+        let mut bytes = encode_envelope(&msgs).to_vec();
         bytes.truncate(bytes.len() - 1);
         assert!(decode_envelope(&bytes).is_err());
     }

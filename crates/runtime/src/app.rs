@@ -1,23 +1,26 @@
-//! The application interface: what a protocol stack running *on* a
-//! simulated mote sees.
+//! The application interface: what a protocol stack running on a node sees.
 //!
 //! A node implementation (the EnviroMic protocol, a baseline, a data mule…)
-//! implements [`Application`]; the world invokes its callbacks as simulated
-//! events unfold and hands it a [`crate::Context`] through which it can set
+//! implements [`Application`]; the hosting backend invokes its callbacks as
+//! events unfold and hands it a [`crate::Runtime`] through which it can set
 //! timers, broadcast packets, toggle its radio, start and stop acoustic
 //! sampling, and emit trace records.
 
-use enviromic_types::{SimDuration, SimTime};
+use crate::Runtime;
+use enviromic_types::{NodeId, SimDuration, SimTime};
 
 /// Handle to a pending timer, used for cancellation.
+///
+/// The wrapped value is backend-assigned and opaque to applications; it is
+/// public so backends outside this crate can mint handles.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub struct TimerHandle(pub(crate) u64);
+pub struct TimerHandle(pub u64);
 
 /// A fired timer: the handle it was scheduled under plus the caller-chosen
 /// token that identifies which logical timer this is.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Timer {
-    /// The handle returned by [`crate::Context::set_timer`].
+    /// The handle returned by [`crate::Runtime::set_timer`].
     pub handle: TimerHandle,
     /// Caller-chosen discriminator.
     pub token: u32,
@@ -43,7 +46,7 @@ impl AudioBlock {
     }
 }
 
-/// A point-in-time report of local chunk-store usage, polled by the world
+/// A point-in-time report of local chunk-store usage, polled by the backend
 /// for the storage-contour figures.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct StorageOccupancy {
@@ -53,43 +56,38 @@ pub struct StorageOccupancy {
     pub capacity: u64,
 }
 
-/// A protocol stack running on one simulated mote.
+/// A protocol stack running on one node.
 ///
-/// All callbacks receive a [`crate::Context`] scoped to the node; the
+/// All callbacks receive the hosting [`Runtime`] scoped to the node; the
 /// default implementations do nothing so minimal applications only
 /// implement what they need.
 pub trait Application {
-    /// Invoked once at simulation start (time zero), before any other
+    /// Invoked once at execution start (time zero), before any other
     /// callback.
-    fn on_start(&mut self, ctx: &mut crate::Context<'_>) {
+    fn on_start(&mut self, ctx: &mut dyn Runtime) {
         let _ = ctx;
     }
 
-    /// A timer set through [`crate::Context::set_timer`] fired.
-    fn on_timer(&mut self, ctx: &mut crate::Context<'_>, timer: Timer) {
+    /// A timer set through [`Runtime::set_timer`] fired.
+    fn on_timer(&mut self, ctx: &mut dyn Runtime, timer: Timer) {
         let _ = (ctx, timer);
     }
 
     /// A broadcast from a neighbour arrived (radio was on at delivery
     /// time). `bytes` is the encoded packet.
-    fn on_packet(
-        &mut self,
-        ctx: &mut crate::Context<'_>,
-        from: enviromic_types::NodeId,
-        bytes: &[u8],
-    ) {
+    fn on_packet(&mut self, ctx: &mut dyn Runtime, from: NodeId, bytes: &[u8]) {
         let _ = (ctx, from, bytes);
     }
 
     /// Periodic acoustic level update from the node's microphone, on the
     /// 0–255 ADC scale (ambient noise included).
-    fn on_acoustic_level(&mut self, ctx: &mut crate::Context<'_>, level: f64) {
+    fn on_acoustic_level(&mut self, ctx: &mut dyn Runtime, level: f64) {
         let _ = (ctx, level);
     }
 
     /// One block of sampled audio, delivered while a recording session
-    /// started with [`crate::Context::start_recording`] is active.
-    fn on_audio_block(&mut self, ctx: &mut crate::Context<'_>, block: AudioBlock) {
+    /// started with [`Runtime::start_recording`] is active.
+    fn on_audio_block(&mut self, ctx: &mut dyn Runtime, block: AudioBlock) {
         let _ = (ctx, block);
     }
 
@@ -99,20 +97,19 @@ pub trait Application {
         None
     }
 
-    /// Invoked once by [`crate::World::finish`] after the last event, so
-    /// the application can export end-of-run statistics (e.g. flash wear)
-    /// into the telemetry registry via [`crate::Context::telemetry`].
-    fn on_finish(&mut self, ctx: &mut crate::Context<'_>) {
+    /// Invoked once by the backend after the last event, so the application
+    /// can export end-of-run statistics (e.g. flash wear) into the
+    /// telemetry registry via [`Runtime::telemetry`].
+    fn on_finish(&mut self, ctx: &mut dyn Runtime) {
         let _ = ctx;
     }
 
-    /// Upcast for post-run inspection via [`crate::World::app_as`].
+    /// Upcast for post-run inspection (e.g. `World::app_as`).
     ///
     /// Implement as `fn as_any(&self) -> &dyn Any { self }`.
     fn as_any(&self) -> &dyn core::any::Any;
 
-    /// Mutable upcast for post-run inspection via
-    /// [`crate::World::app_as_mut`].
+    /// Mutable upcast for post-run inspection.
     ///
     /// Implement as `fn as_any_mut(&mut self) -> &mut dyn Any { self }`.
     fn as_any_mut(&mut self) -> &mut dyn core::any::Any;

@@ -1,0 +1,92 @@
+//! The [`Runtime`] trait: every side effect a node can have on its world.
+
+use crate::{AudioBlock, EnergyModel, TimerHandle, TraceEvent};
+use enviromic_telemetry::Registry;
+use enviromic_types::{Bytes, NodeId, Position, SimDuration, SimTime};
+use rand::rngs::SmallRng;
+
+/// What a backend looks like to a protocol stack.
+///
+/// A `Runtime` is handed (as `&mut dyn Runtime`) to every
+/// [`crate::Application`] callback and scopes all effects to the node the
+/// callback runs on: its timers, its radio, its microphone, its battery,
+/// its RNG stream. The trait is object-safe so one protocol implementation
+/// runs unchanged on any backend — the discrete-event simulator, the
+/// in-crate [`crate::MockRuntime`], or a future device port.
+///
+/// Determinism contract: backends must give each node its own seeded RNG
+/// stream ([`Runtime::rng`]) and must not consult randomness or wall-clock
+/// time anywhere else on the node-visible path, so a fixed seed replays an
+/// identical execution.
+pub trait Runtime {
+    /// This node's id.
+    fn node_id(&self) -> NodeId;
+
+    /// The current *global* simulation time.
+    ///
+    /// Protocol code should prefer [`Runtime::local_time`]; the global
+    /// clock exists for trace timestamps and synthesis bookkeeping.
+    fn now(&self) -> SimTime;
+
+    /// The node's *local* clock estimate: global time plus this node's
+    /// drift/offset. This is the only clock a real node would have.
+    fn local_time(&self) -> SimTime;
+
+    /// The node's (static) position.
+    fn position(&self) -> Position;
+
+    /// This node's private RNG stream.
+    fn rng(&mut self) -> &mut SmallRng;
+
+    /// Schedules a timer `delay` from now carrying the caller-chosen
+    /// `token`; returns a handle usable with [`Runtime::cancel_timer`].
+    fn set_timer(&mut self, delay: SimDuration, token: u32) -> TimerHandle;
+
+    /// Cancels a pending timer. Cancelling an already-fired or unknown
+    /// handle is a no-op.
+    fn cancel_timer(&mut self, handle: TimerHandle);
+
+    /// Turns the node's radio on or off. A node with its radio off neither
+    /// receives broadcasts nor pays listen power.
+    fn set_radio(&mut self, on: bool);
+
+    /// Whether the radio is currently on.
+    fn radio_is_on(&self) -> bool;
+
+    /// Broadcasts an encoded packet to all radio neighbours.
+    ///
+    /// `kind` is the protocol-level message kind for tracing; `bytes` is
+    /// the encoded payload (cheaply clonable, shared across deliveries).
+    /// Returns `false` when the send was suppressed (radio off or battery
+    /// dead).
+    fn broadcast(&mut self, kind: &'static str, bytes: Bytes) -> bool;
+
+    /// Starts an acoustic recording session; returns `false` if one is
+    /// already active or the node cannot sample.
+    fn start_recording(&mut self) -> bool;
+
+    /// Whether a recording session is active.
+    fn is_recording(&self) -> bool;
+
+    /// Ends the recording session, returning any final partial block.
+    fn stop_recording(&mut self) -> Option<AudioBlock>;
+
+    /// The instantaneous acoustic level at this node on the 0–255 ADC
+    /// scale (ambient noise included).
+    fn current_acoustic_level(&mut self) -> f64;
+
+    /// Remaining battery energy, millijoules.
+    fn energy_mj(&mut self) -> f64;
+
+    /// The energy model parameters the backend charges under.
+    fn energy_model(&self) -> &EnergyModel;
+
+    /// Charges the battery for `blocks` flash block writes.
+    fn charge_flash_write(&mut self, blocks: u32);
+
+    /// Appends a record to the execution trace.
+    fn trace(&mut self, event: TraceEvent);
+
+    /// The shared telemetry registry (live counters and histograms).
+    fn telemetry(&self) -> &Registry;
+}

@@ -1,19 +1,18 @@
-//! Simulation trace: the instrumented ground truth every metric is computed
+//! Execution trace: the instrumented ground truth every metric is computed
 //! from.
 //!
 //! The trace is the reproduction's stand-in for the paper's offline log
 //! analysis: protocol nodes *emit* trace records as they act (via
-//! [`crate::Context::trace`]) and the world adds physical-layer records of
-//! its own (message deliveries, occupancy polls). Metrics crates only ever
-//! read the trace — they never reach into protocol state.
+//! [`crate::Runtime::trace`]) and the backend adds physical-layer records
+//! of its own (message deliveries, occupancy polls). Metrics crates only
+//! ever read the trace — they never reach into protocol state.
 //!
 //! The trace is the *post-hoc* record; its runtime counterpart is the
 //! `enviromic-telemetry` registry reachable through
-//! [`crate::Context::telemetry`], which aggregates live counters,
-//! latency histograms, and wall-clock span timings while a run executes.
+//! [`crate::Runtime::telemetry`], which aggregates live counters, latency
+//! histograms, and wall-clock span timings while a run executes.
 
-use crate::acoustics::SourceId;
-use enviromic_types::{EventId, NodeId, SimTime};
+use enviromic_types::{EventId, NodeId, SimTime, SourceId};
 use serde::{Deserialize, Serialize};
 
 /// Why a recording attempt stored nothing.
@@ -163,14 +162,14 @@ pub enum TraceEvent {
         /// Poll time (global clock).
         t: SimTime,
     },
-    /// Ground-truth: a source became active (world-emitted).
+    /// Ground-truth: a source became active (backend-emitted).
     SourceStarted {
         /// The source.
         source: SourceId,
         /// Activation time.
         t: SimTime,
     },
-    /// Ground-truth: a source went silent (world-emitted).
+    /// Ground-truth: a source went silent (backend-emitted).
     SourceStopped {
         /// The source.
         source: SourceId,
@@ -240,6 +239,24 @@ impl Trace {
     pub fn iter(&self) -> core::slice::Iter<'_, TraceEvent> {
         self.events.iter()
     }
+
+    /// An order-sensitive FNV-1a digest over the debug rendering of every
+    /// record.
+    ///
+    /// Two traces digest equal iff they hold the same records in the same
+    /// order, which is what the seeded-determinism regression guard
+    /// asserts across refactors.
+    #[must_use]
+    pub fn digest(&self) -> u64 {
+        let mut h = 0xCBF2_9CE4_8422_2325u64;
+        for e in &self.events {
+            for b in format!("{e:?}").bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+        }
+        h
+    }
 }
 
 impl<'a> IntoIterator for &'a Trace {
@@ -267,6 +284,7 @@ impl FromIterator<TraceEvent> for Trace {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use enviromic_types::EventId;
 
     fn sample_event(t: u64) -> TraceEvent {
         TraceEvent::MessageSent {
@@ -295,6 +313,16 @@ mod tests {
         let mut tr2 = Trace::new();
         tr2.extend(tr.iter().cloned());
         assert_eq!(tr2.len(), 3);
+    }
+
+    #[test]
+    fn digest_is_order_sensitive() {
+        let ab: Trace = [sample_event(1), sample_event(2)].into_iter().collect();
+        let ba: Trace = [sample_event(2), sample_event(1)].into_iter().collect();
+        assert_ne!(ab.digest(), ba.digest());
+        let ab2: Trace = [sample_event(1), sample_event(2)].into_iter().collect();
+        assert_eq!(ab.digest(), ab2.digest());
+        assert_ne!(Trace::new().digest(), ab.digest());
     }
 
     #[test]

@@ -17,15 +17,7 @@
 use enviromic_types::{Position, SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
 
-/// Identity of a ground-truth acoustic source.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
-pub struct SourceId(pub u32);
-
-impl core::fmt::Display for SourceId {
-    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
-        write!(f, "src{}", self.0)
-    }
-}
+pub use enviromic_types::SourceId;
 
 /// How a source moves over its lifetime.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]

@@ -67,36 +67,11 @@ impl Default for AcousticsConfig {
 
 /// Energy model parameters (MicaZ-class numbers).
 ///
-/// Only ratios of these rates enter protocol decisions (`TTL_energy`), so
-/// representative data-sheet values are sufficient.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub struct EnergyConfig {
-    /// Initial battery energy per node, millijoules (2×AA ≈ 20 kJ).
-    pub battery_mj: f64,
-    /// Baseline draw with CPU duty-cycled and radio off, milliwatts.
-    pub idle_mw: f64,
-    /// Additional draw while the radio is listening, milliwatts.
-    pub radio_listen_mw: f64,
-    /// Additional draw while transmitting, milliwatts (applied for airtime).
-    pub radio_tx_mw: f64,
-    /// Additional draw while sampling the microphone at full rate, mW.
-    pub sampling_mw: f64,
-    /// Energy per 256-byte flash block write, millijoules.
-    pub flash_write_mj_per_block: f64,
-}
-
-impl Default for EnergyConfig {
-    fn default() -> Self {
-        EnergyConfig {
-            battery_mj: 20_000_000.0,
-            idle_mw: 0.09,
-            radio_listen_mw: 59.1,
-            radio_tx_mw: 52.2,
-            sampling_mw: 24.0,
-            flash_write_mj_per_block: 0.02,
-        }
-    }
-}
+/// The canonical definition lives in `enviromic-runtime` (as
+/// [`EnergyModel`](enviromic_runtime::EnergyModel)) because the protocol
+/// reads it through the `Runtime` trait; the simulator re-exports it under
+/// its historical configuration name.
+pub use enviromic_runtime::EnergyModel as EnergyConfig;
 
 /// Per-node clock imperfection parameters.
 ///

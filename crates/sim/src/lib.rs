@@ -15,20 +15,27 @@
 //!   enforces the consequence by dropping packets at sampling nodes),
 //!   skewed local clocks, and a battery/energy model;
 //! * a **trace** — the instrumented ground truth all metrics are computed
-//!   from ([`trace`]).
+//!   from ([`Trace`]).
 //!
 //! Everything is reproducible from a single seed.
+//!
+//! The node-facing interface — [`Application`], the
+//! [`Runtime`](enviromic_runtime::Runtime) trait, timers, audio blocks,
+//! the trace vocabulary — is defined in `enviromic-runtime`; this crate is
+//! one *backend* for it (its [`Context`] implements `Runtime`) and
+//! re-exports the shared types for convenience.
 //!
 //! # Examples
 //!
 //! ```
-//! use enviromic_sim::{Application, Context, World, WorldConfig};
+//! use enviromic_runtime::Runtime;
+//! use enviromic_sim::{Application, World, WorldConfig};
 //! use enviromic_types::Position;
 //!
 //! struct Hello;
 //! impl Application for Hello {
-//!     fn on_start(&mut self, ctx: &mut Context<'_>) {
-//!         ctx.broadcast("HELLO", vec![0x01]);
+//!     fn on_start(&mut self, ctx: &mut dyn Runtime) {
+//!         ctx.broadcast("HELLO", vec![0x01].into());
 //!     }
 //!     fn as_any(&self) -> &dyn core::any::Any { self }
 //!     fn as_any_mut(&mut self) -> &mut dyn core::any::Any { self }
@@ -45,15 +52,15 @@
 #![warn(missing_docs)]
 
 pub mod acoustics;
-mod app;
 mod config;
 pub mod mote;
 pub mod queue;
 pub mod rng;
-pub mod trace;
 mod world;
 
-pub use app::{Application, AudioBlock, StorageOccupancy, Timer, TimerHandle};
 pub use config::{AcousticsConfig, ClockConfig, EnergyConfig, RadioConfig, WorldConfig};
-pub use trace::{DropReason, RecordKind, Trace, TraceEvent};
+pub use enviromic_runtime::{
+    Application, AudioBlock, DropReason, RecordKind, Runtime, StorageOccupancy, Timer, TimerHandle,
+    Trace, TraceEvent,
+};
 pub use world::{Context, World};

@@ -2,13 +2,14 @@
 //! energy, advanced by a deterministic discrete-event loop.
 
 use crate::acoustics::{AcousticField, SourceSpec};
-use crate::app::{Application, AudioBlock, Timer, TimerHandle};
 use crate::config::WorldConfig;
 use crate::queue::EventQueue;
 use crate::rng::RngStreams;
-use crate::trace::{Trace, TraceEvent};
+use enviromic_runtime::{
+    Application, AudioBlock, EnergyModel, Runtime, Timer, TimerHandle, Trace, TraceEvent,
+};
 use enviromic_telemetry::{Counter, Histogram, Registry, TelemetryReport};
-use enviromic_types::{audio, NodeId, Position, SimDuration, SimTime};
+use enviromic_types::{audio, Bytes, NodeId, Position, SimDuration, SimTime};
 use rand::rngs::SmallRng;
 use rand::Rng;
 use std::collections::HashSet;
@@ -25,7 +26,7 @@ enum Ev {
     Deliver {
         to: NodeId,
         from: NodeId,
-        bytes: std::rc::Rc<Vec<u8>>,
+        bytes: Bytes,
     },
     AcousticTick,
     AudioBlock {
@@ -261,7 +262,7 @@ impl World {
     }
 
     /// The world's telemetry registry. Applications reach it through
-    /// [`Context::telemetry`]; harnesses clone it to add run-level
+    /// [`Runtime::telemetry`]; harnesses clone it to add run-level
     /// metrics alongside the simulation's own.
     #[must_use]
     pub fn telemetry(&self) -> &Registry {
@@ -382,7 +383,7 @@ impl World {
         }
     }
 
-    fn with_app(&mut self, node: NodeId, f: impl FnOnce(&mut dyn Application, &mut Context<'_>)) {
+    fn with_app(&mut self, node: NodeId, f: impl FnOnce(&mut dyn Application, &mut dyn Runtime)) {
         // Settle battery drain before every callback so a node that ran out
         // of energy since its last activity is dead *before* it acts.
         self.inner.integrate_energy(node);
@@ -586,10 +587,12 @@ impl Inner {
     }
 }
 
-/// The per-callback view a node application gets of the world.
+/// The per-callback view a node application gets of the world: the
+/// simulator's implementation of [`Runtime`].
 ///
 /// All side effects a protocol can have — timers, radio, sampling, energy,
-/// tracing — go through here.
+/// tracing — go through the trait; applications only ever see it as
+/// `&mut dyn Runtime`.
 pub struct Context<'a> {
     inner: &'a mut Inner,
     node: NodeId,
@@ -604,41 +607,28 @@ impl std::fmt::Debug for Context<'_> {
     }
 }
 
-impl Context<'_> {
-    /// The node this context is scoped to.
-    #[must_use]
-    pub fn node_id(&self) -> NodeId {
+impl Runtime for Context<'_> {
+    fn node_id(&self) -> NodeId {
         self.node
     }
 
-    /// Global simulation time. Protocol code should prefer
-    /// [`Context::local_time`]; the global clock is exposed for trace
-    /// records (it is the instrumented ground truth).
-    #[must_use]
-    pub fn now(&self) -> SimTime {
+    fn now(&self) -> SimTime {
         self.inner.now
     }
 
-    /// The node's own (skewed, offset) clock reading.
-    #[must_use]
-    pub fn local_time(&self) -> SimTime {
+    fn local_time(&self) -> SimTime {
         self.inner.local_time(self.node)
     }
 
-    /// The node's deployment position.
-    #[must_use]
-    pub fn position(&self) -> Position {
+    fn position(&self) -> Position {
         self.inner.nodes[self.node.index()].pos
     }
 
-    /// The node's deterministic RNG stream.
-    pub fn rng(&mut self) -> &mut SmallRng {
+    fn rng(&mut self) -> &mut SmallRng {
         &mut self.inner.nodes[self.node.index()].rng
     }
 
-    /// Schedules a timer to fire after `delay`; `token` is handed back in
-    /// the [`Timer`] so the application can tell its logical timers apart.
-    pub fn set_timer(&mut self, delay: SimDuration, token: u32) -> TimerHandle {
+    fn set_timer(&mut self, delay: SimDuration, token: u32) -> TimerHandle {
         let handle = self.inner.next_timer_handle;
         self.inner.next_timer_handle += 1;
         self.inner.queue.schedule(
@@ -652,31 +642,22 @@ impl Context<'_> {
         TimerHandle(handle)
     }
 
-    /// Cancels a pending timer. Cancelling an already-fired timer is a
-    /// no-op.
-    pub fn cancel_timer(&mut self, handle: TimerHandle) {
+    fn cancel_timer(&mut self, handle: TimerHandle) {
         self.inner.cancelled.insert(handle.0);
     }
 
-    /// Turns the node's radio on or off. While off, the node neither
-    /// receives nor can send.
-    pub fn set_radio(&mut self, on: bool) {
+    fn set_radio(&mut self, on: bool) {
         self.inner.integrate_energy(self.node);
         self.inner.nodes[self.node.index()].radio_on = on;
     }
 
-    /// Whether the radio is currently on.
-    #[must_use]
-    pub fn radio_is_on(&self) -> bool {
+    fn radio_is_on(&self) -> bool {
         self.inner.nodes[self.node.index()].radio_on
     }
 
-    /// Broadcasts `bytes` to every node in radio range.
-    ///
-    /// `kind` is a protocol-level label recorded in the trace (the message
-    /// census of Fig. 12 is computed from it). Returns `false` — and sends
-    /// nothing — when the radio is off or the node is dead.
-    pub fn broadcast(&mut self, kind: &'static str, bytes: Vec<u8>) -> bool {
+    // `kind` is a protocol-level label recorded in the trace (the message
+    // census of Fig. 12 is computed from it).
+    fn broadcast(&mut self, kind: &'static str, bytes: Bytes) -> bool {
         let slot = &self.inner.nodes[self.node.index()];
         if !slot.alive || !slot.radio_on {
             return false;
@@ -708,7 +689,6 @@ impl Context<'_> {
         let sender_pos = self.inner.nodes[self.node.index()].pos;
         let range = self.inner.cfg.radio.range_ft;
         let loss = self.inner.cfg.radio.loss_prob;
-        let payload = std::rc::Rc::new(bytes);
         for idx in 0..self.inner.nodes.len() {
             if idx == self.node.index() {
                 continue;
@@ -726,19 +706,14 @@ impl Context<'_> {
                 Ev::Deliver {
                     to: NodeId(idx as u16),
                     from: self.node,
-                    bytes: std::rc::Rc::clone(&payload),
+                    bytes: bytes.clone(),
                 },
             );
         }
         true
     }
 
-    /// Starts an acoustic sampling session. Audio arrives through
-    /// [`Application::on_audio_block`] every chunk duration until
-    /// [`Context::stop_recording`].
-    ///
-    /// Returns `false` when a session is already active.
-    pub fn start_recording(&mut self) -> bool {
+    fn start_recording(&mut self) -> bool {
         self.inner.integrate_energy(self.node);
         let slot = &self.inner.nodes[self.node.index()];
         if !slot.alive || slot.session.is_some() {
@@ -760,15 +735,11 @@ impl Context<'_> {
         true
     }
 
-    /// Whether a sampling session is active.
-    #[must_use]
-    pub fn is_recording(&self) -> bool {
+    fn is_recording(&self) -> bool {
         self.inner.nodes[self.node.index()].session.is_some()
     }
 
-    /// Stops the active sampling session, returning the final partial block
-    /// (audio sampled since the last full block boundary), if any.
-    pub fn stop_recording(&mut self) -> Option<AudioBlock> {
+    fn stop_recording(&mut self) -> Option<AudioBlock> {
         self.inner.integrate_energy(self.node);
         let active = self.inner.nodes[self.node.index()].session.take()?;
         let t0 = active.block_start;
@@ -779,44 +750,32 @@ impl Context<'_> {
         Some(self.inner.synthesize_block(self.node, t0, t1))
     }
 
-    /// The node's current microphone level (field peak + ambient noise),
-    /// for pull-style detectors.
-    #[must_use]
-    pub fn current_acoustic_level(&mut self) -> f64 {
+    fn current_acoustic_level(&mut self) -> f64 {
         self.inner.sample_level(self.node)
     }
 
-    /// Remaining battery energy, millijoules.
-    #[must_use]
-    pub fn energy_mj(&mut self) -> f64 {
+    fn energy_mj(&mut self) -> f64 {
         self.inner.integrate_energy(self.node);
         self.inner.nodes[self.node.index()].energy_mj
     }
 
-    /// The energy model, for protocol-side rate computations
-    /// (`TTL_energy`).
-    #[must_use]
-    pub fn energy_config(&self) -> &crate::config::EnergyConfig {
+    fn energy_model(&self) -> &EnergyModel {
         &self.inner.cfg.energy
     }
 
-    /// Charges the energy cost of writing `blocks` flash blocks.
-    pub fn charge_flash_write(&mut self, blocks: u32) {
+    fn charge_flash_write(&mut self, blocks: u32) {
         let mj = self.inner.cfg.energy.flash_write_mj_per_block * f64::from(blocks);
         self.inner.charge(self.node, mj);
     }
 
-    /// Appends a record to the world trace.
-    pub fn trace(&mut self, event: TraceEvent) {
+    fn trace(&mut self, event: TraceEvent) {
         self.inner.trace.push(event);
     }
 
-    /// The world's telemetry registry, for protocol-level counters and
-    /// histograms (`core.*`, `flash.*`). Handles obtained from it stay
-    /// valid across callbacks, so applications should resolve them once
-    /// and cache them rather than looking them up per event.
-    #[must_use]
-    pub fn telemetry(&self) -> &Registry {
+    // Handles obtained from the registry stay valid across callbacks, so
+    // applications should resolve them once and cache them rather than
+    // looking them up per event.
+    fn telemetry(&self) -> &Registry {
         &self.inner.telemetry
     }
 }
@@ -838,19 +797,19 @@ mod tests {
     }
 
     impl Application for Probe {
-        fn on_start(&mut self, _ctx: &mut Context<'_>) {
+        fn on_start(&mut self, _ctx: &mut dyn Runtime) {
             self.started = true;
         }
-        fn on_timer(&mut self, _ctx: &mut Context<'_>, timer: Timer) {
+        fn on_timer(&mut self, _ctx: &mut dyn Runtime, timer: Timer) {
             self.timers.push(timer.token);
         }
-        fn on_packet(&mut self, _ctx: &mut Context<'_>, from: NodeId, bytes: &[u8]) {
+        fn on_packet(&mut self, _ctx: &mut dyn Runtime, from: NodeId, bytes: &[u8]) {
             self.packets.push((from, bytes.to_vec()));
         }
-        fn on_acoustic_level(&mut self, _ctx: &mut Context<'_>, level: f64) {
+        fn on_acoustic_level(&mut self, _ctx: &mut dyn Runtime, level: f64) {
             self.levels.push(level);
         }
-        fn on_audio_block(&mut self, _ctx: &mut Context<'_>, block: AudioBlock) {
+        fn on_audio_block(&mut self, _ctx: &mut dyn Runtime, block: AudioBlock) {
             self.blocks.push(block);
         }
         fn as_any(&self) -> &dyn Any {
@@ -864,8 +823,8 @@ mod tests {
     /// Sends one packet at start, sets a timer chain.
     struct Chatter;
     impl Application for Chatter {
-        fn on_start(&mut self, ctx: &mut Context<'_>) {
-            ctx.broadcast("HELLO", vec![1, 2, 3]);
+        fn on_start(&mut self, ctx: &mut dyn Runtime) {
+            ctx.broadcast("HELLO", vec![1, 2, 3].into());
             ctx.set_timer(SimDuration::from_millis(100), 7);
         }
         fn as_any(&self) -> &dyn Any {
@@ -919,12 +878,12 @@ mod tests {
     fn cancelled_timer_does_not_fire() {
         struct CancelApp;
         impl Application for CancelApp {
-            fn on_start(&mut self, ctx: &mut Context<'_>) {
+            fn on_start(&mut self, ctx: &mut dyn Runtime) {
                 let h = ctx.set_timer(SimDuration::from_millis(10), 1);
                 ctx.cancel_timer(h);
                 ctx.set_timer(SimDuration::from_millis(20), 2);
             }
-            fn on_timer(&mut self, _ctx: &mut Context<'_>, timer: Timer) {
+            fn on_timer(&mut self, _ctx: &mut dyn Runtime, timer: Timer) {
                 assert_eq!(timer.token, 2, "cancelled timer fired");
             }
             fn as_any(&self) -> &dyn Any {
@@ -943,10 +902,10 @@ mod tests {
     fn radio_off_blocks_reception() {
         struct DeafApp(Probe);
         impl Application for DeafApp {
-            fn on_start(&mut self, ctx: &mut Context<'_>) {
+            fn on_start(&mut self, ctx: &mut dyn Runtime) {
                 ctx.set_radio(false);
             }
-            fn on_packet(&mut self, _ctx: &mut Context<'_>, from: NodeId, bytes: &[u8]) {
+            fn on_packet(&mut self, _ctx: &mut dyn Runtime, from: NodeId, bytes: &[u8]) {
                 self.0.packets.push((from, bytes.to_vec()));
             }
             fn as_any(&self) -> &dyn Any {
@@ -969,7 +928,7 @@ mod tests {
             recording: bool,
         }
         impl Application for RecOnLoud {
-            fn on_acoustic_level(&mut self, ctx: &mut Context<'_>, level: f64) {
+            fn on_acoustic_level(&mut self, ctx: &mut dyn Runtime, level: f64) {
                 if level > 50.0 && !self.recording {
                     self.recording = true;
                     ctx.start_recording();
@@ -1013,15 +972,15 @@ mod tests {
             tail: Option<usize>,
         }
         impl Application for OneShot {
-            fn on_start(&mut self, ctx: &mut Context<'_>) {
+            fn on_start(&mut self, ctx: &mut dyn Runtime) {
                 ctx.start_recording();
                 ctx.set_timer(SimDuration::from_secs_f64(1.0), 1);
             }
-            fn on_timer(&mut self, ctx: &mut Context<'_>, _timer: Timer) {
+            fn on_timer(&mut self, ctx: &mut dyn Runtime, _timer: Timer) {
                 let tail = ctx.stop_recording();
                 self.tail = tail.map(|b| b.samples.len());
             }
-            fn on_audio_block(&mut self, _ctx: &mut Context<'_>, block: AudioBlock) {
+            fn on_audio_block(&mut self, _ctx: &mut dyn Runtime, block: AudioBlock) {
                 self.total_samples += block.samples.len();
             }
             fn as_any(&self) -> &dyn Any {
@@ -1135,12 +1094,12 @@ mod tests {
             local_minus_global: Option<i64>,
         }
         impl Application for ClockApp {
-            fn on_timer(&mut self, ctx: &mut Context<'_>, _t: Timer) {
+            fn on_timer(&mut self, ctx: &mut dyn Runtime, _t: Timer) {
                 let l = ctx.local_time().as_jiffies() as i64;
                 let g = ctx.now().as_jiffies() as i64;
                 self.local_minus_global = Some(l - g);
             }
-            fn on_start(&mut self, ctx: &mut Context<'_>) {
+            fn on_start(&mut self, ctx: &mut dyn Runtime) {
                 ctx.set_timer(SimDuration::from_millis(100), 0);
             }
             fn as_any(&self) -> &dyn Any {

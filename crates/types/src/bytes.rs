@@ -1,0 +1,140 @@
+//! A cheaply clonable, immutable byte buffer.
+//!
+//! Radio broadcast fans one encoded packet out to every receiver in range;
+//! wrapping the payload in a reference-counted slice makes each delivery a
+//! pointer copy instead of a buffer copy. The buffer is immutable after
+//! construction, so sharing is safe across the whole delivery fan-out.
+
+use std::sync::Arc;
+
+/// An immutable, reference-counted byte buffer.
+///
+/// Cloning is O(1) and shares the underlying allocation. Dereferences to
+/// `&[u8]`, so it drops into any API that reads bytes.
+///
+/// # Examples
+///
+/// ```
+/// use enviromic_types::Bytes;
+///
+/// let a = Bytes::from(vec![1, 2, 3]);
+/// let b = a.clone(); // shares the allocation
+/// assert_eq!(&a[..], &b[..]);
+/// assert_eq!(a.len(), 3);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Bytes(Arc<[u8]>);
+
+impl Bytes {
+    /// An empty buffer.
+    #[must_use]
+    pub fn new() -> Self {
+        Bytes(Arc::from(&[][..]))
+    }
+
+    /// Length in bytes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// True when the buffer holds no bytes.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// The bytes as a slice.
+    #[must_use]
+    pub fn as_slice(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl Default for Bytes {
+    fn default() -> Self {
+        Bytes::new()
+    }
+}
+
+impl core::fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "Bytes({} bytes)", self.0.len())
+    }
+}
+
+impl core::ops::Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        Bytes(Arc::from(v))
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(v: &[u8]) -> Self {
+        Bytes(Arc::from(v))
+    }
+}
+
+impl<const N: usize> From<[u8; N]> for Bytes {
+    fn from(v: [u8; N]) -> Self {
+        Bytes(Arc::from(&v[..]))
+    }
+}
+
+impl PartialEq<[u8]> for Bytes {
+    fn eq(&self, other: &[u8]) -> bool {
+        &self.0[..] == other
+    }
+}
+
+impl PartialEq<Vec<u8>> for Bytes {
+    fn eq(&self, other: &Vec<u8>) -> bool {
+        &self.0[..] == other.as_slice()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clone_shares_contents() {
+        let a = Bytes::from(vec![9, 8, 7]);
+        let b = a.clone();
+        assert_eq!(a, b);
+        assert_eq!(b.as_slice(), &[9, 8, 7]);
+    }
+
+    #[test]
+    fn empty_default() {
+        assert!(Bytes::default().is_empty());
+        assert_eq!(Bytes::new().len(), 0);
+    }
+
+    #[test]
+    fn deref_and_compare() {
+        let a = Bytes::from([1u8, 2]);
+        assert_eq!(a, vec![1, 2]);
+        assert_eq!(a, *[1u8, 2].as_slice());
+        assert_eq!(a.iter().copied().sum::<u8>(), 3);
+    }
+
+    #[test]
+    fn debug_is_compact() {
+        let a = Bytes::from(vec![0; 100]);
+        assert_eq!(format!("{a:?}"), "Bytes(100 bytes)");
+    }
+}

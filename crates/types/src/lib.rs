@@ -13,6 +13,9 @@
 //!   event; it doubles as the distributed *file* identifier.
 //! * [`Position`] — planar deployment coordinates, in feet (the paper's
 //!   testbeds are specified in feet).
+//! * [`SourceId`] — the identity of a ground-truth acoustic source.
+//! * [`Bytes`] — a cheaply clonable immutable byte buffer, used for radio
+//!   payloads shared across a broadcast fan-out.
 //! * [`audio`] — constants tying sampling rate to storage volume.
 //!
 //! # Examples
@@ -31,12 +34,16 @@
 #![warn(missing_docs)]
 
 pub mod audio;
+mod bytes;
 mod event;
 mod geometry;
 mod node;
+mod source;
 mod time;
 
+pub use bytes::Bytes;
 pub use event::EventId;
 pub use geometry::Position;
 pub use node::NodeId;
+pub use source::SourceId;
 pub use time::{SimDuration, SimTime, JIFFIES_PER_SEC};

@@ -1,0 +1,33 @@
+//! Identity of a ground-truth acoustic source.
+
+use serde::{Deserialize, Serialize};
+
+/// Identity of a ground-truth acoustic source.
+///
+/// Sources are an experiment-harness concept (the laptops, vehicles, and
+/// birds that drive the paper's workloads); their IDs appear in trace
+/// ground-truth records, which is why the type lives in the shared
+/// vocabulary crate rather than in any one backend.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct SourceId(pub u32);
+
+impl core::fmt::Display for SourceId {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "src{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_matches_legacy_format() {
+        assert_eq!(SourceId(7).to_string(), "src7");
+    }
+
+    #[test]
+    fn ordering_follows_raw_id() {
+        assert!(SourceId(1) < SourceId(2));
+    }
+}

@@ -19,7 +19,8 @@
 //!
 //! | Module (re-export) | Contents |
 //! |---|---|
-//! | [`types`] | IDs, jiffy time base, geometry, audio constants |
+//! | [`types`] | IDs, jiffy time base, geometry, audio constants, shared bytes |
+//! | [`runtime`] | node-facing `Application`/`Runtime` traits, trace, mock backend |
 //! | [`sim`] | discrete-event world: radio, acoustic field, energy, clocks |
 //! | [`flash`] | block device, chunk store, EEPROM crash recovery |
 //! | [`net`] | packet codec, piggyback broadcast, bulk transfer, tree |
@@ -54,6 +55,7 @@ pub use enviromic_core as core;
 pub use enviromic_flash as flash;
 pub use enviromic_metrics as metrics;
 pub use enviromic_net as net;
+pub use enviromic_runtime as runtime;
 pub use enviromic_sim as sim;
 pub use enviromic_telemetry as telemetry;
 pub use enviromic_timesync as timesync;

@@ -1,0 +1,57 @@
+//! Seeded-determinism regression guard.
+//!
+//! The simulation promises bit-identical traces from a fixed seed. That
+//! promise is easy to break silently — a refactor that reorders RNG draws,
+//! event scheduling, or trace emission changes every downstream figure
+//! while all behavioural tests keep passing. This test pins the full trace
+//! of a quick indoor scenario to a golden digest, so any perturbation of
+//! the execution (not just aggregate statistics) fails loudly.
+//!
+//! If this test fails after an *intentional* semantic change, re-derive
+//! the constants by printing `run.trace.len()` and `run.trace.digest()`
+//! and update them alongside a note in the commit. A refactor that is
+//! supposed to be behaviour-preserving must NOT need that.
+
+use enviromic::harness::{indoor_world_config, run_scenario};
+use enviromic_core::{Mode, NodeConfig};
+use enviromic_workloads::{indoor_scenario, IndoorParams};
+
+/// Golden values captured from the quick indoor run below at seed 42.
+const GOLDEN_EVENTS: usize = 9127;
+const GOLDEN_DIGEST: u64 = 0x42b8_1c6d_9160_48ba;
+
+#[test]
+fn quick_indoor_trace_matches_golden_digest() {
+    let params = IndoorParams {
+        duration_secs: 120.0,
+        ..IndoorParams::default()
+    };
+    let scenario = indoor_scenario(&params, 42);
+    let cfg = NodeConfig::default().with_mode(Mode::Full);
+    let run = run_scenario(scenario, &cfg, indoor_world_config(42), 5.0);
+    assert_eq!(
+        (run.trace.len(), run.trace.digest()),
+        (GOLDEN_EVENTS, GOLDEN_DIGEST),
+        "seeded execution diverged from the golden trace \
+         (len={}, digest={:#018x})",
+        run.trace.len(),
+        run.trace.digest(),
+    );
+}
+
+#[test]
+fn same_seed_same_digest_across_runs() {
+    let run = |seed: u64| {
+        let params = IndoorParams {
+            duration_secs: 20.0,
+            ..IndoorParams::default()
+        };
+        let scenario = indoor_scenario(&params, seed);
+        let cfg = NodeConfig::default().with_mode(Mode::Full);
+        run_scenario(scenario, &cfg, indoor_world_config(seed), 1.0)
+            .trace
+            .digest()
+    };
+    assert_eq!(run(7), run(7));
+    assert_ne!(run(7), run(8), "different seeds should diverge");
+}
