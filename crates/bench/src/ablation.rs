@@ -14,9 +14,10 @@
 
 use crate::indoor::suite_world_config;
 use enviromic::core::{Mode, NodeConfig};
-use enviromic::harness::run_scenario;
+use enviromic::harness::ExperimentRun;
 use enviromic::metrics::mean;
 use enviromic::sim::TraceEvent;
+use enviromic::sweep::{run_sweep, JobInput, ScenarioSpec, SweepPlan};
 use enviromic::types::SimDuration;
 use enviromic::workloads::{indoor_scenario, IndoorParams};
 
@@ -35,13 +36,7 @@ pub struct AblationRow {
     pub occupancy_stddev: f64,
 }
 
-fn run_one(label: &str, cfg: NodeConfig, seed: u64, duration: f64) -> AblationRow {
-    let params = IndoorParams {
-        duration_secs: duration,
-        ..IndoorParams::default()
-    };
-    let scenario = indoor_scenario(&params, seed);
-    let run = run_scenario(scenario, &cfg, suite_world_config(seed), 20.0);
+fn row_from_run(label: &str, run: &ExperimentRun, duration: f64) -> AblationRow {
     let exp = run.experiment();
     let packets = run
         .trace
@@ -71,10 +66,16 @@ fn base_cfg() -> NodeConfig {
         .with_beta_max(2.0)
 }
 
-/// Runs the ablation battery. `duration` of 2200 s keeps contrasts visible
-/// in reasonable time.
+/// Runs the ablation battery on up to one worker per configuration.
+/// `duration` of 2200 s keeps contrasts visible in reasonable time.
 #[must_use]
 pub fn run(seed: u64, duration: f64) -> Vec<AblationRow> {
+    run_jobs(seed, duration, usize::MAX)
+}
+
+/// Runs the ablation battery as one sweep on `jobs` worker threads.
+#[must_use]
+pub fn run_jobs(seed: u64, duration: f64, jobs: usize) -> Vec<AblationRow> {
     let configs: Vec<(&str, NodeConfig)> = vec![
         ("full (reference)", base_cfg()),
         (
@@ -107,16 +108,28 @@ pub fn run(seed: u64, duration: f64) -> Vec<AblationRow> {
             c
         }),
     ];
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = configs
-            .into_iter()
-            .map(|(label, cfg)| scope.spawn(move || run_one(label, cfg, seed, duration)))
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("ablation worker panicked"))
-            .collect()
-    })
+    let labels: Vec<&str> = configs.iter().map(|(label, _)| *label).collect();
+    let specs = configs
+        .into_iter()
+        .map(|(label, cfg)| {
+            let params = IndoorParams {
+                duration_secs: duration,
+                ..IndoorParams::default()
+            };
+            ScenarioSpec::new(label, move |seed| JobInput {
+                scenario: indoor_scenario(&params, seed),
+                node_cfg: cfg.clone(),
+                world_cfg: suite_world_config(seed),
+                drain_secs: 20.0,
+            })
+        })
+        .collect();
+    let out = run_sweep(&SweepPlan::new(vec![seed], specs), jobs);
+    labels
+        .into_iter()
+        .zip(&out.jobs)
+        .map(|(label, job)| row_from_run(label, &job.run, duration))
+        .collect()
 }
 
 /// Renders the ablation table.

@@ -1,13 +1,14 @@
 //! Figure-reproduction driver.
 //!
 //! ```text
-//! repro [FIGURE ...] [--seed N] [--quick] [-q | --verbose]
+//! repro [FIGURE ...] [--seed N] [--quick] [--jobs N] [-q | --verbose]
 //!       [--telemetry-out PATH]
 //!
 //! FIGURE: fig3 fig6 fig7 fig8 fig10 fig11 fig12 fig13 fig14
 //!         fig16 fig17 fig18 headline all    (default: all)
 //! --seed N             root seed (default 1)
 //! --quick              shortened runs (CI-friendly): 1/4 duration, 5 reps
+//! --jobs N             sweep worker threads (default: available cores)
 //! -q / --quiet         suppress status lines
 //! -v / --verbose       extra detail + print the telemetry dashboard
 //! --telemetry-out PATH telemetry JSON destination
@@ -29,13 +30,20 @@ struct Options {
     figures: BTreeSet<String>,
     seed: u64,
     quick: bool,
+    jobs: usize,
     telemetry_out: String,
+}
+
+/// Default worker count: one per available core.
+fn default_jobs() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
 }
 
 fn parse_args() -> Options {
     let mut figures = BTreeSet::new();
     let mut seed = 1u64;
     let mut quick = false;
+    let mut jobs = default_jobs();
     let mut quiet = false;
     let mut verbose = false;
     let mut telemetry_out = String::from("target/telemetry/repro.json");
@@ -47,6 +55,16 @@ fn parse_args() -> Options {
                     log_warn!("--seed expects an integer");
                     std::process::exit(2);
                 });
+            }
+            "--jobs" => {
+                jobs = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&n| n > 0)
+                    .unwrap_or_else(|| {
+                        log_warn!("--jobs expects a positive integer");
+                        std::process::exit(2);
+                    });
             }
             "--quick" => quick = true,
             "--quiet" | "-q" => quiet = true,
@@ -61,7 +79,7 @@ fn parse_args() -> Options {
                 println!(
                     "usage: repro [fig3 fig6 fig7 fig8 fig10 fig11 fig12 fig13 fig14 \
                      fig16 fig17 fig18 headline ablation all] [--seed N] [--quick] \
-                     [-q|--quiet] [-v|--verbose] [--telemetry-out PATH]"
+                     [--jobs N] [-q|--quiet] [-v|--verbose] [--telemetry-out PATH]"
                 );
                 std::process::exit(0);
             }
@@ -83,6 +101,7 @@ fn parse_args() -> Options {
         figures,
         seed,
         quick,
+        jobs,
         telemetry_out,
     }
 }
@@ -136,8 +155,11 @@ fn main() {
     if needs_indoor {
         let _phase = registry.span("indoor-suite");
         let duration = if opts.quick { 1100.0 } else { 4400.0 };
-        log_info!("[repro] indoor suite: 5 settings x {duration:.0}s (parallel)...");
-        let suite = indoor::run_suite(opts.seed, duration);
+        log_info!(
+            "[repro] indoor suite: 5 settings x {duration:.0}s on {} workers...",
+            opts.jobs
+        );
+        let suite = indoor::run_suite_jobs(opts.seed, duration, opts.jobs);
         for (setting, run) in &suite.runs {
             registry.absorb(&setting.label(), &run.telemetry);
             totals.merge(&run.telemetry);
@@ -206,8 +228,14 @@ fn main() {
     if wants("ablation") {
         let _phase = registry.span("ablation");
         let duration = if opts.quick { 700.0 } else { 2200.0 };
-        log_info!("[repro] ablation battery: 7 configurations x {duration:.0}s (parallel)...");
-        println!("{}", ablation::render(&ablation::run(opts.seed, duration)));
+        log_info!(
+            "[repro] ablation battery: 7 configurations x {duration:.0}s on {} workers...",
+            opts.jobs
+        );
+        println!(
+            "{}",
+            ablation::render(&ablation::run_jobs(opts.seed, duration, opts.jobs))
+        );
     }
 
     if wants("fig16") || wants("fig17") || wants("fig18") {

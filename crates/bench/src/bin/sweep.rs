@@ -1,0 +1,140 @@
+//! Parallel experiment-sweep driver.
+//!
+//! ```text
+//! sweep [--seeds N] [--seed-start S] [--jobs N] [--duration SECS]
+//!       [--scenario indoor|forest|both] [--out PATH] [--digests-out PATH]
+//!       [-q | --verbose]
+//!
+//! --seeds N            number of consecutive seeds (default 8)
+//! --seed-start S       first seed (default 42, the golden-digest seed)
+//! --jobs N             worker threads (default: available cores)
+//! --duration SECS      per-run duration (default 120, the quick length)
+//! --scenario WHICH     grid axis: indoor, forest, or both (default both)
+//! --out PATH           machine-readable summary JSON
+//!                      (default target/bench/BENCH_sweep.json)
+//! --digests-out PATH   also write a "label seed digest events" text table
+//!                      (for CI to diff across worker counts)
+//! ```
+//!
+//! Every job owns its own world, RNG, and telemetry registry, so the
+//! per-seed trace digests printed here are bit-identical for any `--jobs`
+//! value — CI runs the same grid at `--jobs 1` and `--jobs 2` and diffs
+//! the `--digests-out` tables to enforce that.
+
+use enviromic::sweep::{run_sweep, ScenarioSpec, SweepPlan};
+use enviromic_telemetry::{log, log_info, log_warn};
+
+struct Options {
+    seeds: u64,
+    seed_start: u64,
+    jobs: usize,
+    duration: f64,
+    scenario: String,
+    out: String,
+    digests_out: Option<String>,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: sweep [--seeds N] [--seed-start S] [--jobs N] [--duration SECS] \
+         [--scenario indoor|forest|both] [--out PATH] [--digests-out PATH] \
+         [-q|--quiet] [-v|--verbose]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Options {
+    let mut opts = Options {
+        seeds: 8,
+        seed_start: 42,
+        jobs: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        duration: 120.0,
+        scenario: "both".into(),
+        out: String::from("target/bench/BENCH_sweep.json"),
+        digests_out: None,
+    };
+    let mut quiet = false;
+    let mut verbose = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = || args.next().unwrap_or_else(|| usage());
+        match arg.as_str() {
+            "--seeds" => opts.seeds = value().parse().unwrap_or_else(|_| usage()),
+            "--seed-start" => opts.seed_start = value().parse().unwrap_or_else(|_| usage()),
+            "--jobs" => {
+                opts.jobs = value().parse().unwrap_or_else(|_| usage());
+                if opts.jobs == 0 {
+                    usage();
+                }
+            }
+            "--duration" => opts.duration = value().parse().unwrap_or_else(|_| usage()),
+            "--scenario" => opts.scenario = value(),
+            "--out" => opts.out = value(),
+            "--digests-out" => opts.digests_out = Some(value()),
+            "--quiet" | "-q" => quiet = true,
+            "--verbose" | "-v" => verbose = true,
+            "--help" | "-h" => usage(),
+            _ => usage(),
+        }
+    }
+    log::init_from_flags(quiet, verbose);
+    if opts.seeds == 0 {
+        usage();
+    }
+    opts
+}
+
+fn write_with_parents(path: &str, contents: &str) {
+    let p = std::path::Path::new(path);
+    if let Some(parent) = p.parent() {
+        if !parent.as_os_str().is_empty() {
+            let _ = std::fs::create_dir_all(parent);
+        }
+    }
+    match std::fs::write(p, contents) {
+        Ok(()) => log_info!("[sweep] wrote {path}"),
+        Err(e) => {
+            log_warn!("could not write {path}: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn main() {
+    let opts = parse_args();
+    let scenarios = match opts.scenario.as_str() {
+        "indoor" => vec![ScenarioSpec::quick_indoor(opts.duration)],
+        "forest" => vec![ScenarioSpec::quick_forest(opts.duration)],
+        "both" => vec![
+            ScenarioSpec::quick_indoor(opts.duration),
+            ScenarioSpec::quick_forest(opts.duration),
+        ],
+        _ => usage(),
+    };
+    let seeds: Vec<u64> = (opts.seed_start..opts.seed_start + opts.seeds).collect();
+    let plan = SweepPlan::new(seeds, scenarios);
+    log_info!(
+        "[sweep] {} seeds x {} scenarios = {} jobs on {} workers ({:.0}s each)...",
+        plan.seeds.len(),
+        plan.scenarios.len(),
+        plan.job_count(),
+        opts.jobs,
+        opts.duration,
+    );
+
+    let outcome = run_sweep(&plan, opts.jobs);
+    let summary = outcome.summary();
+    print!("{}", summary.render());
+
+    write_with_parents(&opts.out, &summary.to_json());
+    if let Some(path) = &opts.digests_out {
+        let mut table = String::new();
+        for j in &summary.jobs {
+            table.push_str(&format!(
+                "{} {} {} {}\n",
+                j.label, j.seed, j.digest, j.events
+            ));
+        }
+        write_with_parents(path, &table);
+    }
+}

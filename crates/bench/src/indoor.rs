@@ -14,8 +14,9 @@
 //! the baseline's ~0.5 (not 0.75) redundancy ratio.
 
 use enviromic::core::{Mode, NodeConfig};
-use enviromic::harness::{indoor_world_config, run_scenario, ExperimentRun};
+use enviromic::harness::{indoor_world_config, ExperimentRun};
 use enviromic::metrics::{ContourGrid, Experiment};
+use enviromic::sweep::{run_sweep, JobInput, ScenarioSpec, SweepPlan};
 use enviromic::telemetry::TelemetryReport;
 use enviromic::types::SimDuration;
 use enviromic::workloads::{indoor_scenario, IndoorParams, Topology};
@@ -99,39 +100,42 @@ pub fn suite_world_config(seed: u64) -> enviromic::sim::WorldConfig {
     wcfg
 }
 
-/// Runs the suite. `duration_secs` is 4400 in the paper; pass less for
-/// quick runs. Settings run on parallel threads.
+/// Runs the suite on up to one worker per setting (the pre-sweep-engine
+/// behaviour). `duration_secs` is 4400 in the paper; pass less for quick
+/// runs.
 #[must_use]
 pub fn run_suite(seed: u64, duration_secs: f64) -> IndoorSuite {
-    let params = IndoorParams {
-        duration_secs,
-        ..IndoorParams::default()
-    };
-    let runs = std::thread::scope(|scope| {
-        let handles: Vec<_> = Setting::all()
-            .into_iter()
-            .map(|setting| {
-                let params = params.clone();
-                scope.spawn(move || {
-                    let scenario = indoor_scenario(&params, seed);
-                    let run = run_scenario(
-                        scenario,
-                        &setting.node_config(),
-                        suite_world_config(seed),
-                        20.0,
-                    );
-                    (setting, run)
-                })
+    run_suite_jobs(seed, duration_secs, Setting::all().len())
+}
+
+/// Runs the suite's five settings as one sweep on `jobs` worker threads.
+/// Each setting's run is bit-identical regardless of `jobs` (every job
+/// owns its own world and RNG).
+#[must_use]
+pub fn run_suite_jobs(seed: u64, duration_secs: f64, jobs: usize) -> IndoorSuite {
+    let settings = Setting::all();
+    let specs = settings
+        .iter()
+        .map(|&setting| {
+            let params = IndoorParams {
+                duration_secs,
+                ..IndoorParams::default()
+            };
+            ScenarioSpec::new(setting.label(), move |seed| JobInput {
+                scenario: indoor_scenario(&params, seed),
+                node_cfg: setting.node_config(),
+                world_cfg: suite_world_config(seed),
+                drain_secs: 20.0,
             })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("suite worker panicked"))
-            .collect()
-    });
+        })
+        .collect();
+    let out = run_sweep(&SweepPlan::new(vec![seed], specs), jobs);
     IndoorSuite {
         duration_secs,
-        runs,
+        runs: settings
+            .into_iter()
+            .zip(out.jobs.into_iter().map(|j| j.run))
+            .collect(),
     }
 }
 

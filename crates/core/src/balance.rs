@@ -75,7 +75,9 @@ impl EnviroMicNode {
         let msg = Message::StateUpdate {
             ttl_secs: self.ttl_storage_secs(),
             free_chunks: self.store.free(),
-            avg_free_pct: (self.net_avg_free * 100.0).clamp(0.0, 100.0) as u8,
+            // Round to the nearest percent: `as u8` would truncate, biasing
+            // every gossiped estimate downward by up to a full point.
+            avg_free_pct: (self.net_avg_free * 100.0).clamp(0.0, 100.0).round() as u8,
         };
         // Delay-tolerant: rides piggyback on the next outgoing packet or a
         // flush timer (§III-A).

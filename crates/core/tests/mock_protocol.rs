@@ -13,12 +13,17 @@ use enviromic_net::{decode_envelope, encode_envelope, Message};
 use enviromic_runtime::{Application, MockRuntime, Runtime, Timer, TimerHandle, TraceEvent};
 use enviromic_types::{EventId, NodeId, SimDuration, SimTime};
 
-/// Builds a started Full-mode node on a mock backend.
-fn started(node: u16) -> (EnviroMicNode, MockRuntime) {
-    let mut app = EnviroMicNode::new(NodeConfig::default().with_mode(Mode::Full));
+/// Builds a started node on a mock backend with the given config.
+fn started_with(node: u16, cfg: NodeConfig) -> (EnviroMicNode, MockRuntime) {
+    let mut app = EnviroMicNode::new(cfg);
     let mut rt = MockRuntime::new(NodeId(node));
     rt.start(&mut app);
     (app, rt)
+}
+
+/// Builds a started Full-mode node on a mock backend.
+fn started(node: u16) -> (EnviroMicNode, MockRuntime) {
+    started_with(node, NodeConfig::default().with_mode(Mode::Full))
 }
 
 /// Encodes one message as a single-message envelope.
@@ -322,4 +327,117 @@ fn migrate_offer_is_accepted_and_chunks_flow_in() {
         )),
         "the completed session lands in the trace"
     );
+}
+
+/// Pushes `n` chunks of `bytes` payload into the node through a complete
+/// inbound migration session, so they count toward the acquisition rate.
+fn migrate_in_chunks(node: &mut EnviroMicNode, rt: &mut MockRuntime, n: u16, bytes: usize) {
+    let session = 1000; // distinct from anything the node mints itself
+    let offer = envelope(Message::MigrateOffer {
+        to: NodeId(1),
+        chunks: n,
+        session,
+    });
+    assert!(rt.deliver_now(node, NodeId(9), &offer));
+    for seq in 0..n {
+        let chunk = Chunk::new(
+            ChunkMeta {
+                origin: NodeId(9),
+                event: None,
+                t_start: SimTime::ZERO,
+            },
+            vec![7; bytes],
+        );
+        let data = envelope(Message::BulkData {
+            to: NodeId(1),
+            session,
+            seq,
+            last: seq + 1 == n,
+            chunk,
+        });
+        assert!(rt.deliver_now(node, NodeId(9), &data));
+    }
+    assert_eq!(node.stored_chunks(), u32::from(n));
+}
+
+#[test]
+fn state_update_rounds_avg_free_pct_to_nearest() {
+    // Capacity 3, one chunk held: free fraction 2/3 -> 66.67 %. Truncation
+    // (the old `as u8` cast) would report 66; rounding must report 67.
+    let (mut node, mut rt) = started_with(
+        1,
+        NodeConfig::default()
+            .with_mode(Mode::Full)
+            .with_flash_chunks(3),
+    );
+    migrate_in_chunks(&mut node, &mut rt, 1, 32);
+
+    let update = advance_until_sent(
+        &mut rt,
+        &mut node,
+        6000,
+        |m| matches!(m, Message::StateUpdate { avg_free_pct, .. } if *avg_free_pct != 100),
+    )
+    .expect("a post-migration state beacon is sent");
+    let Message::StateUpdate { avg_free_pct, .. } = update else {
+        unreachable!()
+    };
+    assert_eq!(avg_free_pct, 67, "66.67 % free must round up, not truncate");
+}
+
+#[test]
+fn late_migrate_accept_after_withdrawal_is_ignored() {
+    // Donor-side regression: an offer nobody answered within a state
+    // period is withdrawn; a MigrateAccept that straggles in afterwards
+    // must not open a bulk-out session against the cleared state.
+    let (mut node, mut rt) = started_with(
+        1,
+        NodeConfig::default()
+            .with_mode(Mode::Full)
+            .with_flash_chunks(8),
+    );
+
+    // Hold 4 chunks that count toward the acquisition rate, so after the
+    // 10 s rate tick TTL_storage is finite and the balancer engages.
+    migrate_in_chunks(&mut node, &mut rt, 4, 200);
+    rt.advance(&mut node, SimDuration::from_secs_f64(10.5));
+
+    // A neighbour with infinite TTL and plenty of free chunks: the
+    // imbalance condition TTL_j / TTL_i > beta holds at the next state
+    // tick and the node makes an offer.
+    let beacon = envelope(Message::StateUpdate {
+        ttl_secs: u32::MAX,
+        free_chunks: 64,
+        avg_free_pct: 100,
+    });
+    assert!(rt.deliver_now(&mut node, NodeId(5), &beacon));
+    let offer = advance_until_sent(&mut rt, &mut node, 6000, |m| {
+        matches!(m, Message::MigrateOffer { .. })
+    })
+    .expect("an imbalanced donor offers a migration");
+    let Message::MigrateOffer { session, .. } = offer else {
+        unreachable!()
+    };
+    assert_eq!(counter(&rt, "core.migrate.offered"), 1);
+
+    // Nobody answers. The offer is withdrawn one state period later; once
+    // the neighbour entry expires too, no re-offer replaces it.
+    rt.advance(&mut node, SimDuration::from_secs_f64(25.0));
+
+    // The stale accept arrives long after the withdrawal.
+    let accept = envelope(Message::MigrateAccept {
+        to: NodeId(1),
+        session,
+        granted: 4,
+    });
+    assert!(rt.deliver_now(&mut node, NodeId(5), &accept));
+
+    assert!(
+        !sent_messages(&rt)
+            .iter()
+            .any(|m| matches!(m, Message::BulkData { .. })),
+        "a withdrawn offer must not start a bulk transfer"
+    );
+    assert_eq!(counter(&rt, "core.migrate.chunks_out"), 0);
+    assert_eq!(node.stored_chunks(), 4, "no chunk may leave the store");
 }

@@ -79,9 +79,23 @@ impl<E> EventQueue<E> {
 
     /// Schedules `payload` to fire at `at`. Entries scheduled for the same
     /// instant fire in scheduling order.
+    ///
+    /// The scheduling order is a strictly monotone `u64` sequence number:
+    /// same-time entries compare by it, so a silent wrap would reorder
+    /// events and break trace reproducibility. 2^64 schedules can't happen
+    /// in practice, but in release builds plain `+= 1` would wrap rather
+    /// than fail — so the increment is checked in every profile.
+    ///
+    /// # Panics
+    ///
+    /// Panics if 2^64 entries have been scheduled over the queue's
+    /// lifetime.
     pub fn schedule(&mut self, at: SimTime, payload: E) {
         let seq = self.next_seq;
-        self.next_seq += 1;
+        self.next_seq = self
+            .next_seq
+            .checked_add(1)
+            .expect("EventQueue sequence overflow: tie-break order would wrap");
         self.heap.push(Scheduled { at, seq, payload });
     }
 

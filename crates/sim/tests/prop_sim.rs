@@ -23,6 +23,53 @@ proptest! {
         prop_assert_eq!(got, expect);
     }
 
+    /// For ANY interleaving of schedule and pop operations — not just
+    /// schedule-all-then-pop-all — every pop returns exactly what a
+    /// sorted-stable reference model (ordered by time, then insertion
+    /// order) would return, and the queue length tracks the model's.
+    #[test]
+    fn interleaved_ops_match_reference_model(
+        ops in proptest::collection::vec(
+            // None = pop; Some(t) = schedule at time t. Times collide often
+            // (0..50) so the insertion-order tie-break is exercised hard.
+            proptest::option::of(0u64..50),
+            0..300,
+        )
+    ) {
+        let mut q = EventQueue::new();
+        // Reference model: a plain Vec kept sorted by (time, insertion
+        // seq) via stable insertion; pop takes the front.
+        let mut model: Vec<(u64, usize)> = Vec::new();
+        let mut next_insert = 0usize;
+        for op in ops {
+            match op {
+                Some(t) => {
+                    q.schedule(SimTime::from_jiffies(t), next_insert);
+                    // Insert after every existing entry with time <= t:
+                    // stable w.r.t. insertion order.
+                    let pos = model.partition_point(|&(mt, _)| mt <= t);
+                    model.insert(pos, (t, next_insert));
+                    next_insert += 1;
+                }
+                None => {
+                    let got = q.pop().map(|(t, i)| (t.as_jiffies(), i));
+                    let expect = if model.is_empty() {
+                        None
+                    } else {
+                        Some(model.remove(0))
+                    };
+                    prop_assert_eq!(got, expect);
+                }
+            }
+            prop_assert_eq!(q.len(), model.len());
+            prop_assert_eq!(q.peek_time().map(SimTime::as_jiffies), model.first().map(|&(t, _)| t));
+        }
+        // Drain what's left: the tail must come out in model order too.
+        let got: Vec<(u64, usize)> =
+            std::iter::from_fn(|| q.pop().map(|(t, i)| (t.as_jiffies(), i))).collect();
+        prop_assert_eq!(got, model);
+    }
+
     /// Waypoint interpolation never leaves the bounding box of its
     /// waypoints and is monotone along a straight line.
     #[test]

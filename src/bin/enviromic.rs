@@ -9,6 +9,10 @@
 //!   --mode     full|coop|baseline           protocol mode (default full)
 //!   --duration SECS                         override scenario length
 //!   --seed     N                            RNG seed (default 1)
+//!   --seeds    N                            sweep N consecutive seeds from
+//!                                           --seed (prints per-seed digests)
+//!   --jobs     N                            sweep worker threads
+//!                                           (default: available cores)
 //!   --flash    CHUNKS                       per-node flash capacity
 //!   --beta-max X                            balancer sensitivity bound
 //!   --prelude  SECS                         enable the prelude optimization
@@ -21,6 +25,7 @@
 use enviromic::core::{Mode, NodeConfig};
 use enviromic::harness::{forest_world_config, indoor_world_config, run_scenario};
 use enviromic::sim::{RecordKind, TraceEvent, WorldConfig};
+use enviromic::sweep::{run_sweep, JobInput, ScenarioSpec, SweepPlan};
 use enviromic::types::SimDuration;
 use enviromic::workloads::{
     forest_scenario, indoor_scenario, mobile_scenario, voice_scenario, ForestParams, IndoorParams,
@@ -28,12 +33,14 @@ use enviromic::workloads::{
 };
 use enviromic_telemetry::{log, log_info};
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct Options {
     scenario: String,
     mode: Mode,
     duration: Option<f64>,
     seed: u64,
+    seeds: u64,
+    jobs: usize,
     flash: Option<u32>,
     beta_max: Option<f64>,
     prelude: Option<f64>,
@@ -45,6 +52,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: enviromic [--scenario indoor|mobile|forest|voice] \
          [--mode full|coop|baseline] [--duration SECS] [--seed N] \
+         [--seeds N] [--jobs N] \
          [--flash CHUNKS] [--beta-max X] [--prelude SECS] [--series] \
          [--stats] [-q|--quiet] [-v|--verbose]"
     );
@@ -57,6 +65,8 @@ fn parse_args() -> Options {
         mode: Mode::Full,
         duration: None,
         seed: 1,
+        seeds: 1,
+        jobs: std::thread::available_parallelism().map_or(1, |n| n.get()),
         flash: None,
         beta_max: None,
         prelude: None,
@@ -80,6 +90,18 @@ fn parse_args() -> Options {
             }
             "--duration" => opts.duration = value().parse().ok().or_else(|| usage()),
             "--seed" => opts.seed = value().parse().unwrap_or_else(|_| usage()),
+            "--seeds" => {
+                opts.seeds = value().parse().unwrap_or_else(|_| usage());
+                if opts.seeds == 0 {
+                    usage();
+                }
+            }
+            "--jobs" => {
+                opts.jobs = value().parse().unwrap_or_else(|_| usage());
+                if opts.jobs == 0 {
+                    usage();
+                }
+            }
             "--flash" => opts.flash = value().parse().ok().or_else(|| usage()),
             "--beta-max" => opts.beta_max = value().parse().ok().or_else(|| usage()),
             "--prelude" => opts.prelude = value().parse().ok().or_else(|| usage()),
@@ -95,40 +117,36 @@ fn parse_args() -> Options {
     opts
 }
 
-fn build_scenario(opts: &Options) -> (Scenario, WorldConfig) {
+fn build_scenario(opts: &Options, seed: u64) -> (Scenario, WorldConfig) {
     match opts.scenario.as_str() {
         "indoor" => {
             let params = IndoorParams {
                 duration_secs: opts.duration.unwrap_or(1100.0),
                 ..IndoorParams::default()
             };
-            let mut wcfg = indoor_world_config(opts.seed);
+            let mut wcfg = indoor_world_config(seed);
             wcfg.acoustics.mic_gain_spread = 0.10;
-            (indoor_scenario(&params, opts.seed), wcfg)
+            (indoor_scenario(&params, seed), wcfg)
         }
         "mobile" => (
             mobile_scenario(&MobileParams::default()),
-            indoor_world_config(opts.seed),
+            indoor_world_config(seed),
         ),
-        "voice" => (voice_scenario(), indoor_world_config(opts.seed)),
+        "voice" => (voice_scenario(), indoor_world_config(seed)),
         "forest" => {
             let params = ForestParams {
                 duration_secs: opts.duration.unwrap_or(1800.0),
                 ..ForestParams::default()
             };
-            let mut wcfg = forest_world_config(opts.seed);
+            let mut wcfg = forest_world_config(seed);
             wcfg.acoustics.mic_gain_spread = 0.10;
-            (forest_scenario(&params, opts.seed), wcfg)
+            (forest_scenario(&params, seed), wcfg)
         }
         _ => usage(),
     }
 }
 
-fn main() {
-    let opts = parse_args();
-    let (scenario, world_cfg) = build_scenario(&opts);
-    let horizon = scenario.duration.as_secs_f64();
-
+fn node_config(opts: &Options) -> NodeConfig {
     let mut cfg = NodeConfig::default().with_mode(opts.mode);
     if let Some(chunks) = opts.flash {
         cfg = cfg.with_flash_chunks(chunks);
@@ -139,6 +157,47 @@ fn main() {
     if let Some(secs) = opts.prelude {
         cfg = cfg.with_prelude(SimDuration::from_secs_f64(secs));
     }
+    cfg
+}
+
+/// `--seeds N`: the same scenario replayed across N consecutive seeds on a
+/// worker pool; prints the per-seed digest table instead of a harvest report.
+fn run_seed_sweep(opts: &Options) {
+    let shared = opts.clone();
+    let spec = ScenarioSpec::new(opts.scenario.clone(), move |seed| {
+        let (scenario, world_cfg) = build_scenario(&shared, seed);
+        JobInput {
+            scenario,
+            node_cfg: node_config(&shared),
+            world_cfg,
+            drain_secs: 20.0,
+        }
+    });
+    let seeds: Vec<u64> = (opts.seed..opts.seed + opts.seeds).collect();
+    log_info!(
+        "[enviromic] sweeping {} seeds of {} on {} workers...",
+        opts.seeds,
+        opts.scenario,
+        opts.jobs,
+    );
+    let outcome = run_sweep(&SweepPlan::new(seeds, vec![spec]), opts.jobs);
+    let summary = outcome.summary();
+    print!("{}", summary.render());
+    if opts.stats {
+        println!();
+        print!("{}", summary.aggregate.render_dashboard());
+    }
+}
+
+fn main() {
+    let opts = parse_args();
+    if opts.seeds > 1 {
+        run_seed_sweep(&opts);
+        return;
+    }
+    let (scenario, world_cfg) = build_scenario(&opts, opts.seed);
+    let horizon = scenario.duration.as_secs_f64();
+    let cfg = node_config(&opts);
 
     log_info!(
         "[enviromic] {} scenario: {} nodes, {} events, {:.0}s, mode {:?}",

@@ -30,6 +30,7 @@
 //! | [`metrics`] | miss ratio, redundancy, overhead, contours |
 //! | [`telemetry`] | runtime counters, histograms, span timing, logging |
 //! | [`harness`] | one-call experiment assembly and execution |
+//! | [`sweep`] | parallel seed × scenario sweeps with deterministic replay |
 //!
 //! # Quickstart
 //!
@@ -50,6 +51,7 @@
 #![warn(missing_docs)]
 
 pub mod harness;
+pub mod sweep;
 
 pub use enviromic_core as core;
 pub use enviromic_flash as flash;

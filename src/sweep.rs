@@ -1,0 +1,500 @@
+//! Parallel experiment sweeps with bit-identical per-seed runs.
+//!
+//! The paper's headline results are averages over many seeds and
+//! scenarios. This module turns a [`SweepPlan`] — the cross product of
+//! seeds × scenario/config points — into independent jobs executed on a
+//! `std::thread` worker pool, where **each job owns its own `World`, RNG,
+//! and telemetry registry**. Nothing is shared between jobs except the
+//! job queue itself, so a seed's trace digest is bit-identical whether
+//! the sweep runs on one worker or sixteen (the determinism contract;
+//! see `tests/determinism.rs` and DESIGN.md §10).
+//!
+//! Results come back in **plan order** regardless of completion order:
+//! per-job records (trace digest, event count, wall-clock) plus one
+//! aggregated [`TelemetryReport`] merged job-by-job in plan order, so the
+//! merged counters are themselves reproducible.
+//!
+//! # Examples
+//!
+//! ```
+//! use enviromic::sweep::{run_sweep, SweepPlan};
+//!
+//! let plan = SweepPlan::quick(vec![1, 2]).with_duration(20.0);
+//! let serial = run_sweep(&plan, 1);
+//! let pooled = run_sweep(&plan, 4);
+//! assert_eq!(serial.digests(), pooled.digests());
+//! ```
+
+use crate::harness::{forest_world_config, indoor_world_config, run_scenario, ExperimentRun};
+use enviromic_core::{Mode, NodeConfig};
+use enviromic_sim::WorldConfig;
+use enviromic_telemetry::TelemetryReport;
+use enviromic_workloads::{forest_scenario, indoor_scenario, ForestParams, IndoorParams, Scenario};
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Everything one job needs to stand up and run its own world.
+#[derive(Debug)]
+pub struct JobInput {
+    /// The workload to execute.
+    pub scenario: Scenario,
+    /// Per-node protocol configuration.
+    pub node_cfg: NodeConfig,
+    /// World configuration; its seed governs every RNG stream of the run.
+    pub world_cfg: WorldConfig,
+    /// Quiet time appended after the scenario for in-flight transfers.
+    pub drain_secs: f64,
+}
+
+/// One named point of the sweep grid (a scenario plus its configuration).
+///
+/// The builder closure receives the job's seed and must derive *all*
+/// randomness from it: two calls with the same seed must produce
+/// identical inputs, or the determinism contract is void.
+#[derive(Clone)]
+pub struct ScenarioSpec {
+    /// Label used in job tables and metric prefixes.
+    pub label: String,
+    build: Arc<dyn Fn(u64) -> JobInput + Send + Sync>,
+}
+
+impl std::fmt::Debug for ScenarioSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ScenarioSpec")
+            .field("label", &self.label)
+            .finish_non_exhaustive()
+    }
+}
+
+impl ScenarioSpec {
+    /// Wraps a seed-to-input builder under `label`.
+    pub fn new(
+        label: impl Into<String>,
+        build: impl Fn(u64) -> JobInput + Send + Sync + 'static,
+    ) -> Self {
+        ScenarioSpec {
+            label: label.into(),
+            build: Arc::new(build),
+        }
+    }
+
+    /// Builds the job input for `seed`.
+    #[must_use]
+    pub fn build(&self, seed: u64) -> JobInput {
+        (self.build)(seed)
+    }
+
+    /// The quick indoor point: the §IV-B testbed at `duration_secs`, full
+    /// protocol, default node configuration. At 120 s this is byte-for-byte
+    /// the run `tests/determinism.rs` pins to its golden digest.
+    #[must_use]
+    pub fn quick_indoor(duration_secs: f64) -> ScenarioSpec {
+        ScenarioSpec::new("quick-indoor", move |seed| {
+            let params = IndoorParams {
+                duration_secs,
+                ..IndoorParams::default()
+            };
+            JobInput {
+                scenario: indoor_scenario(&params, seed),
+                node_cfg: NodeConfig::default().with_mode(Mode::Full),
+                world_cfg: indoor_world_config(seed),
+                drain_secs: 5.0,
+            }
+        })
+    }
+
+    /// The quick forest point: the §IV-C deployment at `duration_secs`,
+    /// full protocol, default node configuration.
+    #[must_use]
+    pub fn quick_forest(duration_secs: f64) -> ScenarioSpec {
+        ScenarioSpec::new("quick-forest", move |seed| {
+            let params = ForestParams {
+                duration_secs,
+                ..ForestParams::default()
+            };
+            JobInput {
+                scenario: forest_scenario(&params, seed),
+                node_cfg: NodeConfig::default().with_mode(Mode::Full),
+                world_cfg: forest_world_config(seed),
+                drain_secs: 5.0,
+            }
+        })
+    }
+}
+
+/// The sweep grid: every scenario point run at every seed.
+///
+/// Jobs are ordered scenario-major (all seeds of the first point, then
+/// all seeds of the second, ...); that order is the canonical result and
+/// merge order.
+#[derive(Debug, Clone)]
+pub struct SweepPlan {
+    /// RNG seeds, one independent run per seed per scenario point.
+    pub seeds: Vec<u64>,
+    /// The scenario/config points of the grid.
+    pub scenarios: Vec<ScenarioSpec>,
+}
+
+impl SweepPlan {
+    /// A plan over `seeds` and `scenarios`.
+    #[must_use]
+    pub fn new(seeds: Vec<u64>, scenarios: Vec<ScenarioSpec>) -> Self {
+        SweepPlan { seeds, scenarios }
+    }
+
+    /// The standard quick sweep: quick-indoor × quick-forest at 120 s,
+    /// the grid CI diffs across worker counts.
+    #[must_use]
+    pub fn quick(seeds: Vec<u64>) -> Self {
+        SweepPlan::new(
+            seeds,
+            vec![
+                ScenarioSpec::quick_indoor(120.0),
+                ScenarioSpec::quick_forest(120.0),
+            ],
+        )
+    }
+
+    /// Rebuilds every scenario point at a different duration (only
+    /// meaningful for plans built from the stock quick points).
+    #[must_use]
+    pub fn with_duration(self, duration_secs: f64) -> Self {
+        let scenarios = self
+            .scenarios
+            .iter()
+            .map(|s| match s.label.as_str() {
+                "quick-indoor" => ScenarioSpec::quick_indoor(duration_secs),
+                "quick-forest" => ScenarioSpec::quick_forest(duration_secs),
+                _ => s.clone(),
+            })
+            .collect();
+        SweepPlan {
+            seeds: self.seeds,
+            scenarios,
+        }
+    }
+
+    /// Total number of jobs the plan expands to.
+    #[must_use]
+    pub fn job_count(&self) -> usize {
+        self.seeds.len() * self.scenarios.len()
+    }
+}
+
+/// One completed job, in full: the run itself plus its identity and cost.
+#[derive(Debug)]
+pub struct JobOutcome {
+    /// Scenario point label.
+    pub label: String,
+    /// The job's seed.
+    pub seed: u64,
+    /// Order-sensitive FNV-1a digest of the run's trace.
+    pub digest: u64,
+    /// Number of trace records.
+    pub events: usize,
+    /// Wall-clock seconds the job took on its worker.
+    pub wall_secs: f64,
+    /// The completed run (trace, scenario, telemetry).
+    pub run: ExperimentRun,
+}
+
+/// The result of [`run_sweep`]: per-job outcomes in plan order plus the
+/// aggregate telemetry.
+#[derive(Debug)]
+pub struct SweepOutcome {
+    /// One outcome per job, in plan order (not completion order).
+    pub jobs: Vec<JobOutcome>,
+    /// Every job's telemetry merged in plan order.
+    pub aggregate: TelemetryReport,
+    /// Wall-clock seconds for the whole sweep.
+    pub wall_secs: f64,
+    /// Worker threads used.
+    pub workers: usize,
+}
+
+impl SweepOutcome {
+    /// `(label, seed, digest)` per job in plan order — the determinism
+    /// fingerprint CI diffs across worker counts.
+    #[must_use]
+    pub fn digests(&self) -> Vec<(String, u64, u64)> {
+        self.jobs
+            .iter()
+            .map(|j| (j.label.clone(), j.seed, j.digest))
+            .collect()
+    }
+
+    /// Sum of per-job wall-clock seconds (the serial cost of the plan).
+    #[must_use]
+    pub fn serial_secs(&self) -> f64 {
+        self.jobs.iter().map(|j| j.wall_secs).sum()
+    }
+
+    /// The machine-readable summary (per-job table + aggregate) written
+    /// to `BENCH_sweep.json`.
+    #[must_use]
+    pub fn summary(&self) -> SweepSummary {
+        SweepSummary {
+            workers: self.workers as u64,
+            jobs_total: self.jobs.len() as u64,
+            wall_secs: self.wall_secs,
+            serial_secs: self.serial_secs(),
+            speedup: self.serial_secs() / self.wall_secs.max(1e-9),
+            jobs: self
+                .jobs
+                .iter()
+                .map(|j| JobRecord {
+                    label: j.label.clone(),
+                    seed: j.seed,
+                    digest: format!("{:#018x}", j.digest),
+                    events: j.events as u64,
+                    wall_secs: j.wall_secs,
+                })
+                .collect(),
+            aggregate: self.aggregate.clone(),
+        }
+    }
+}
+
+/// Serializable per-job row of a [`SweepSummary`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobRecord {
+    /// Scenario point label.
+    pub label: String,
+    /// The job's seed.
+    pub seed: u64,
+    /// Trace digest as a `0x`-prefixed hex string (kept textual so any
+    /// JSON consumer preserves all 64 bits).
+    pub digest: String,
+    /// Number of trace records.
+    pub events: u64,
+    /// Wall-clock seconds the job took.
+    pub wall_secs: f64,
+}
+
+/// The machine-readable sweep artifact: per-job and aggregate timings
+/// plus the merged telemetry. Serialized to `BENCH_sweep.json` by the
+/// `sweep` driver and the `sweep` Criterion bench.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepSummary {
+    /// Worker threads used.
+    pub workers: u64,
+    /// Number of jobs executed.
+    pub jobs_total: u64,
+    /// Wall-clock seconds for the whole sweep.
+    pub wall_secs: f64,
+    /// Sum of per-job wall-clock seconds.
+    pub serial_secs: f64,
+    /// `serial_secs / wall_secs` — the pool's effective speedup.
+    pub speedup: f64,
+    /// Per-job rows in plan order.
+    pub jobs: Vec<JobRecord>,
+    /// Every job's telemetry merged in plan order.
+    pub aggregate: TelemetryReport,
+}
+
+impl SweepSummary {
+    /// Serializes the summary as indented JSON.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        serde::Serialize::to_value(self).to_json_pretty()
+    }
+
+    /// Parses a summary back from JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error string for malformed JSON or mismatched shape.
+    pub fn from_json(text: &str) -> Result<SweepSummary, String> {
+        let value = serde::Value::from_json(text).map_err(|e| e.to_string())?;
+        serde::Deserialize::from_value(&value).map_err(|e: serde::DeError| e.to_string())
+    }
+
+    /// Renders the per-job table and aggregate line for terminal output.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::from(
+            "sweep results\n\n  scenario        seed        digest              events   wall(s)\n",
+        );
+        for j in &self.jobs {
+            out.push_str(&format!(
+                "  {:<14} {:>5}  {:>18}  {:>8}  {:>8.3}\n",
+                j.label, j.seed, j.digest, j.events, j.wall_secs
+            ));
+        }
+        out.push_str(&format!(
+            "\n  {} jobs on {} workers: {:.3}s wall ({:.3}s serial, {:.2}x speedup)\n",
+            self.jobs_total, self.workers, self.wall_secs, self.serial_secs, self.speedup
+        ));
+        out
+    }
+}
+
+/// One queued unit of work.
+struct SweepJob {
+    index: usize,
+    seed: u64,
+    spec: ScenarioSpec,
+}
+
+/// Executes a single job: builds the world from the spec, runs it to
+/// completion, and digests the trace.
+fn execute(job: &SweepJob) -> JobOutcome {
+    let started = Instant::now();
+    let input = job.spec.build(job.seed);
+    let run = run_scenario(
+        input.scenario,
+        &input.node_cfg,
+        input.world_cfg,
+        input.drain_secs,
+    );
+    JobOutcome {
+        label: job.spec.label.clone(),
+        seed: job.seed,
+        digest: run.trace.digest(),
+        events: run.trace.len(),
+        wall_secs: started.elapsed().as_secs_f64(),
+        run,
+    }
+}
+
+/// Runs every job of `plan` on a pool of `workers` threads and returns
+/// the outcomes in plan order.
+///
+/// `workers` is clamped to `[1, job_count]`. Work distribution is a
+/// shared `Mutex<VecDeque>` job queue (idle workers steal the next job),
+/// which affects only *which thread* runs a job — never its result,
+/// because each job owns all of its mutable state.
+///
+/// # Panics
+///
+/// Panics if a worker thread panics (a job's scenario was invalid).
+#[must_use]
+pub fn run_sweep(plan: &SweepPlan, workers: usize) -> SweepOutcome {
+    let started = Instant::now();
+    let jobs: VecDeque<SweepJob> = plan
+        .scenarios
+        .iter()
+        .flat_map(|spec| plan.seeds.iter().map(move |&seed| (spec.clone(), seed)))
+        .enumerate()
+        .map(|(index, (spec, seed))| SweepJob { index, seed, spec })
+        .collect();
+    let total = jobs.len();
+    let workers = workers.clamp(1, total.max(1));
+
+    let queue = Mutex::new(jobs);
+    let results: Mutex<Vec<Option<JobOutcome>>> = Mutex::new((0..total).map(|_| None).collect());
+
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| loop {
+                    let Some(job) = queue.lock().expect("job queue poisoned").pop_front() else {
+                        break;
+                    };
+                    let outcome = execute(&job);
+                    results.lock().expect("result table poisoned")[job.index] = Some(outcome);
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("sweep worker panicked");
+        }
+    });
+
+    let jobs: Vec<JobOutcome> = results
+        .into_inner()
+        .expect("result table poisoned")
+        .into_iter()
+        .map(|slot| slot.expect("job finished without a result"))
+        .collect();
+    // Merge in plan order so the aggregate is independent of which worker
+    // finished first.
+    let mut aggregate = TelemetryReport::default();
+    for job in &jobs {
+        aggregate.merge(&job.run.telemetry);
+    }
+    SweepOutcome {
+        jobs,
+        aggregate,
+        wall_secs: started.elapsed().as_secs_f64(),
+        workers,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_plan() -> SweepPlan {
+        SweepPlan::quick(vec![1, 2]).with_duration(20.0)
+    }
+
+    #[test]
+    fn pool_size_does_not_change_results() {
+        let plan = tiny_plan();
+        let serial = run_sweep(&plan, 1);
+        let pooled = run_sweep(&plan, 4);
+        assert_eq!(serial.digests(), pooled.digests());
+        // Counters merge in plan order, so the aggregates agree too.
+        // Wall-clock observations (spans, sim.dispatch_us) are excluded:
+        // they measure host timing, not simulation behaviour.
+        assert_eq!(serial.aggregate.counters, pooled.aggregate.counters);
+        let behavioural = |r: &TelemetryReport| {
+            r.histograms
+                .iter()
+                .filter(|(k, _)| k != "sim.dispatch_us")
+                .cloned()
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(
+            behavioural(&serial.aggregate),
+            behavioural(&pooled.aggregate)
+        );
+    }
+
+    #[test]
+    fn jobs_come_back_in_plan_order() {
+        let plan = tiny_plan();
+        let out = run_sweep(&plan, 3);
+        let idx: Vec<(String, u64)> = out.jobs.iter().map(|j| (j.label.clone(), j.seed)).collect();
+        assert_eq!(
+            idx,
+            vec![
+                ("quick-indoor".into(), 1),
+                ("quick-indoor".into(), 2),
+                ("quick-forest".into(), 1),
+                ("quick-forest".into(), 2),
+            ]
+        );
+        assert_eq!(out.jobs.len(), plan.job_count());
+        for j in &out.jobs {
+            assert!(
+                j.events > 0,
+                "{}/{} produced an empty trace",
+                j.label,
+                j.seed
+            );
+        }
+    }
+
+    #[test]
+    fn summary_round_trips_through_json() {
+        let out = run_sweep(&SweepPlan::quick(vec![5]).with_duration(10.0), 2);
+        let summary = out.summary();
+        let back = SweepSummary::from_json(&summary.to_json()).expect("parses");
+        assert_eq!(back, summary);
+        assert_eq!(back.jobs.len(), 2);
+        assert!(back.jobs[0].digest.starts_with("0x"));
+        let rendered = summary.render();
+        assert!(rendered.contains("quick-indoor"));
+        assert!(rendered.contains("workers"));
+    }
+
+    #[test]
+    fn workers_clamped_to_job_count() {
+        let out = run_sweep(&SweepPlan::quick(vec![9]).with_duration(5.0), 64);
+        assert_eq!(out.workers, 2, "two jobs cannot use more than two workers");
+    }
+}

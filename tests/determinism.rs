@@ -13,6 +13,7 @@
 //! supposed to be behaviour-preserving must NOT need that.
 
 use enviromic::harness::{indoor_world_config, run_scenario};
+use enviromic::sweep::{run_sweep, ScenarioSpec, SweepPlan};
 use enviromic_core::{Mode, NodeConfig};
 use enviromic_workloads::{indoor_scenario, IndoorParams};
 
@@ -37,6 +38,29 @@ fn quick_indoor_trace_matches_golden_digest() {
         run.trace.len(),
         run.trace.digest(),
     );
+}
+
+/// The same golden run executed *inside the sweep worker pool* must
+/// produce the same digest: jobs own their World, RNG, and telemetry, so
+/// neither the pool size nor which worker picks the job may perturb the
+/// trace. Surrounding seeds keep the pool busy so the golden job really
+/// does share the queue with concurrent work.
+#[test]
+fn golden_digest_holds_inside_worker_pool() {
+    let plan = SweepPlan::new(vec![41, 42, 43], vec![ScenarioSpec::quick_indoor(120.0)]);
+    for workers in [1, 4] {
+        let out = run_sweep(&plan, workers);
+        let golden = out
+            .jobs
+            .iter()
+            .find(|j| j.seed == 42)
+            .expect("plan contains seed 42");
+        assert_eq!(
+            (golden.events, golden.digest),
+            (GOLDEN_EVENTS, GOLDEN_DIGEST),
+            "sweep on {workers} workers diverged from the golden trace",
+        );
+    }
 }
 
 #[test]
