@@ -1,0 +1,261 @@
+//! Criterion bench for the simulation-core hot loops the spatial index
+//! replaced, doubling as the generator of the machine-readable perf
+//! baseline `BENCH_world.json`.
+//!
+//! Two measurements per grid size (25 / 100 / 400 nodes):
+//!
+//! * **delivery** — resolving the in-range receiver set for a broadcast
+//!   from every node in turn, via [`NodeGrid::query_sorted`] versus the
+//!   brute-force O(nodes) scan the delivery loop used before;
+//! * **sampling** — the per-node peak acoustic level via the precomputed
+//!   [`AudibleIndex`] versus the full [`AcousticField`] source scan.
+//!
+//! `emit_baseline` re-times both paths with plain `Instant` loops and
+//! writes per-size means and speedups to `BENCH_world.json` in the
+//! workspace root. Set `WORLD_BENCH_QUICK=1` to skip the Criterion
+//! groups and only emit the baseline (the CI mode).
+
+use criterion::{black_box, criterion_group, BenchmarkId, Criterion};
+use enviromic_sim::acoustics::AcousticField;
+use enviromic_sim::spatial::{AudibleIndex, NodeGrid};
+use enviromic_types::{Position, SimDuration, SimTime};
+use enviromic_workloads::{large_grid_scenario, LargeGridParams, Scenario};
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// Radio range of the indoor world config — the delivery radius the
+/// in-tree scenarios actually run with.
+const RANGE_FT: f64 = 3.2;
+
+/// Grid sizes under test: (cols, rows) giving 25, 100, and 400 nodes.
+const SIZES: [(usize, usize); 3] = [(5, 5), (10, 10), (20, 20)];
+
+/// The large-grid workload scaled down to `cols`×`rows`, keeping its
+/// source schedule (8 static + 1 mobile).
+fn scenario(cols: usize, rows: usize) -> Scenario {
+    let params = LargeGridParams {
+        cols,
+        rows,
+        ..LargeGridParams::default()
+    };
+    large_grid_scenario(&params, 42)
+}
+
+/// The receiver resolution the pre-index delivery loop performed: scan
+/// every node, keep those in range (already in ascending index order).
+fn brute_receivers(positions: &[Position], center: Position, range_ft: f64, out: &mut Vec<u16>) {
+    out.clear();
+    for (i, p) in positions.iter().enumerate() {
+        if p.distance_to(center) <= range_ft {
+            out.push(i as u16);
+        }
+    }
+}
+
+/// One full broadcast round via the grid: resolve receivers from every
+/// node in turn. Returns the total receiver count as the live output.
+fn grid_round(grid: &NodeGrid, positions: &[Position], out: &mut Vec<u16>) -> usize {
+    let mut total = 0;
+    for &p in positions {
+        grid.query_sorted(p, RANGE_FT, out);
+        total += out.len();
+    }
+    total
+}
+
+/// One full broadcast round via the brute-force scan.
+fn brute_round(positions: &[Position], out: &mut Vec<u16>) -> usize {
+    let mut total = 0;
+    for &p in positions {
+        brute_receivers(positions, p, RANGE_FT, out);
+        total += out.len();
+    }
+    total
+}
+
+/// Sampling instants spread across the first minute of the scenario.
+fn sample_times() -> Vec<SimTime> {
+    (0..16)
+        .map(|i| SimTime::ZERO + SimDuration::from_millis(i * 3750))
+        .collect()
+}
+
+/// One sampling round via the audible index: peak level at every node at
+/// every instant.
+fn indexed_sampling_round(
+    idx: &AudibleIndex,
+    field: &AcousticField,
+    positions: &[Position],
+    times: &[SimTime],
+) -> f64 {
+    let mut acc = 0.0;
+    for (ni, &p) in positions.iter().enumerate() {
+        for &t in times {
+            acc += idx.peak_level(field, ni, p, t);
+        }
+    }
+    acc
+}
+
+/// One sampling round via the full-field source scan.
+fn full_sampling_round(field: &AcousticField, positions: &[Position], times: &[SimTime]) -> f64 {
+    let mut acc = 0.0;
+    for &p in positions {
+        for &t in times {
+            acc += field.peak_level(p, t);
+        }
+    }
+    acc
+}
+
+fn bench_delivery(c: &mut Criterion) {
+    let mut group = c.benchmark_group("delivery_round");
+    for (cols, rows) in SIZES {
+        let s = scenario(cols, rows);
+        let positions = s.topology.positions().to_vec();
+        let alive = vec![true; positions.len()];
+        let grid = NodeGrid::build(&positions, &alive, RANGE_FT);
+        let mut out = Vec::new();
+        let n = positions.len();
+        group.bench_function(BenchmarkId::new("grid", n), |b| {
+            b.iter(|| black_box(grid_round(&grid, &positions, &mut out)));
+        });
+        group.bench_function(BenchmarkId::new("brute", n), |b| {
+            b.iter(|| black_box(brute_round(&positions, &mut out)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_sampling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sampling_round");
+    let times = sample_times();
+    for (cols, rows) in SIZES {
+        let s = scenario(cols, rows);
+        let positions = s.topology.positions().to_vec();
+        let mut field = AcousticField::new();
+        for src in &s.sources {
+            field.add_source(src.clone()).expect("valid source");
+        }
+        let idx = AudibleIndex::build(&positions, &s.sources);
+        let n = positions.len();
+        group.bench_function(BenchmarkId::new("indexed", n), |b| {
+            b.iter(|| black_box(indexed_sampling_round(&idx, &field, &positions, &times)));
+        });
+        group.bench_function(BenchmarkId::new("full_scan", n), |b| {
+            b.iter(|| black_box(full_sampling_round(&field, &positions, &times)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_delivery, bench_sampling);
+
+/// Times `f` with a warmup-then-measure loop and returns the best mean
+/// ns/round over several repetitions (minimum-of-means damps scheduler
+/// noise, which matters at the 25-node scale where a round is ~1 µs).
+fn time_ns<F: FnMut() -> T, T>(mut f: F) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..7 {
+        // Size the batch so one repetition takes ~20ms.
+        let probe = Instant::now();
+        black_box(f());
+        let once = probe.elapsed().as_secs_f64().max(1e-9);
+        let iters = ((0.02 / once) as usize).clamp(1, 1_000_000);
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            black_box(f());
+        }
+        best = best.min(t0.elapsed().as_secs_f64() * 1e9 / iters as f64);
+    }
+    best
+}
+
+/// One measured size in the baseline JSON.
+#[derive(Debug, Serialize, Deserialize)]
+struct WorldCase {
+    nodes: usize,
+    delivery_grid_ns: f64,
+    delivery_brute_ns: f64,
+    delivery_speedup: f64,
+    sampling_indexed_ns: f64,
+    sampling_full_ns: f64,
+    sampling_speedup: f64,
+}
+
+/// The serialized baseline for `BENCH_world.json`.
+#[derive(Debug, Serialize, Deserialize)]
+struct WorldBaseline {
+    bench: String,
+    radio_range_ft: f64,
+    cases: Vec<WorldCase>,
+}
+
+/// Measures every size with plain `Instant` loops and writes the combined
+/// baseline JSON to the workspace root.
+fn emit_baseline() {
+    let times = sample_times();
+    let mut cases = Vec::new();
+    for (cols, rows) in SIZES {
+        let s = scenario(cols, rows);
+        let positions = s.topology.positions().to_vec();
+        let alive = vec![true; positions.len()];
+        let grid = NodeGrid::build(&positions, &alive, RANGE_FT);
+        let mut field = AcousticField::new();
+        for src in &s.sources {
+            field.add_source(src.clone()).expect("valid source");
+        }
+        let idx = AudibleIndex::build(&positions, &s.sources);
+        let mut out = Vec::new();
+        // Equal receiver sets first: the speedup below compares two
+        // implementations of the same function, not two functions.
+        for &p in &positions {
+            grid.query_sorted(p, RANGE_FT, &mut out);
+            let fast = out.clone();
+            brute_receivers(&positions, p, RANGE_FT, &mut out);
+            assert_eq!(fast, out, "grid and brute receiver sets diverge");
+        }
+        let delivery_grid_ns = time_ns(|| grid_round(&grid, &positions, &mut out));
+        let delivery_brute_ns = time_ns(|| brute_round(&positions, &mut out));
+        let sampling_indexed_ns =
+            time_ns(|| indexed_sampling_round(&idx, &field, &positions, &times));
+        let sampling_full_ns = time_ns(|| full_sampling_round(&field, &positions, &times));
+        let case = WorldCase {
+            nodes: positions.len(),
+            delivery_grid_ns,
+            delivery_brute_ns,
+            delivery_speedup: delivery_brute_ns / delivery_grid_ns.max(1e-9),
+            sampling_indexed_ns,
+            sampling_full_ns,
+            sampling_speedup: sampling_full_ns / sampling_indexed_ns.max(1e-9),
+        };
+        println!(
+            "world baseline {} nodes: delivery {:.0}ns grid vs {:.0}ns brute ({:.2}x), \
+             sampling {:.0}ns indexed vs {:.0}ns full ({:.2}x)",
+            case.nodes,
+            case.delivery_grid_ns,
+            case.delivery_brute_ns,
+            case.delivery_speedup,
+            case.sampling_indexed_ns,
+            case.sampling_full_ns,
+            case.sampling_speedup,
+        );
+        cases.push(case);
+    }
+    let baseline = WorldBaseline {
+        bench: "world_hot_loops_25_100_400".into(),
+        radio_range_ft: RANGE_FT,
+        cases,
+    };
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_world.json");
+    let json = serde::Serialize::to_value(&baseline).to_json_pretty();
+    std::fs::write(path, json).expect("write BENCH_world.json");
+    println!("wrote BENCH_world.json");
+}
+
+fn main() {
+    if std::env::var_os("WORLD_BENCH_QUICK").is_none() {
+        benches();
+    }
+    emit_baseline();
+}

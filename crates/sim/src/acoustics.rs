@@ -46,19 +46,22 @@ impl Motion {
                 if t <= points[0].0 {
                     return points[0].1;
                 }
-                for pair in points.windows(2) {
-                    let (t0, p0) = pair[0];
-                    let (t1, p1) = pair[1];
-                    if t <= t1 {
-                        let span = t1.saturating_since(t0).as_jiffies();
-                        if span == 0 {
-                            return p1;
-                        }
-                        let frac = t.saturating_since(t0).as_jiffies() as f64 / span as f64;
-                        return p0.lerp(p1, frac);
-                    }
+                // Waypoint times are non-decreasing ([`SourceSpec::validate`]
+                // enforces it), so the enclosing segment is the one ending at
+                // the first waypoint at-or-after `t`. The interpolation
+                // arithmetic is byte-for-byte the old linear scan's.
+                let idx = points.partition_point(|&(pt, _)| pt < t);
+                if idx == points.len() {
+                    return points[idx - 1].1;
                 }
-                points.last().expect("non-empty").1
+                let (t0, p0) = points[idx - 1];
+                let (t1, p1) = points[idx];
+                let span = t1.saturating_since(t0).as_jiffies();
+                if span == 0 {
+                    return p1;
+                }
+                let frac = t.saturating_since(t0).as_jiffies() as f64 / span as f64;
+                p0.lerp(p1, frac)
             }
         }
     }
@@ -161,6 +164,12 @@ impl SourceSpec {
             if p.is_empty() {
                 return Err(format!("source {} has no waypoints", self.id));
             }
+            if p.windows(2).any(|w| w[1].0 < w[0].0) {
+                return Err(format!(
+                    "source {} has waypoints out of time order",
+                    self.id
+                ));
+            }
         }
         Ok(())
     }
@@ -256,16 +265,24 @@ impl AcousticField {
     /// already-drawn ambient deviation added around the 128 midpoint.
     #[must_use]
     pub fn sample(&self, listener: Position, t_s: f64, noise: f64) -> u8 {
-        let t = SimTime::from_jiffies((t_s * enviromic_types::JIFFIES_PER_SEC as f64) as u64);
-        let mut acc = 0.0;
-        for s in &self.sources {
-            let lvl = s.level_at(listener, t);
-            if lvl > 0.0 {
-                acc += lvl * s.waveform.value_at(t_s);
-            }
-        }
-        let centered = 128.0 + acc + noise;
-        centered.clamp(0.0, 255.0) as u8
+        mix(self.sources.iter(), listener, t_s, noise)
+    }
+
+    /// Like [`AcousticField::sample`], but consulting only the sources at
+    /// the given ascending indices into [`AcousticField::sources`].
+    ///
+    /// `candidates` must be a superset of the sources audible at `t_s`;
+    /// inaudible candidates contribute exactly zero, and the contributing
+    /// sources are mixed in the same (index) order as the full scan, so the
+    /// result is bit-identical to [`AcousticField::sample`].
+    #[must_use]
+    pub fn sample_from(&self, candidates: &[u32], listener: Position, t_s: f64, noise: f64) -> u8 {
+        mix(
+            candidates.iter().map(|&i| &self.sources[i as usize]),
+            listener,
+            t_s,
+            noise,
+        )
     }
 
     /// The last instant at which any source is active, or `None` for an
@@ -274,6 +291,25 @@ impl AcousticField {
     pub fn last_activity(&self) -> Option<SimTime> {
         self.sources.iter().map(|s| s.stop).max()
     }
+}
+
+/// Mixes the given sources into one centered 8-bit sample.
+fn mix<'a>(
+    sources: impl Iterator<Item = &'a SourceSpec>,
+    listener: Position,
+    t_s: f64,
+    noise: f64,
+) -> u8 {
+    let t = SimTime::from_jiffies((t_s * enviromic_types::JIFFIES_PER_SEC as f64) as u64);
+    let mut acc = 0.0;
+    for s in sources {
+        let lvl = s.level_at(listener, t);
+        if lvl > 0.0 {
+            acc += lvl * s.waveform.value_at(t_s);
+        }
+    }
+    let centered = 128.0 + acc + noise;
+    centered.clamp(0.0, 255.0) as u8
 }
 
 #[cfg(test)]

@@ -56,6 +56,7 @@ mod config;
 pub mod mote;
 pub mod queue;
 pub mod rng;
+pub mod spatial;
 mod world;
 
 pub use config::{AcousticsConfig, ClockConfig, EnergyConfig, RadioConfig, WorldConfig};

@@ -5,6 +5,7 @@ use crate::acoustics::{AcousticField, SourceSpec};
 use crate::config::WorldConfig;
 use crate::queue::EventQueue;
 use crate::rng::RngStreams;
+use crate::spatial::{AudibleIndex, NodeGrid};
 use enviromic_runtime::{
     Application, AudioBlock, EnergyModel, Runtime, Timer, TimerHandle, Trace, TraceEvent,
 };
@@ -74,6 +75,9 @@ struct SimMetrics {
     packets_delivered: Counter,
     packets_lost: Counter,
     packets_blocked_rx: Counter,
+    /// Receiver candidates examined by delivery (grid-filtered, so dead
+    /// and out-of-neighborhood nodes never count here).
+    delivery_candidates: Counter,
     timers_fired: Counter,
     dispatch_us: Histogram,
 }
@@ -85,6 +89,7 @@ impl SimMetrics {
             packets_delivered: reg.counter("sim.packets.delivered"),
             packets_lost: reg.counter("sim.packets.lost"),
             packets_blocked_rx: reg.counter("sim.packets.blocked_rx"),
+            delivery_candidates: reg.counter("sim.delivery.candidates"),
             timers_fired: reg.counter("sim.timers.fired"),
             dispatch_us: reg.histogram("sim.dispatch_us"),
         }
@@ -108,6 +113,16 @@ struct Inner {
     medium_rng: SmallRng,
     telemetry: Registry,
     metrics: SimMetrics,
+    /// Uniform-grid index over alive node positions; built when the world
+    /// starts (nodes are fixed by then), evicted on node death.
+    grid: Option<NodeGrid>,
+    /// Per-node candidate source sets; built when the world starts.
+    audible: Option<AudibleIndex>,
+    /// Scratch for delivery candidate indices (reused across broadcasts so
+    /// the hot loop never allocates).
+    deliver_scratch: Vec<u16>,
+    /// Scratch for per-block candidate source indices.
+    block_sources: Vec<u32>,
 }
 
 /// The simulated world.
@@ -155,6 +170,10 @@ impl World {
                 medium_rng,
                 telemetry,
                 metrics,
+                grid: None,
+                audible: None,
+                deliver_scratch: Vec::new(),
+                block_sources: Vec::new(),
             },
             apps: Vec::new(),
             started: false,
@@ -372,6 +391,7 @@ impl World {
             return;
         }
         self.started = true;
+        self.inner.build_spatial_index();
         // Start the acoustic level ticker and the occupancy poller.
         self.inner.queue.schedule(SimTime::ZERO, Ev::AcousticTick);
         if self.inner.cfg.occupancy_snapshot_period.is_some() {
@@ -506,6 +526,28 @@ impl World {
 }
 
 impl Inner {
+    /// Builds the spatial indexes once node and source sets are final
+    /// (called when the world starts).
+    fn build_spatial_index(&mut self) {
+        let positions: Vec<Position> = self.nodes.iter().map(|n| n.pos).collect();
+        let alive: Vec<bool> = self.nodes.iter().map(|n| n.alive).collect();
+        self.grid = Some(NodeGrid::build(&positions, &alive, self.cfg.radio.range_ft));
+        self.audible = Some(AudibleIndex::build(&positions, self.field.sources()));
+    }
+
+    /// Marks `node` dead in its slot and evicts it from the spatial index
+    /// so delivery never examines it again.
+    fn kill(&mut self, node: NodeId) {
+        let slot = &mut self.nodes[node.index()];
+        slot.energy_mj = 0.0;
+        slot.alive = false;
+        slot.radio_on = false;
+        slot.session = None;
+        if let Some(grid) = &mut self.grid {
+            grid.remove(node.index());
+        }
+    }
+
     /// Integrates battery drain for `node` up to the current instant.
     fn integrate_energy(&mut self, node: NodeId) {
         let e = &self.cfg.energy;
@@ -525,10 +567,7 @@ impl Inner {
         }
         slot.energy_mj -= mw * secs;
         if slot.energy_mj <= 0.0 {
-            slot.energy_mj = 0.0;
-            slot.alive = false;
-            slot.radio_on = false;
-            slot.session = None;
+            self.kill(node);
         }
     }
 
@@ -541,41 +580,61 @@ impl Inner {
         }
         slot.energy_mj -= mj;
         if slot.energy_mj <= 0.0 {
-            slot.energy_mj = 0.0;
-            slot.alive = false;
-            slot.radio_on = false;
-            slot.session = None;
+            self.kill(node);
         }
     }
 
     /// The microphone level node currently perceives: field peak plus
-    /// ambient noise.
+    /// ambient noise. The audible index shrinks the source scan; its
+    /// result is bit-identical to the full [`AcousticField::peak_level`].
     fn sample_level(&mut self, node: NodeId) -> f64 {
-        let pos = self.nodes[node.index()].pos;
-        let gain = self.nodes[node.index()].mic_gain;
-        let peak = self.field.peak_level(pos, self.now) * gain;
+        let idx = node.index();
+        let pos = self.nodes[idx].pos;
+        let gain = self.nodes[idx].mic_gain;
+        let peak = match &self.audible {
+            Some(audible) => audible.peak_level(&self.field, idx, pos, self.now),
+            None => self.field.peak_level(pos, self.now),
+        } * gain;
         let a = &self.cfg.acoustics;
-        let noise = self.nodes[node.index()]
+        let noise = self.nodes[idx]
             .rng
             .gen_range(-2.0 * a.background_sigma..=2.0 * a.background_sigma);
         (a.background_level + noise + peak).clamp(0.0, 255.0)
     }
 
     /// Synthesizes the audio a node heard over `[t0, t1)`.
+    ///
+    /// The candidate sources for the whole block are resolved once into a
+    /// reused scratch buffer, so the per-sample loop touches only sources
+    /// that can actually be heard and never allocates.
     fn synthesize_block(&mut self, node: NodeId, t0: SimTime, t1: SimTime) -> AudioBlock {
-        let pos = self.nodes[node.index()].pos;
+        let idx = node.index();
         let span_s = t1.saturating_since(t0).as_secs_f64();
         let n = ((span_s * audio::SAMPLE_RATE_HZ as f64).round() as usize)
             .min(audio::SAMPLES_PER_CHUNK as usize);
         let sigma = self.cfg.acoustics.background_sigma;
         let t0_s = t0.as_secs_f64();
+        let Inner {
+            nodes,
+            field,
+            audible,
+            block_sources,
+            ..
+        } = self;
+        match audible {
+            Some(audible) => audible.block_sources(idx, t0, t1, block_sources),
+            None => {
+                block_sources.clear();
+                block_sources.extend(0..field.sources().len() as u32);
+            }
+        }
+        let slot = &mut nodes[idx];
+        let pos = slot.pos;
         let mut samples = Vec::with_capacity(n);
         for i in 0..n {
             let t_s = t0_s + i as f64 / audio::SAMPLE_RATE_HZ as f64;
-            let noise = self.nodes[node.index()]
-                .audio_rng
-                .gen_range(-2.0 * sigma..=2.0 * sigma);
-            samples.push(self.field.sample(pos, t_s, noise));
+            let noise = slot.audio_rng.gen_range(-2.0 * sigma..=2.0 * sigma);
+            samples.push(field.sample_from(block_sources, pos, t_s, noise));
         }
         AudioBlock { t0, t1, samples }
     }
@@ -689,14 +748,24 @@ impl Runtime for Context<'_> {
         let sender_pos = self.inner.nodes[self.node.index()].pos;
         let range = self.inner.cfg.radio.range_ft;
         let loss = self.inner.cfg.radio.loss_prob;
-        for idx in 0..self.inner.nodes.len() {
+        // Spatial index: only the 3×3 cell neighborhood of the sender is
+        // examined instead of every node. Candidates come back sorted by
+        // node index *before* any loss draw, so `medium_rng` consumes
+        // exactly the same sequence as the old full scan (the golden-digest
+        // invariant). The scratch Vec is reused across broadcasts.
+        let mut cand = std::mem::take(&mut self.inner.deliver_scratch);
+        self.inner
+            .grid
+            .as_ref()
+            .expect("spatial index is built when the world starts")
+            .query_sorted(sender_pos, range, &mut cand);
+        for &idx in &cand {
+            let idx = idx as usize;
             if idx == self.node.index() {
                 continue;
             }
-            let other = &self.inner.nodes[idx];
-            if !other.alive || other.pos.distance_to(sender_pos) > range {
-                continue;
-            }
+            debug_assert!(self.inner.nodes[idx].alive, "dead node in spatial index");
+            self.inner.metrics.delivery_candidates.inc();
             if loss > 0.0 && self.inner.medium_rng.gen::<f64>() < loss {
                 self.inner.metrics.packets_lost.inc();
                 continue;
@@ -710,6 +779,7 @@ impl Runtime for Context<'_> {
                 },
             );
         }
+        self.inner.deliver_scratch = cand;
         true
     }
 
@@ -1023,6 +1093,66 @@ mod tests {
         // growing at ~10 Hz * 1 s = ~10 (first delivered at t=0).
         let count = w.app_as::<Probe>(n).unwrap().levels.len();
         assert!(count <= 12, "dead node kept sensing: {count} levels");
+    }
+
+    #[test]
+    fn dead_node_receives_nothing_and_costs_nothing() {
+        // One sender that broadcasts at t = 1 s, one healthy receiver, and
+        // one doomed node that records from the start and exhausts its
+        // battery within half a second. By the time the broadcast happens
+        // the doomed node is dead and evicted from the spatial index, so
+        // delivery must neither deliver to it nor even examine it.
+        struct LateChatter;
+        impl Application for LateChatter {
+            fn on_start(&mut self, ctx: &mut dyn Runtime) {
+                ctx.set_timer(SimDuration::from_secs_f64(1.0), 0);
+            }
+            fn on_timer(&mut self, ctx: &mut dyn Runtime, _t: Timer) {
+                ctx.broadcast("LATE", vec![9].into());
+            }
+            fn as_any(&self) -> &dyn Any {
+                self
+            }
+            fn as_any_mut(&mut self) -> &mut dyn Any {
+                self
+            }
+        }
+        struct Doomed(Probe);
+        impl Application for Doomed {
+            fn on_start(&mut self, ctx: &mut dyn Runtime) {
+                ctx.start_recording();
+            }
+            fn on_packet(&mut self, _ctx: &mut dyn Runtime, from: NodeId, bytes: &[u8]) {
+                self.0.packets.push((from, bytes.to_vec()));
+            }
+            fn as_any(&self) -> &dyn Any {
+                self
+            }
+            fn as_any_mut(&mut self) -> &mut dyn Any {
+                self
+            }
+        }
+        let mut cfg = quiet_cfg(11);
+        cfg.energy.battery_mj = 100.0;
+        cfg.energy.idle_mw = 0.0;
+        cfg.energy.radio_listen_mw = 0.0;
+        cfg.energy.sampling_mw = 200.0; // doomed node dies at t = 0.5 s
+        let mut w = World::new(cfg);
+        let _tx = w.add_node(Position::new(0.0, 0.0), Box::new(LateChatter));
+        let probe = w.add_node(Position::new(1.0, 0.0), Box::new(Probe::default()));
+        let doomed = w.add_node(Position::new(2.0, 0.0), Box::new(Doomed(Probe::default())));
+        w.run_for_secs(2.0);
+        assert_eq!(w.energy_of(doomed), 0.0, "doomed node should be dead");
+        assert_eq!(w.app_as::<Probe>(probe).unwrap().packets.len(), 1);
+        assert!(
+            w.app_as::<Doomed>(doomed).unwrap().0.packets.is_empty(),
+            "dead node received a packet"
+        );
+        // The delivery loop examined exactly one candidate (the healthy
+        // receiver): the dead node was evicted from the index, not merely
+        // filtered at delivery time.
+        let candidates = w.telemetry().counter("sim.delivery.candidates").get();
+        assert_eq!(candidates, 1, "dead node still cost a candidate scan");
     }
 
     #[test]

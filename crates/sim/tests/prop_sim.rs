@@ -1,10 +1,28 @@
 //! Property tests for the simulation kernel: queue ordering against a
-//! reference model and waveform/motion invariants.
+//! reference model, waveform/motion invariants, and spatial-index
+//! equivalence against the brute-force scans it replaced.
 
-use enviromic_sim::acoustics::{Motion, SourceId, SourceSpec, Waveform};
+use enviromic_sim::acoustics::{AcousticField, Motion, SourceId, SourceSpec, Waveform};
 use enviromic_sim::queue::EventQueue;
-use enviromic_types::{Position, SimTime};
+use enviromic_sim::spatial::{AudibleIndex, NodeGrid};
+use enviromic_types::{Position, SimDuration, SimTime};
 use proptest::prelude::*;
+
+/// The receiver set the pre-index delivery loop produced: every alive node
+/// within range, in ascending node-index order.
+fn brute_force_receivers(
+    positions: &[Position],
+    alive: &[bool],
+    center: Position,
+    range: f64,
+) -> Vec<u16> {
+    positions
+        .iter()
+        .enumerate()
+        .filter(|&(i, p)| alive[i] && p.distance_to(center) <= range)
+        .map(|(i, _)| i as u16)
+        .collect()
+}
 
 proptest! {
     /// The event queue pops in (time, insertion-order) order for arbitrary
@@ -86,6 +104,147 @@ proptest! {
         let p = m.position_at(SimTime::from_jiffies(sample));
         let (lo, hi) = (x0.min(x1), x0.max(x1));
         prop_assert!(p.x >= lo - 1e-9 && p.x <= hi + 1e-9, "{} not in [{lo}, {hi}]", p.x);
+    }
+
+    /// The grid index returns the identical *ordered* receiver set as the
+    /// brute-force O(N) scan for arbitrary topologies, query points,
+    /// ranges, and death patterns. Ordered equality is the property the
+    /// golden digests rest on: loss draws happen per receiver in this
+    /// exact order.
+    #[test]
+    fn grid_matches_brute_force_receiver_set(
+        coords in proptest::collection::vec((-200.0f64..200.0, -200.0f64..200.0), 1..120),
+        dead in proptest::collection::vec(any::<bool>(), 1..120),
+        range in 0.1f64..250.0,
+        qx in -250.0f64..250.0,
+        qy in -250.0f64..250.0,
+    ) {
+        let positions: Vec<Position> =
+            coords.iter().map(|&(x, y)| Position::new(x, y)).collect();
+        let all_alive = vec![true; positions.len()];
+        let mut grid = NodeGrid::build(&positions, &all_alive, range);
+        // Kill a prefix-pattern of nodes *after* the build, the way the
+        // world evicts on death.
+        let mut alive = all_alive.clone();
+        for (i, &d) in dead.iter().take(positions.len()).enumerate() {
+            if d {
+                alive[i] = false;
+                grid.remove(i);
+            }
+        }
+        let mut out = Vec::new();
+        // Query from every node position and from an arbitrary point.
+        for &center in positions.iter().chain([Position::new(qx, qy)].iter()) {
+            grid.query_sorted(center, range, &mut out);
+            let brute = brute_force_receivers(&positions, &alive, center, range);
+            prop_assert_eq!(&out, &brute, "center {}", center);
+        }
+    }
+
+    /// The audible-source index agrees bit-for-bit with the brute-force
+    /// field scan for mixed static + mobile sources at every node and
+    /// sampled instant.
+    #[test]
+    fn audible_index_matches_brute_force_levels(
+        coords in proptest::collection::vec((0.0f64..60.0, 0.0f64..60.0), 1..40),
+        src_range in 0.5f64..30.0,
+        amp in 1.0f64..200.0,
+        static_x in 0.0f64..60.0,
+        wp in proptest::collection::vec((0u64..400_000, 0.0f64..60.0, 0.0f64..60.0), 1..6),
+        times in proptest::collection::vec(0u64..500_000, 1..40),
+    ) {
+        let positions: Vec<Position> =
+            coords.iter().map(|&(x, y)| Position::new(x, y)).collect();
+        let mut waypoints: Vec<(SimTime, Position)> = wp
+            .iter()
+            .map(|&(t, x, y)| (SimTime::from_jiffies(t), Position::new(x, y)))
+            .collect();
+        waypoints.sort_by_key(|&(t, _)| t);
+        let sources = vec![
+            SourceSpec {
+                id: SourceId(0),
+                start: SimTime::from_jiffies(50_000),
+                stop: SimTime::from_jiffies(300_000),
+                amplitude: amp,
+                range_ft: src_range,
+                motion: Motion::Static(Position::new(static_x, 30.0)),
+                waveform: Waveform::Noise,
+            },
+            SourceSpec {
+                id: SourceId(1),
+                start: SimTime::from_jiffies(20_000),
+                stop: SimTime::from_jiffies(450_000),
+                amplitude: amp,
+                range_ft: src_range,
+                motion: Motion::Waypoints(waypoints),
+                waveform: Waveform::Tone { freq_hz: 440.0 },
+            },
+        ];
+        let mut field = AcousticField::new();
+        for s in &sources {
+            field.add_source(s.clone()).unwrap();
+        }
+        let idx = AudibleIndex::build(&positions, &sources);
+        let mut block = Vec::new();
+        for (ni, &p) in positions.iter().enumerate() {
+            for &tj in &times {
+                let t = SimTime::from_jiffies(tj);
+                let brute = field.peak_level(p, t);
+                let fast = idx.peak_level(&field, ni, p, t);
+                prop_assert_eq!(brute.to_bits(), fast.to_bits(),
+                    "node {} at {} jiffies: {} != {}", ni, tj, brute, fast);
+                // Synthesized samples through the block-candidate path are
+                // bit-identical to the full-field scan too.
+                let t_s = t.as_secs_f64();
+                idx.block_sources(ni, t, t + SimDuration::from_millis(85), &mut block);
+                prop_assert_eq!(
+                    field.sample(p, t_s, 0.35),
+                    field.sample_from(&block, p, t_s, 0.35)
+                );
+            }
+        }
+    }
+
+    /// Binary-search waypoint lookup agrees bit-for-bit with the linear
+    /// `windows(2)` scan it replaced, on dense waypoint lists with
+    /// duplicate timestamps.
+    #[test]
+    fn position_at_matches_linear_reference(
+        wp in proptest::collection::vec((0u64..10_000, -50.0f64..50.0, -50.0f64..50.0), 1..80),
+        times in proptest::collection::vec(0u64..12_000, 1..60),
+    ) {
+        let mut points: Vec<(SimTime, Position)> = wp
+            .iter()
+            .map(|&(t, x, y)| (SimTime::from_jiffies(t), Position::new(x, y)))
+            .collect();
+        points.sort_by_key(|&(t, _)| t);
+        // The pre-index implementation, kept verbatim as the reference.
+        let linear = |t: SimTime| -> Position {
+            if t <= points[0].0 {
+                return points[0].1;
+            }
+            for pair in points.windows(2) {
+                let (t0, p0) = pair[0];
+                let (t1, p1) = pair[1];
+                if t <= t1 {
+                    let span = t1.saturating_since(t0).as_jiffies();
+                    if span == 0 {
+                        return p1;
+                    }
+                    let frac = t.saturating_since(t0).as_jiffies() as f64 / span as f64;
+                    return p0.lerp(p1, frac);
+                }
+            }
+            points.last().expect("non-empty").1
+        };
+        let m = Motion::Waypoints(points.clone());
+        for &tj in &times {
+            let t = SimTime::from_jiffies(tj);
+            let expect = linear(t);
+            let got = m.position_at(t);
+            prop_assert_eq!(expect.x.to_bits(), got.x.to_bits(), "x at {}", tj);
+            prop_assert_eq!(expect.y.to_bits(), got.y.to_bits(), "y at {}", tj);
+        }
     }
 
     /// Source levels are non-negative, bounded by the amplitude, and zero

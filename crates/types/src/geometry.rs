@@ -52,6 +52,24 @@ impl Position {
             y: self.y + (to.y - self.y) * t,
         }
     }
+
+    /// Shortest Euclidean distance from `self` to the segment `a`–`b`,
+    /// in feet. Degenerate segments (`a == b`) reduce to point distance.
+    ///
+    /// Used by spatial indexes to decide whether a trajectory leg can ever
+    /// come within some range of a fixed listener: the value is a true
+    /// lower bound on `self.distance_to(p)` for every `p` on the segment.
+    #[must_use]
+    pub fn distance_to_segment(self, a: Position, b: Position) -> f64 {
+        let abx = b.x - a.x;
+        let aby = b.y - a.y;
+        let len2 = abx * abx + aby * aby;
+        if len2 == 0.0 {
+            return self.distance_to(a);
+        }
+        let t = (((self.x - a.x) * abx + (self.y - a.y) * aby) / len2).clamp(0.0, 1.0);
+        self.distance_to(a.lerp(b, t))
+    }
 }
 
 impl fmt::Display for Position {
@@ -90,5 +108,30 @@ mod tests {
     #[test]
     fn display_formats_one_decimal() {
         assert_eq!(Position::new(1.25, 2.0).to_string(), "(1.2, 2.0)");
+    }
+
+    #[test]
+    fn segment_distance_interior_endpoint_and_degenerate() {
+        let a = Position::new(0.0, 0.0);
+        let b = Position::new(10.0, 0.0);
+        // Projection falls inside the segment: perpendicular distance.
+        assert!((Position::new(5.0, 3.0).distance_to_segment(a, b) - 3.0).abs() < 1e-12);
+        // Projection falls past an endpoint: distance to that endpoint.
+        assert!((Position::new(-3.0, 4.0).distance_to_segment(a, b) - 5.0).abs() < 1e-12);
+        assert!((Position::new(13.0, 4.0).distance_to_segment(a, b) - 5.0).abs() < 1e-12);
+        // Degenerate segment is point distance.
+        assert_eq!(Position::new(3.0, 4.0).distance_to_segment(a, a), 5.0);
+    }
+
+    #[test]
+    fn segment_distance_lower_bounds_sampled_points() {
+        let a = Position::new(-2.0, 1.0);
+        let b = Position::new(7.0, -4.5);
+        let p = Position::new(1.5, 2.5);
+        let d = p.distance_to_segment(a, b);
+        for i in 0..=100 {
+            let q = a.lerp(b, f64::from(i) / 100.0);
+            assert!(d <= p.distance_to(q) + 1e-12);
+        }
     }
 }

@@ -9,7 +9,9 @@
 //!   of Figs. 6–8;
 //! * [`forest_scenario`] — the synthesized 3-hour outdoor soundscape
 //!   behind Figs. 16–18 (road traffic, trail vocalizations, the two
-//!   observed activity spikes).
+//!   observed activity spikes);
+//! * [`large_grid_scenario`] — a 400+ node stress grid for the spatial
+//!   index, beyond the paper's deployment sizes.
 //!
 //! Scenario source lists double as metrics ground truth.
 
@@ -19,11 +21,13 @@
 mod forest;
 mod grid;
 mod indoor;
+mod large;
 mod mobile;
 mod scenario;
 
 pub use forest::{forest_scenario, wall_clock_label, ForestParams};
 pub use grid::Topology;
 pub use indoor::{generator_positions, indoor_scenario, IndoorParams};
+pub use large::{large_grid_scenario, LargeGridParams};
 pub use mobile::{mobile_scenario, voice_scenario, MobileParams};
 pub use scenario::Scenario;

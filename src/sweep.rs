@@ -29,7 +29,10 @@ use crate::harness::{forest_world_config, indoor_world_config, run_scenario, Exp
 use enviromic_core::{Mode, NodeConfig};
 use enviromic_sim::WorldConfig;
 use enviromic_telemetry::TelemetryReport;
-use enviromic_workloads::{forest_scenario, indoor_scenario, ForestParams, IndoorParams, Scenario};
+use enviromic_workloads::{
+    forest_scenario, indoor_scenario, mobile_scenario, ForestParams, IndoorParams, MobileParams,
+    Scenario,
+};
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 use std::sync::{Arc, Mutex};
@@ -102,6 +105,21 @@ impl ScenarioSpec {
                 world_cfg: indoor_world_config(seed),
                 drain_secs: 5.0,
             }
+        })
+    }
+
+    /// The mobile-target point: the §IV-A moving acoustic source on the
+    /// indoor grid, full protocol, default node configuration. The moving
+    /// source exercises the waypoint re-bucketing of the audible-source
+    /// index, so `tests/determinism.rs` pins this point's digest at seed
+    /// 42 across worker counts.
+    #[must_use]
+    pub fn quick_mobile() -> ScenarioSpec {
+        ScenarioSpec::new("quick-mobile", |seed| JobInput {
+            scenario: mobile_scenario(&MobileParams::default()),
+            node_cfg: NodeConfig::default().with_mode(Mode::Full),
+            world_cfg: indoor_world_config(seed),
+            drain_secs: 5.0,
         })
     }
 

@@ -15,11 +15,18 @@
 use enviromic::harness::{indoor_world_config, run_scenario};
 use enviromic::sweep::{run_sweep, ScenarioSpec, SweepPlan};
 use enviromic_core::{Mode, NodeConfig};
-use enviromic_workloads::{indoor_scenario, IndoorParams};
+use enviromic_workloads::{indoor_scenario, mobile_scenario, IndoorParams, MobileParams};
 
 /// Golden values captured from the quick indoor run below at seed 42.
 const GOLDEN_EVENTS: usize = 9127;
 const GOLDEN_DIGEST: u64 = 0x42b8_1c6d_9160_48ba;
+
+/// Golden values for the §IV-A mobile-target run at seed 42, captured
+/// *before* the spatial index landed. A moving source exercises the
+/// waypoint re-bucketing of the audible-source index, so this pin catches
+/// any perturbation of RNG order that only mobile trajectories can cause.
+const GOLDEN_MOBILE_EVENTS: usize = 2614;
+const GOLDEN_MOBILE_DIGEST: u64 = 0x01db_8468_086c_7596;
 
 #[test]
 fn quick_indoor_trace_matches_golden_digest() {
@@ -59,6 +66,42 @@ fn golden_digest_holds_inside_worker_pool() {
             (golden.events, golden.digest),
             (GOLDEN_EVENTS, GOLDEN_DIGEST),
             "sweep on {workers} workers diverged from the golden trace",
+        );
+    }
+}
+
+#[test]
+fn mobile_trace_matches_golden_digest() {
+    let scenario = mobile_scenario(&MobileParams::default());
+    let cfg = NodeConfig::default().with_mode(Mode::Full);
+    let run = run_scenario(scenario, &cfg, indoor_world_config(42), 5.0);
+    assert_eq!(
+        (run.trace.len(), run.trace.digest()),
+        (GOLDEN_MOBILE_EVENTS, GOLDEN_MOBILE_DIGEST),
+        "mobile-source execution diverged from the golden trace \
+         (len={}, digest={:#018x})",
+        run.trace.len(),
+        run.trace.digest(),
+    );
+}
+
+/// The mobile golden run inside the sweep pool at 1 and 4 workers: mobile
+/// re-bucketing must not perturb RNG order no matter which worker runs
+/// the job.
+#[test]
+fn mobile_golden_digest_holds_inside_worker_pool() {
+    let plan = SweepPlan::new(vec![41, 42, 43], vec![ScenarioSpec::quick_mobile()]);
+    for workers in [1, 4] {
+        let out = run_sweep(&plan, workers);
+        let golden = out
+            .jobs
+            .iter()
+            .find(|j| j.seed == 42)
+            .expect("plan contains seed 42");
+        assert_eq!(
+            (golden.events, golden.digest),
+            (GOLDEN_MOBILE_EVENTS, GOLDEN_MOBILE_DIGEST),
+            "mobile sweep on {workers} workers diverged from the golden trace",
         );
     }
 }
