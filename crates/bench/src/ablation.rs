@@ -121,6 +121,7 @@ pub fn run_jobs(seed: u64, duration: f64, jobs: usize) -> Vec<AblationRow> {
                 node_cfg: cfg.clone(),
                 world_cfg: suite_world_config(seed),
                 drain_secs: 20.0,
+                faults: enviromic_sim::FaultPlan::new(),
             })
         })
         .collect();

@@ -2,14 +2,17 @@
 //!
 //! ```text
 //! sweep [--seeds N] [--seed-start S] [--jobs N] [--duration SECS]
-//!       [--scenario indoor|forest|both] [--out PATH] [--digests-out PATH]
-//!       [-q | --verbose]
+//!       [--scenario indoor|forest|both] [--chaos] [--out PATH]
+//!       [--digests-out PATH] [-q | --verbose]
 //!
 //! --seeds N            number of consecutive seeds (default 8)
 //! --seed-start S       first seed (default 42, the golden-digest seed)
 //! --jobs N             worker threads (default: available cores)
 //! --duration SECS      per-run duration (default 120, the quick length)
 //! --scenario WHICH     grid axis: indoor, forest, or both (default both)
+//! --chaos              inject a seed-derived fault schedule into every
+//!                      run (crashes + reboots, a radio blackout, link
+//!                      degradation, bad flash blocks)
 //! --out PATH           machine-readable summary JSON
 //!                      (default target/bench/BENCH_sweep.json)
 //! --digests-out PATH   also write a "label seed digest events" text table
@@ -30,6 +33,7 @@ struct Options {
     jobs: usize,
     duration: f64,
     scenario: String,
+    chaos: bool,
     out: String,
     digests_out: Option<String>,
 }
@@ -37,7 +41,7 @@ struct Options {
 fn usage() -> ! {
     eprintln!(
         "usage: sweep [--seeds N] [--seed-start S] [--jobs N] [--duration SECS] \
-         [--scenario indoor|forest|both] [--out PATH] [--digests-out PATH] \
+         [--scenario indoor|forest|both] [--chaos] [--out PATH] [--digests-out PATH] \
          [-q|--quiet] [-v|--verbose]"
     );
     std::process::exit(2);
@@ -50,6 +54,7 @@ fn parse_args() -> Options {
         jobs: std::thread::available_parallelism().map_or(1, |n| n.get()),
         duration: 120.0,
         scenario: "both".into(),
+        chaos: false,
         out: String::from("target/bench/BENCH_sweep.json"),
         digests_out: None,
     };
@@ -69,6 +74,7 @@ fn parse_args() -> Options {
             }
             "--duration" => opts.duration = value().parse().unwrap_or_else(|_| usage()),
             "--scenario" => opts.scenario = value(),
+            "--chaos" => opts.chaos = true,
             "--out" => opts.out = value(),
             "--digests-out" => opts.digests_out = Some(value()),
             "--quiet" | "-q" => quiet = true,
@@ -102,14 +108,26 @@ fn write_with_parents(path: &str, contents: &str) {
 
 fn main() {
     let opts = parse_args();
-    let scenarios = match opts.scenario.as_str() {
-        "indoor" => vec![ScenarioSpec::quick_indoor(opts.duration)],
-        "forest" => vec![ScenarioSpec::quick_forest(opts.duration)],
-        "both" => vec![
-            ScenarioSpec::quick_indoor(opts.duration),
-            ScenarioSpec::quick_forest(opts.duration),
-        ],
-        _ => usage(),
+    let scenarios = if opts.chaos {
+        match opts.scenario.as_str() {
+            "indoor" => vec![ScenarioSpec::chaos_indoor(opts.duration)],
+            "forest" => vec![ScenarioSpec::chaos_forest(opts.duration)],
+            "both" => vec![
+                ScenarioSpec::chaos_indoor(opts.duration),
+                ScenarioSpec::chaos_forest(opts.duration),
+            ],
+            _ => usage(),
+        }
+    } else {
+        match opts.scenario.as_str() {
+            "indoor" => vec![ScenarioSpec::quick_indoor(opts.duration)],
+            "forest" => vec![ScenarioSpec::quick_forest(opts.duration)],
+            "both" => vec![
+                ScenarioSpec::quick_indoor(opts.duration),
+                ScenarioSpec::quick_forest(opts.duration),
+            ],
+            _ => usage(),
+        }
     };
     let seeds: Vec<u64> = (opts.seed_start..opts.seed_start + opts.seeds).collect();
     let plan = SweepPlan::new(seeds, scenarios);

@@ -126,6 +126,7 @@ pub fn run_suite_jobs(seed: u64, duration_secs: f64, jobs: usize) -> IndoorSuite
                 node_cfg: setting.node_config(),
                 world_cfg: suite_world_config(seed),
                 drain_secs: 20.0,
+                faults: enviromic_sim::FaultPlan::new(),
             })
         })
         .collect();

@@ -12,7 +12,7 @@
 use crate::config::{Mode, NodeConfig};
 use crate::detector::{Detection, SoundDetector};
 use crate::storage::TracedStore;
-use enviromic_flash::{Chunk, ChunkMeta};
+use enviromic_flash::{Chunk, ChunkMeta, ChunkStore};
 use enviromic_net::{
     decode_envelope, BulkReceiver, BulkSender, Message, NeighborTable, PiggybackQueue, TreeState,
 };
@@ -805,9 +805,35 @@ impl Application for EnviroMicNode {
         Some(self.store.occupancy())
     }
 
+    fn on_reboot(&mut self, ctx: &mut dyn Runtime) {
+        // Power cycle: RAM protocol state is lost, flash survives. Rebuild
+        // the stack from a fresh configuration and recover the persisted
+        // chunk ring from flash + EEPROM checkpoints — the same path a
+        // physically collected dead mote goes through (§VI).
+        let cfg = self.cfg.clone();
+        let checkpoint_interval = cfg.checkpoint_interval;
+        let fresh = EnviroMicNode::new(cfg);
+        let old = core::mem::replace(self, fresh);
+        let (flash, eeprom) = old.store.into_inner().into_parts();
+        self.store =
+            TracedStore::from_recovered(ChunkStore::recover(flash, eeprom, checkpoint_interval));
+        ctx.telemetry().counter("core.node.reboots").inc();
+        // Stale timers armed before the crash are filtered by is_current:
+        // the rebuilt timer map holds no pre-crash handles.
+        self.on_start(ctx);
+    }
+
+    fn on_flash_bad_block(&mut self, ctx: &mut dyn Runtime, block: u32) {
+        self.store.mark_bad_block(block);
+        ctx.telemetry().counter("flash.bad_blocks.marked").inc();
+    }
+
     fn on_finish(&mut self, ctx: &mut dyn Runtime) {
         // End-of-run flash wear scrape (§III-B.3 wear-leveling evidence).
         enviromic_flash::record_wear(ctx.telemetry(), self.store.inner().flash());
+        ctx.telemetry()
+            .counter("flash.writes.remapped")
+            .add(self.store.remapped_writes());
     }
 
     fn as_any(&self) -> &dyn core::any::Any {

@@ -160,6 +160,29 @@ impl TracedStore {
         self.store.iter()
     }
 
+    /// Wraps a [`ChunkStore`] rebuilt by crash recovery
+    /// ([`ChunkStore::recover`]) so a rebooted node resumes with its flash
+    /// contents intact (§VI: data outlives the node's RAM state).
+    #[must_use]
+    pub fn from_recovered(store: ChunkStore) -> Self {
+        TracedStore {
+            store,
+            bytes_since_rate_update: 0,
+        }
+    }
+
+    /// Marks a flash block bad: further writes to it fail and are remapped
+    /// to the next good slot by the store.
+    pub fn mark_bad_block(&mut self, index: u32) {
+        self.store.mark_bad_block(index);
+    }
+
+    /// Writes that hit a bad block and were retried on another slot.
+    #[must_use]
+    pub fn remapped_writes(&self) -> u64 {
+        self.store.remapped_writes()
+    }
+
     /// The underlying store (for recovery tests and teardown).
     #[must_use]
     pub fn into_inner(self) -> ChunkStore {

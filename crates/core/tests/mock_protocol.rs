@@ -385,6 +385,190 @@ fn state_update_rounds_avg_free_pct_to_nearest() {
     assert_eq!(avg_free_pct, 67, "66.67 % free must round up, not truncate");
 }
 
+// ----- tolerance to blackout-induced message loss ------------------------------
+//
+// A RadioBlackout fault silently eats control messages. These tests pin the
+// three recovery mechanisms the fault engine leans on: the leader's confirm
+// timeout (lost TASK_CONFIRM), the member-side liveness watchdog (lost
+// RESIGN), and the donor's offer withdrawal (lost MigrateAccept).
+
+#[test]
+fn lost_task_confirm_times_out_and_leader_reassigns() {
+    let (mut node, mut rt) = started(1);
+
+    // A strong fresh member the §II-A.2 rule will pick first.
+    rt.advance(&mut node, SimDuration::from_millis(10));
+    let beacon = envelope(Message::Sensing {
+        event: None,
+        level: 255,
+        has_prelude: false,
+        ttl_secs: u32::MAX,
+    });
+    assert!(rt.deliver_now(&mut node, NodeId(2), &beacon));
+
+    node.on_acoustic_level(&mut rt, 200.0);
+    let request = advance_until_sent(&mut rt, &mut node, 700, |m| {
+        matches!(m, Message::TaskRequest { .. })
+    })
+    .expect("the leader requests a recording task");
+    let Message::TaskRequest { recorder, .. } = request else {
+        unreachable!()
+    };
+    assert_eq!(recorder, NodeId(2));
+
+    // The member's TASK_CONFIRM is swallowed by a blackout: after
+    // confirm_timeout (150 ms) the leader must exclude the silent member
+    // and settle the slot another way (here: self-assignment) instead of
+    // leaving the event unrecorded.
+    rt.advance(&mut node, SimDuration::from_millis(300));
+    assert_eq!(counter(&rt, "core.task.confirm_timeout"), 1);
+    assert_eq!(counter(&rt, "core.task.assigned"), 1, "slot still settles");
+    assert!(rt.is_recording(), "the leader records the slot itself");
+}
+
+#[test]
+fn lost_resign_triggers_liveness_takeover_with_same_file_id() {
+    let (mut node, mut rt) = started(1);
+    node.on_acoustic_level(&mut rt, 200.0);
+
+    // Another node leads; our election is suppressed and we become a
+    // hearing member of its event (file) ID.
+    let event = EventId::new(NodeId(2), 0);
+    let ann = envelope(Message::LeaderAnnounce { event });
+    assert!(rt.deliver_now(&mut node, NodeId(2), &ann));
+    rt.advance(&mut node, SimDuration::from_millis(600));
+    assert_eq!(counter(&rt, "core.election.won"), 0);
+
+    // The leader crashes (or its RESIGN is lost in a blackout): total
+    // silence. After 2·Trc + Trc/4 = 2.25 s the sensing-beacon watchdog
+    // fires and this member takes over, keeping the same event ID so the
+    // file stays contiguous.
+    rt.advance(&mut node, SimDuration::from_secs_f64(3.0));
+    assert_eq!(counter(&rt, "core.election.handoff_won"), 1);
+    assert!(
+        sent_messages(&rt)
+            .iter()
+            .any(|m| matches!(m, Message::LeaderAnnounce { event: e } if *e == event)),
+        "the takeover announces leadership under the dead leader's event ID"
+    );
+    assert!(
+        rt.captured_trace().iter().any(|e| matches!(
+            e,
+            TraceEvent::LeaderElected {
+                node: NodeId(1),
+                handoff: true,
+                ..
+            }
+        )),
+        "the takeover is recorded as a handoff, not a fresh election"
+    );
+}
+
+#[test]
+fn lost_migrate_accept_withdraws_offer_and_donor_retries() {
+    let (mut node, mut rt) = started_with(
+        1,
+        NodeConfig::default()
+            .with_mode(Mode::Full)
+            .with_flash_chunks(8),
+    );
+
+    // Finite storage TTL so the balancer engages (as in the withdrawal
+    // regression test above).
+    migrate_in_chunks(&mut node, &mut rt, 4, 200);
+    rt.advance(&mut node, SimDuration::from_secs_f64(10.5));
+    let beacon = envelope(Message::StateUpdate {
+        ttl_secs: u32::MAX,
+        free_chunks: 64,
+        avg_free_pct: 100,
+    });
+    assert!(rt.deliver_now(&mut node, NodeId(5), &beacon));
+    let offer = advance_until_sent(&mut rt, &mut node, 6000, |m| {
+        matches!(m, Message::MigrateOffer { .. })
+    })
+    .expect("an imbalanced donor offers a migration");
+    let Message::MigrateOffer { session: first, .. } = offer else {
+        unreachable!()
+    };
+
+    // The MigrateAccept is lost to a blackout. One state period later the
+    // offer is withdrawn; with the neighbour refreshed, the next balance
+    // check must mint a NEW offer (fresh session) — the donor is not stuck.
+    rt.advance(&mut node, SimDuration::from_secs_f64(5.5));
+    assert!(rt.deliver_now(&mut node, NodeId(5), &beacon));
+    let retry = advance_until_sent(
+        &mut rt,
+        &mut node,
+        6000,
+        |m| matches!(m, Message::MigrateOffer { session, .. } if *session != first),
+    )
+    .expect("the donor re-offers after withdrawing the unanswered offer");
+    let Message::MigrateOffer {
+        session: second, ..
+    } = retry
+    else {
+        unreachable!()
+    };
+    assert_ne!(second, first, "the retry opens a fresh session");
+    assert_eq!(counter(&rt, "core.migrate.offered"), 2);
+    assert_eq!(
+        counter(&rt, "core.migrate.chunks_out"),
+        0,
+        "no bulk transfer started against the dead session"
+    );
+    assert_eq!(node.stored_chunks(), 4);
+}
+
+// ----- reboot + bad-block fault surface ----------------------------------------
+
+#[test]
+fn reboot_recovers_flash_contents_and_restarts_services() {
+    let (mut node, mut rt) = started(1);
+    migrate_in_chunks(&mut node, &mut rt, 3, 64);
+
+    // Give the node some RAM protocol state a power cycle must wipe.
+    node.on_acoustic_level(&mut rt, 200.0);
+    assert_eq!(counter(&rt, "core.election.started"), 1);
+
+    node.on_reboot(&mut rt);
+    assert_eq!(counter(&rt, "core.node.reboots"), 1);
+    assert_eq!(
+        node.stored_chunks(),
+        3,
+        "flash contents survive the power cycle via crash recovery"
+    );
+    assert!(
+        !rt.pending_timers().is_empty(),
+        "on_start re-arms the periodic services"
+    );
+    // RAM state is fresh: hearing the event again starts a new election
+    // rather than resuming the pre-crash one.
+    node.on_acoustic_level(&mut rt, 200.0);
+    assert_eq!(counter(&rt, "core.election.started"), 2);
+}
+
+#[test]
+fn bad_block_writes_are_remapped_and_counted() {
+    let (mut node, mut rt) = started_with(
+        1,
+        NodeConfig::default()
+            .with_mode(Mode::Full)
+            .with_flash_chunks(4),
+    );
+    node.on_flash_bad_block(&mut rt, 0);
+    assert_eq!(counter(&rt, "flash.bad_blocks.marked"), 1);
+
+    // The first store write targets the (now bad) block 0 and must be
+    // remapped to the next good slot rather than surfacing an error.
+    migrate_in_chunks(&mut node, &mut rt, 3, 32);
+    assert_eq!(node.stored_chunks(), 3);
+    node.on_finish(&mut rt);
+    assert!(
+        counter(&rt, "flash.writes.remapped") >= 1,
+        "the remap is visible in telemetry at teardown"
+    );
+}
+
 #[test]
 fn late_migrate_accept_after_withdrawal_is_ignored() {
     // Donor-side regression: an offer nobody answered within a state

@@ -32,6 +32,12 @@ pub enum FlashError {
         /// Bytes offered.
         len: usize,
     },
+    /// The block was marked bad (fault injection): writes fail until the
+    /// caller remaps around it.
+    BadBlock {
+        /// The bad block.
+        index: u32,
+    },
 }
 
 impl core::fmt::Display for FlashError {
@@ -48,6 +54,9 @@ impl core::fmt::Display for FlashError {
                     f,
                     "data of {len} bytes does not fit a {BLOCK_BYTES}-byte block"
                 )
+            }
+            FlashError::BadBlock { index } => {
+                write!(f, "block {index} is marked bad")
             }
         }
     }
@@ -76,6 +85,7 @@ pub struct Flash {
     blocks: Vec<[u8; BLOCK_BYTES]>,
     write_counts: Vec<u64>,
     endurance: u64,
+    bad: Vec<bool>,
 }
 
 impl Flash {
@@ -92,6 +102,7 @@ impl Flash {
             blocks: vec![[0xFF; BLOCK_BYTES]; blocks as usize],
             write_counts: vec![0; blocks as usize],
             endurance,
+            bad: vec![false; blocks as usize],
         }
     }
 
@@ -117,6 +128,9 @@ impl Flash {
             .blocks
             .get_mut(index as usize)
             .ok_or(FlashError::OutOfBounds { index, capacity })?;
+        if self.bad[index as usize] {
+            return Err(FlashError::BadBlock { index });
+        }
         if self.write_counts[index as usize] >= self.endurance {
             return Err(FlashError::WearExceeded { index });
         }
@@ -142,6 +156,28 @@ impl Flash {
     #[must_use]
     pub fn write_count(&self, index: u32) -> u64 {
         self.write_counts.get(index as usize).copied().unwrap_or(0)
+    }
+
+    /// Marks block `index` bad: subsequent writes return
+    /// [`FlashError::BadBlock`]. Reads still succeed — data already on the
+    /// block stays readable, which is how real NAND bad blocks behave for
+    /// previously-programmed pages. Out-of-range indices are ignored.
+    pub fn mark_bad(&mut self, index: u32) {
+        if let Some(b) = self.bad.get_mut(index as usize) {
+            *b = true;
+        }
+    }
+
+    /// True when block `index` has been marked bad.
+    #[must_use]
+    pub fn is_bad(&self, index: u32) -> bool {
+        self.bad.get(index as usize).copied().unwrap_or(false)
+    }
+
+    /// Number of blocks currently marked bad.
+    #[must_use]
+    pub fn bad_block_count(&self) -> u32 {
+        self.bad.iter().filter(|b| **b).count() as u32
     }
 
     /// The spread between the most- and least-written block.
@@ -231,5 +267,25 @@ mod tests {
     #[should_panic(expected = "at least one block")]
     fn zero_blocks_panics() {
         let _ = Flash::new(0, 1);
+    }
+
+    #[test]
+    fn bad_block_rejects_writes_but_keeps_reads() {
+        let mut f = Flash::new(4, 100);
+        f.write_block(2, &[7, 8]).unwrap();
+        f.mark_bad(2);
+        assert!(f.is_bad(2));
+        assert_eq!(f.bad_block_count(), 1);
+        assert_eq!(
+            f.write_block(2, &[9]),
+            Err(FlashError::BadBlock { index: 2 })
+        );
+        assert_eq!(&f.read_block(2).unwrap()[..2], &[7, 8], "old data readable");
+        assert_eq!(f.write_count(2), 1, "failed write leaves wear untouched");
+        f.mark_bad(99); // out of range: ignored
+        assert!(!f.is_bad(99));
+        assert!(FlashError::BadBlock { index: 2 }
+            .to_string()
+            .contains("bad"));
     }
 }

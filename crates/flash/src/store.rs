@@ -15,6 +15,11 @@
 //! *popped* after the last checkpoint cannot be distinguished from live
 //! ones (popping does not erase), so recovery may resurrect recently
 //! migrated chunks — a safe-side duplicate, never a loss.
+//!
+//! Bad blocks (fault injection) are discovered lazily: a failed write marks
+//! the slot in a store-level bad map and the push retries on the next good
+//! slot, so the circular queue simply flows around the hole. Because writes
+//! only ever target free slots, a store-bad block never holds live data.
 
 use crate::device::{Flash, FlashError};
 use crate::eeprom::{Checkpoint, Eeprom};
@@ -93,6 +98,13 @@ pub struct ChunkStore {
     next_store_seq: u32,
     checkpoint_interval: u32,
     ops_since_checkpoint: u32,
+    /// Store-level bad map: slots the queue flows around. Entries are only
+    /// ever set on *free* slots (discovery happens on a failed write, and
+    /// writes only target free slots), so `head` and every live position is
+    /// always a good block.
+    bad: Vec<bool>,
+    bad_count: u32,
+    remapped_writes: u64,
 }
 
 /// Default flash write endurance (block erase/program cycles).
@@ -117,6 +129,9 @@ impl ChunkStore {
             next_store_seq: 0,
             checkpoint_interval,
             ops_since_checkpoint: 0,
+            bad: vec![false; blocks as usize],
+            bad_count: 0,
+            remapped_writes: 0,
         }
     }
 
@@ -132,10 +147,24 @@ impl ChunkStore {
         self.len == 0
     }
 
-    /// Total chunk slots.
+    /// Total usable chunk slots (device blocks minus known-bad blocks).
     #[must_use]
     pub fn capacity(&self) -> u32 {
-        self.flash.block_count()
+        self.flash.block_count() - self.bad_count
+    }
+
+    /// Number of writes the store had to retry on a different block after
+    /// discovering a bad one.
+    #[must_use]
+    pub fn remapped_writes(&self) -> u64 {
+        self.remapped_writes
+    }
+
+    /// Marks a *device* block bad (fault injection). The store itself only
+    /// learns about the hole when a write actually fails there and gets
+    /// remapped; data already live on the block stays readable until then.
+    pub fn mark_bad_block(&mut self, index: u32) {
+        self.flash.mark_bad(index);
     }
 
     /// Free chunk slots.
@@ -163,7 +192,38 @@ impl ChunkStore {
     }
 
     fn block_at(&self, logical: u32) -> u32 {
-        (self.head + logical) % self.capacity()
+        let cap = self.flash.block_count();
+        if self.bad_count == 0 {
+            return (self.head + logical) % cap;
+        }
+        // Skip-walk: the `logical`-th good block at or after head (mod cap).
+        // Only reachable with at least one good block (capacity() > 0).
+        let mut idx = self.head;
+        let mut remaining = logical;
+        loop {
+            if !self.bad[idx as usize] {
+                if remaining == 0 {
+                    return idx;
+                }
+                remaining -= 1;
+            }
+            idx = (idx + 1) % cap;
+        }
+    }
+
+    /// Records a freshly-discovered bad block and restores the
+    /// head-is-good invariant when the queue is empty.
+    fn note_bad(&mut self, index: u32) {
+        let slot = &mut self.bad[index as usize];
+        if !*slot {
+            *slot = true;
+            self.bad_count += 1;
+        }
+        if self.len == 0 && self.capacity() > 0 {
+            // An empty queue's head may sit on the slot that just failed;
+            // block_at(0) skip-walks to the next good block.
+            self.head = self.block_at(0);
+        }
     }
 
     /// Store sequence number of the oldest live chunk (or the next one to
@@ -202,20 +262,36 @@ impl ChunkStore {
 
     /// Appends a chunk at the tail.
     ///
+    /// A write that fails with [`FlashError::BadBlock`] marks the slot in
+    /// the store's bad map and retries on the next good slot (shrinking the
+    /// usable capacity by one), so fault-injected bad blocks degrade
+    /// capacity instead of crashing the recorder.
+    ///
     /// # Errors
     ///
-    /// [`StoreError::Full`] when no slot is free; flash errors propagate.
+    /// [`StoreError::Full`] when no slot is free (including after remapping
+    /// shrank the store); other flash errors propagate.
     pub fn push_back(&mut self, chunk: Chunk) -> Result<(), StoreError> {
-        if self.is_full() {
-            return Err(StoreError::Full);
-        }
-        let idx = self.block_at(self.len);
         let block = chunk.encode(self.next_store_seq);
-        self.flash.write_block(idx, &block)?;
-        self.next_store_seq = self.next_store_seq.wrapping_add(1);
-        self.len += 1;
-        self.after_op();
-        Ok(())
+        loop {
+            if self.is_full() {
+                return Err(StoreError::Full);
+            }
+            let idx = self.block_at(self.len);
+            match self.flash.write_block(idx, &block) {
+                Ok(()) => {
+                    self.next_store_seq = self.next_store_seq.wrapping_add(1);
+                    self.len += 1;
+                    self.after_op();
+                    return Ok(());
+                }
+                Err(FlashError::BadBlock { index }) => {
+                    self.note_bad(index);
+                    self.remapped_writes += 1;
+                }
+                Err(e) => return Err(e.into()),
+            }
+        }
     }
 
     /// Removes and returns the oldest chunk, or `None` when empty.
@@ -230,8 +306,12 @@ impl ChunkStore {
         let idx = self.head;
         let block = self.flash.read_block(idx)?;
         let (chunk, _) = Chunk::decode(block)?;
-        self.head = (self.head + 1) % self.capacity();
         self.len -= 1;
+        // Advance past any bad holes so head stays on a good block.
+        self.head = (self.head + 1) % self.flash.block_count();
+        if self.capacity() > 0 {
+            self.head = self.block_at(0);
+        }
         self.after_op();
         Ok(Some(chunk))
     }
@@ -314,25 +394,35 @@ impl ChunkStore {
     /// checkpoint contributes a *prune bound* (`head_seq`): chunks already
     /// popped at checkpoint time are not resurrected.
     ///
-    /// Guarantee: every chunk live at crash time is recovered. Chunks
-    /// popped *after* the last checkpoint may be resurrected as duplicates
-    /// (popping does not erase the media) — a safe-side error, never a
-    /// loss.
+    /// Guarantee: every chunk live at crash time *on a good block* is
+    /// recovered. Chunks popped *after* the last checkpoint may be
+    /// resurrected as duplicates (popping does not erase the media) — a
+    /// safe-side error, never a loss. Blocks the device has marked bad are
+    /// treated as untrusted holes: the backward walk steps over them, and
+    /// any data they held is conservatively considered lost at collection
+    /// time.
     #[must_use]
     pub fn recover(flash: Flash, eeprom: Eeprom, checkpoint_interval: u32) -> Self {
         let prune = eeprom.load().map_or(0, |cp| cp.head_seq);
         let cap = flash.block_count();
-        // Scan every block for a valid chunk not known-dead.
+        // Scan every good block for a valid chunk not known-dead; bad
+        // blocks scan as holes.
         let mut seqs: Vec<Option<u32>> = Vec::with_capacity(cap as usize);
         for idx in 0..cap {
-            let seq = flash
-                .read_block(idx)
-                .ok()
-                .and_then(|b| Chunk::decode(b).ok())
-                .map(|(_, seq)| seq)
-                .filter(|&seq| seq >= prune);
+            let seq = if flash.is_bad(idx) {
+                None
+            } else {
+                flash
+                    .read_block(idx)
+                    .ok()
+                    .and_then(|b| Chunk::decode(b).ok())
+                    .map(|(_, seq)| seq)
+                    .filter(|&seq| seq >= prune)
+            };
             seqs.push(seq);
         }
+        let bad: Vec<bool> = (0..cap).map(|idx| flash.is_bad(idx)).collect();
+        let bad_count = bad.iter().filter(|b| **b).count() as u32;
         let mut store = ChunkStore {
             flash,
             eeprom,
@@ -341,7 +431,13 @@ impl ChunkStore {
             next_store_seq: prune,
             checkpoint_interval: checkpoint_interval.max(1),
             ops_since_checkpoint: 0,
+            bad,
+            bad_count,
+            remapped_writes: 0,
         };
+        if store.capacity() > 0 {
+            store.head = store.block_at(0); // head-is-good invariant
+        }
         // Anchor at the newest push.
         let Some((tail_idx, tail_seq)) = seqs
             .iter()
@@ -352,13 +448,19 @@ impl ChunkStore {
             return store; // nothing valid: empty store
         };
         // Walk backwards while sequence numbers keep decreasing: pushes
-        // land on consecutive blocks (mod capacity), so the live window is
-        // exactly this run.
+        // land on consecutive *good* blocks (mod capacity), so the live
+        // window is exactly this run with bad holes stepped over.
         let mut head_idx = tail_idx;
         let mut len = 1u32;
         let mut prev_seq = tail_seq;
-        while len < cap {
-            let j = (head_idx + cap - 1) % cap;
+        let mut j = tail_idx;
+        let mut scanned = 1u32;
+        while scanned < cap {
+            j = (j + cap - 1) % cap;
+            scanned += 1;
+            if store.bad[j as usize] {
+                continue; // hole inside the window: step over it
+            }
             match seqs[j as usize] {
                 Some(s) if s < prev_seq => {
                     head_idx = j;
@@ -557,5 +659,79 @@ mod tests {
     #[should_panic(expected = "checkpoint interval")]
     fn zero_checkpoint_interval_panics() {
         let _ = ChunkStore::new(4, 0);
+    }
+
+    #[test]
+    fn bad_block_write_remaps_to_next_slot() {
+        let mut s = ChunkStore::new(4, 100);
+        s.mark_bad_block(1);
+        for n in 0..3 {
+            s.push_back(chunk(n)).unwrap(); // block 1 discovered bad mid-way
+        }
+        assert_eq!(s.remapped_writes(), 1);
+        assert_eq!(s.capacity(), 3, "bad block shrank usable capacity");
+        assert!(s.is_full());
+        assert_eq!(s.push_back(chunk(9)), Err(StoreError::Full));
+        let origins: Vec<u16> = s.iter().map(|c| c.meta.origin.0).collect();
+        assert_eq!(origins, vec![0, 1, 2], "FIFO order survives the hole");
+    }
+
+    #[test]
+    fn fifo_flows_around_bad_block_across_wraps() {
+        let mut s = ChunkStore::new(4, 100);
+        s.mark_bad_block(2);
+        let mut n = 0u8;
+        let mut expect = 0u8;
+        for _ in 0..25 {
+            if s.is_full() {
+                assert_eq!(s.pop_front().unwrap(), Some(chunk(expect)));
+                expect += 1;
+            }
+            s.push_back(chunk(n)).unwrap();
+            n += 1;
+        }
+        while let Some(c) = s.pop_front().unwrap() {
+            assert_eq!(c, chunk(expect));
+            expect += 1;
+        }
+        assert_eq!(n, expect, "every pushed chunk came back in order");
+        assert_eq!(s.flash().write_count(2), 0, "bad block never written");
+    }
+
+    #[test]
+    fn bad_block_on_empty_store_moves_head() {
+        let mut s = ChunkStore::new(3, 100);
+        s.mark_bad_block(0); // head sits on the bad block while empty
+        s.push_back(chunk(1)).unwrap();
+        assert_eq!(s.remapped_writes(), 1);
+        assert_eq!(s.pop_front().unwrap(), Some(chunk(1)));
+    }
+
+    #[test]
+    fn recovery_steps_over_bad_holes() {
+        let mut s = ChunkStore::new(5, 1);
+        s.mark_bad_block(2);
+        for n in 0..4 {
+            s.push_back(chunk(n)).unwrap(); // lands on 0,1,3,4
+        }
+        let (flash, eeprom) = s.into_parts();
+        let r = ChunkStore::recover(flash, eeprom, 1);
+        assert_eq!(r.capacity(), 4, "recovered store inherits the bad map");
+        let origins: Vec<u16> = r.iter().map(|c| c.meta.origin.0).collect();
+        assert_eq!(origins, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn recovery_distrusts_data_on_late_marked_bad_block() {
+        let mut s = ChunkStore::new(4, 1);
+        for n in 0..3 {
+            s.push_back(chunk(n)).unwrap();
+        }
+        // The block holding chunk 1 degrades after the write.
+        s.mark_bad_block(1);
+        let (flash, eeprom) = s.into_parts();
+        let r = ChunkStore::recover(flash, eeprom, 1);
+        let origins: Vec<u16> = r.iter().map(|c| c.meta.origin.0).collect();
+        assert_eq!(origins, vec![0, 2], "hole stepped over, neighbours kept");
     }
 }

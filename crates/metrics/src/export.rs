@@ -139,6 +139,11 @@ pub fn write_csv<W: Write>(trace: &Trace, mut out: W) -> io::Result<()> {
             TraceEvent::SourceStopped { source, .. } => {
                 format!("{t:.4},source_stopped,,,,,,,{source}")
             }
+            TraceEvent::FaultInjected { kind, node, .. } => format!(
+                "{t:.4},fault,{},,,,,,{}",
+                node.map(|n| n.0.to_string()).unwrap_or_default(),
+                esc(kind)
+            ),
         };
         writeln!(out, "{row}")?;
     }

@@ -104,6 +104,21 @@ pub trait Application {
         let _ = ctx;
     }
 
+    /// The node rebooted: RAM state is gone but non-volatile storage
+    /// (flash, EEPROM) survived. Invoked *instead of* [`Application::on_start`]
+    /// on rejoin; implementations should reset volatile protocol state and
+    /// recover what they can from persistent storage (§VI: defunct motes
+    /// rejoin with their flash contents intact).
+    fn on_reboot(&mut self, ctx: &mut dyn Runtime) {
+        let _ = ctx;
+    }
+
+    /// The backend injected a bad block into the node's flash: from now on
+    /// writes to `block` fail and the store must remap around it.
+    fn on_flash_bad_block(&mut self, ctx: &mut dyn Runtime, block: u32) {
+        let _ = (ctx, block);
+    }
+
     /// Upcast for post-run inspection (e.g. `World::app_as`).
     ///
     /// Implement as `fn as_any(&self) -> &dyn Any { self }`.

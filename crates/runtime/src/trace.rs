@@ -176,6 +176,20 @@ pub enum TraceEvent {
         /// Deactivation time.
         t: SimTime,
     },
+    /// Ground-truth: a scheduled fault fired (backend-emitted).
+    ///
+    /// Faults are part of the scenario, not the protocol, so the record
+    /// carries only the fault kind and (when scoped to one node) the
+    /// afflicted node; analysis correlates protocol behaviour against
+    /// these markers.
+    FaultInjected {
+        /// Fault kind (e.g. `"CRASH"`, `"REBOOT"`, `"BLACKOUT_START"`).
+        kind: &'static str,
+        /// Afflicted node, when the fault is node-scoped.
+        node: Option<NodeId>,
+        /// Injection time (global clock).
+        t: SimTime,
+    },
 }
 
 impl TraceEvent {
@@ -194,7 +208,8 @@ impl TraceEvent {
             | TraceEvent::LeaderElected { t, .. }
             | TraceEvent::Occupancy { t, .. }
             | TraceEvent::SourceStarted { t, .. }
-            | TraceEvent::SourceStopped { t, .. } => t,
+            | TraceEvent::SourceStopped { t, .. }
+            | TraceEvent::FaultInjected { t, .. } => t,
         }
     }
 }
@@ -375,6 +390,11 @@ mod tests {
             },
             TraceEvent::SourceStopped {
                 source: SourceId(1),
+                t,
+            },
+            TraceEvent::FaultInjected {
+                kind: "CRASH",
+                node: Some(NodeId(0)),
                 t,
             },
         ];

@@ -36,6 +36,34 @@ impl Default for RadioConfig {
     }
 }
 
+impl RadioConfig {
+    /// Checks the parameters for physical plausibility.
+    ///
+    /// `loss_prob` is accepted over the *inclusive* range `[0.0, 1.0]`:
+    /// a probability of exactly 1.0 is a legitimate configuration — it
+    /// models a total radio blackout, the same condition the fault
+    /// engine's `RadioBlackout` imposes temporarily.
+    ///
+    /// # Errors
+    ///
+    /// Describes the first offending field.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.range_ft.is_nan() || self.range_ft <= 0.0 {
+            return Err(format!("radio range_ft {} must be positive", self.range_ft));
+        }
+        if !(0.0..=1.0).contains(&self.loss_prob) {
+            return Err(format!(
+                "radio loss_prob {} outside [0.0, 1.0]",
+                self.loss_prob
+            ));
+        }
+        if self.bitrate_bps == 0 {
+            return Err("radio bitrate_bps must be positive".to_owned());
+        }
+        Ok(())
+    }
+}
+
 /// Acoustic field parameters.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct AcousticsConfig {
@@ -135,6 +163,15 @@ impl WorldConfig {
             ..WorldConfig::default()
         }
     }
+
+    /// Checks the configuration for physical plausibility.
+    ///
+    /// # Errors
+    ///
+    /// Describes the first offending field.
+    pub fn validate(&self) -> Result<(), String> {
+        self.radio.validate()
+    }
 }
 
 #[cfg(test)]
@@ -145,9 +182,37 @@ mod tests {
     fn defaults_are_sane() {
         let c = WorldConfig::default();
         assert!(c.radio.range_ft > 0.0);
-        assert!((0.0..1.0).contains(&c.radio.loss_prob));
+        assert!((0.0..=1.0).contains(&c.radio.loss_prob));
         assert!(c.energy.battery_mj > 0.0);
         assert!(c.acoustics.level_update_period > SimDuration::ZERO);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn total_loss_is_a_valid_configuration() {
+        // Regression pin: the accepted range is inclusive of 1.0 — total
+        // blackout is a legitimate (fault-mode) configuration, and must
+        // not be rejected as out of range.
+        let mut c = WorldConfig::default();
+        c.radio.loss_prob = 1.0;
+        assert!(c.validate().is_ok(), "loss_prob == 1.0 must validate");
+        c.radio.loss_prob = 0.0;
+        assert!(c.validate().is_ok(), "loss_prob == 0.0 must validate");
+    }
+
+    #[test]
+    fn validate_rejects_out_of_range_fields() {
+        let mut c = WorldConfig::default();
+        c.radio.loss_prob = 1.0000001;
+        assert!(c.validate().is_err());
+        c.radio.loss_prob = -0.1;
+        assert!(c.validate().is_err());
+        c.radio.loss_prob = 0.5;
+        c.radio.range_ft = 0.0;
+        assert!(c.validate().is_err());
+        c.radio.range_ft = 3.0;
+        c.radio.bitrate_bps = 0;
+        assert!(c.validate().is_err());
     }
 
     #[test]

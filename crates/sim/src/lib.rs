@@ -53,6 +53,7 @@
 
 pub mod acoustics;
 mod config;
+pub mod faults;
 pub mod mote;
 pub mod queue;
 pub mod rng;
@@ -64,4 +65,5 @@ pub use enviromic_runtime::{
     Application, AudioBlock, DropReason, RecordKind, Runtime, StorageOccupancy, Timer, TimerHandle,
     Trace, TraceEvent,
 };
+pub use faults::{FaultEvent, FaultPlan, FaultScope};
 pub use world::{Context, World};

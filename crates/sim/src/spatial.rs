@@ -139,6 +139,18 @@ impl NodeGrid {
         }
     }
 
+    /// Re-admits an evicted node at its build-time position (it rebooted).
+    /// Idempotent. Bucket order is irrelevant: [`NodeGrid::query_sorted`]
+    /// sorts candidates by node index before they are used.
+    pub fn insert(&mut self, node: usize) {
+        if self.node_cell[node] != usize::MAX {
+            return;
+        }
+        let cell = self.cell_index(self.positions[node]);
+        self.cells[cell].push(node as u16);
+        self.node_cell[node] = cell;
+    }
+
     /// True while the node is present (i.e. alive).
     #[must_use]
     pub fn contains(&self, node: usize) -> bool {
@@ -366,6 +378,11 @@ mod tests {
         assert!(!grid.contains(1));
         grid.query_sorted(Position::new(0.0, 0.0), 5.0, &mut out);
         assert_eq!(out, vec![0, 2]);
+        grid.insert(1); // rebooted
+        grid.insert(1); // idempotent
+        assert!(grid.contains(1));
+        grid.query_sorted(Position::new(0.0, 0.0), 5.0, &mut out);
+        assert_eq!(out, vec![0, 1, 2]);
     }
 
     #[test]

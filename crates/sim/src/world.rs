@@ -3,6 +3,7 @@
 
 use crate::acoustics::{AcousticField, SourceSpec};
 use crate::config::WorldConfig;
+use crate::faults::{FaultEvent, FaultPlan, FaultScope};
 use crate::queue::EventQueue;
 use crate::rng::RngStreams;
 use crate::spatial::{AudibleIndex, NodeGrid};
@@ -39,6 +40,21 @@ enum Ev {
         source: crate::acoustics::SourceId,
         started: bool,
     },
+    Fault(FaultAction),
+}
+
+/// A scheduled fault, resolved from a [`FaultPlan`] at injection time.
+/// Window faults split into start/end actions; scopes resolve against the
+/// (immutable) node positions when the action fires.
+#[derive(Debug)]
+enum FaultAction {
+    Crash { node: NodeId },
+    Reboot { node: NodeId },
+    BlackoutStart { scope: FaultScope },
+    BlackoutEnd { scope: FaultScope },
+    DegradeStart { loss_prob: f64 },
+    DegradeEnd { loss_prob: f64 },
+    BadBlock { node: NodeId, block: u32 },
 }
 
 /// Per-node physical state.
@@ -57,6 +73,9 @@ struct NodeSlot {
     last_energy_update: SimTime,
     /// Active recording session id, if sampling.
     session: Option<ActiveSession>,
+    /// Number of active radio blackouts covering this node (overlapping
+    /// windows nest); the radio is dead while this is non-zero.
+    blackout_depth: u32,
     rng: SmallRng,
     audio_rng: SmallRng,
 }
@@ -79,6 +98,7 @@ struct SimMetrics {
     /// and out-of-neighborhood nodes never count here).
     delivery_candidates: Counter,
     timers_fired: Counter,
+    faults_injected: Counter,
     dispatch_us: Histogram,
 }
 
@@ -91,6 +111,7 @@ impl SimMetrics {
             packets_blocked_rx: reg.counter("sim.packets.blocked_rx"),
             delivery_candidates: reg.counter("sim.delivery.candidates"),
             timers_fired: reg.counter("sim.timers.fired"),
+            faults_injected: reg.counter("sim.faults.injected"),
             dispatch_us: reg.histogram("sim.dispatch_us"),
         }
     }
@@ -123,6 +144,10 @@ struct Inner {
     deliver_scratch: Vec<u16>,
     /// Scratch for per-block candidate source indices.
     block_sources: Vec<u32>,
+    /// Loss probabilities of the currently active link-degrade faults; the
+    /// effective loss is the max of these and the configured base loss.
+    /// Empty in fault-free runs, so the baseline loss draw is untouched.
+    active_degrades: Vec<f64>,
 }
 
 /// The simulated world.
@@ -174,6 +199,7 @@ impl World {
                 audible: None,
                 deliver_scratch: Vec::new(),
                 block_sources: Vec::new(),
+                active_degrades: Vec::new(),
             },
             apps: Vec::new(),
             started: false,
@@ -216,6 +242,7 @@ impl World {
             energy_mj: self.inner.cfg.energy.battery_mj,
             last_energy_update: SimTime::ZERO,
             session: None,
+            blackout_depth: 0,
             rng: self.inner.streams.stream("node", idx as u64),
             audio_rng: self.inner.streams.stream("audio", idx as u64),
         });
@@ -244,6 +271,71 @@ impl World {
             },
         );
         self.inner.field.add_source(spec)
+    }
+
+    /// Schedules every fault in `plan` on the event queue.
+    ///
+    /// Call after the last [`World::add_node`] and before the first
+    /// [`World::run_until`]: fault actions then hold fixed queue sequence
+    /// numbers, which is what keeps per-seed traces bit-identical no
+    /// matter how many sweep workers run alongside. Injecting an empty
+    /// plan schedules nothing and leaves the run byte-for-byte identical
+    /// to one without fault injection.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`FaultPlan::validate`] failures (no faults are
+    /// scheduled then).
+    ///
+    /// # Panics
+    ///
+    /// Panics if called after the simulation has started running.
+    pub fn inject_faults(&mut self, plan: &FaultPlan) -> Result<(), String> {
+        assert!(
+            !self.started,
+            "faults must be injected before the world runs"
+        );
+        plan.validate(self.inner.nodes.len())?;
+        for e in plan.events() {
+            match *e {
+                FaultEvent::NodeCrash { at, node } => {
+                    self.inner
+                        .queue
+                        .schedule(at, Ev::Fault(FaultAction::Crash { node }));
+                }
+                FaultEvent::NodeReboot { at, node } => {
+                    self.inner
+                        .queue
+                        .schedule(at, Ev::Fault(FaultAction::Reboot { node }));
+                }
+                FaultEvent::RadioBlackout { from, until, scope } => {
+                    self.inner
+                        .queue
+                        .schedule(from, Ev::Fault(FaultAction::BlackoutStart { scope }));
+                    self.inner
+                        .queue
+                        .schedule(until, Ev::Fault(FaultAction::BlackoutEnd { scope }));
+                }
+                FaultEvent::LinkDegrade {
+                    from,
+                    until,
+                    loss_prob,
+                } => {
+                    self.inner
+                        .queue
+                        .schedule(from, Ev::Fault(FaultAction::DegradeStart { loss_prob }));
+                    self.inner
+                        .queue
+                        .schedule(until, Ev::Fault(FaultAction::DegradeEnd { loss_prob }));
+                }
+                FaultEvent::FlashBadBlock { at, node, block } => {
+                    self.inner
+                        .queue
+                        .schedule(at, Ev::Fault(FaultAction::BadBlock { node, block }));
+                }
+            }
+        }
+        Ok(())
     }
 
     /// Number of nodes in the world.
@@ -453,9 +545,13 @@ impl World {
             }
             Ev::Deliver { to, from, bytes } => {
                 let slot = &self.inner.nodes[to.index()];
-                if !slot.alive || !slot.radio_on || slot.session.is_some() {
-                    // Radio off (or the CPU is saturated by sampling):
-                    // the packet is lost to this receiver.
+                if !slot.alive
+                    || !slot.radio_on
+                    || slot.session.is_some()
+                    || slot.blackout_depth > 0
+                {
+                    // Radio off, CPU saturated by sampling, or a blackout
+                    // fault covers the receiver: the packet is lost to it.
                     self.inner.metrics.packets_blocked_rx.inc();
                     return;
                 }
@@ -521,7 +617,69 @@ impl World {
                     TraceEvent::SourceStopped { source, t }
                 });
             }
+            Ev::Fault(action) => self.apply_fault(action),
         }
+    }
+
+    /// Applies one scheduled fault. The `FaultInjected` marker is emitted
+    /// unconditionally (the fault *fired*); the state change itself may be
+    /// a no-op (e.g. rebooting a node that never crashed).
+    fn apply_fault(&mut self, action: FaultAction) {
+        let t = self.inner.now;
+        self.inner.metrics.faults_injected.inc();
+        let mark = |inner: &mut Inner, kind: &'static str, node: Option<NodeId>| {
+            inner
+                .trace
+                .push(TraceEvent::FaultInjected { kind, node, t });
+        };
+        match action {
+            FaultAction::Crash { node } => {
+                mark(&mut self.inner, "CRASH", Some(node));
+                self.inner.crash(node);
+            }
+            FaultAction::Reboot { node } => {
+                mark(&mut self.inner, "REBOOT", Some(node));
+                if self.inner.reboot(node) {
+                    self.with_app(node, |app, ctx| app.on_reboot(ctx));
+                }
+            }
+            FaultAction::BlackoutStart { scope } => {
+                mark(&mut self.inner, "BLACKOUT_START", scope_node(scope));
+                self.inner.set_blackout(scope, true);
+            }
+            FaultAction::BlackoutEnd { scope } => {
+                mark(&mut self.inner, "BLACKOUT_END", scope_node(scope));
+                self.inner.set_blackout(scope, false);
+            }
+            FaultAction::DegradeStart { loss_prob } => {
+                mark(&mut self.inner, "DEGRADE_START", None);
+                self.inner.active_degrades.push(loss_prob);
+            }
+            FaultAction::DegradeEnd { loss_prob } => {
+                mark(&mut self.inner, "DEGRADE_END", None);
+                if let Some(i) = self
+                    .inner
+                    .active_degrades
+                    .iter()
+                    .position(|&l| l == loss_prob)
+                {
+                    self.inner.active_degrades.swap_remove(i);
+                }
+            }
+            FaultAction::BadBlock { node, block } => {
+                mark(&mut self.inner, "FLASH_BAD_BLOCK", Some(node));
+                self.with_app(node, |app, ctx| app.on_flash_bad_block(ctx, block));
+            }
+        }
+    }
+}
+
+/// The node a scope names, for the trace marker (region and all-node
+/// scopes mark no single node).
+fn scope_node(scope: FaultScope) -> Option<NodeId> {
+    match scope {
+        FaultScope::Node(n) => Some(n),
+        FaultScope::All | FaultScope::Region { .. } => None,
     }
 }
 
@@ -545,6 +703,59 @@ impl Inner {
         slot.session = None;
         if let Some(grid) = &mut self.grid {
             grid.remove(node.index());
+        }
+    }
+
+    /// Halts `node` without draining its battery (fault injection): RAM
+    /// and radio state are lost, flash survives inside the application.
+    /// Unlike [`Inner::kill`], the remaining energy is preserved so the
+    /// node can reboot later. No-op on an already-dead node.
+    fn crash(&mut self, node: NodeId) {
+        self.integrate_energy(node);
+        let slot = &mut self.nodes[node.index()];
+        if !slot.alive {
+            return;
+        }
+        slot.alive = false;
+        slot.radio_on = false;
+        slot.session = None;
+        if let Some(grid) = &mut self.grid {
+            grid.remove(node.index());
+        }
+    }
+
+    /// Rejoins a crashed node: volatile physical state resets, the spatial
+    /// index re-admits it, and no battery drain accrues for the downtime.
+    /// Returns false (no-op) when the node is alive or out of energy.
+    fn reboot(&mut self, node: NodeId) -> bool {
+        let now = self.now;
+        let slot = &mut self.nodes[node.index()];
+        if slot.alive || slot.energy_mj <= 0.0 {
+            return false;
+        }
+        slot.alive = true;
+        slot.radio_on = true;
+        slot.session = None;
+        slot.last_energy_update = now;
+        if let Some(grid) = &mut self.grid {
+            grid.insert(node.index());
+        }
+        true
+    }
+
+    /// Raises (`start`) or lowers the blackout depth of every node the
+    /// scope covers. Positions are fixed, so region membership is static.
+    fn set_blackout(&mut self, scope: FaultScope, start: bool) {
+        for idx in 0..self.nodes.len() {
+            let pos = self.nodes[idx].pos;
+            if scope.covers(NodeId(idx as u16), pos) {
+                let depth = &mut self.nodes[idx].blackout_depth;
+                *depth = if start {
+                    *depth + 1
+                } else {
+                    depth.saturating_sub(1)
+                };
+            }
         }
     }
 
@@ -747,7 +958,23 @@ impl Runtime for Context<'_> {
 
         let sender_pos = self.inner.nodes[self.node.index()].pos;
         let range = self.inner.cfg.radio.range_ft;
-        let loss = self.inner.cfg.radio.loss_prob;
+        // Fault overlays on the configured loss: a blackout covering the
+        // sender makes every delivery fail (loss 1.0, and gen::<f64>() is
+        // strictly below 1.0, so the draw always loses); active link
+        // degrades raise the loss to their maximum. Fault-free runs take
+        // the configured value untouched, so the medium RNG consumes the
+        // exact baseline sequence (the golden-digest invariant).
+        let base = self.inner.cfg.radio.loss_prob;
+        let degraded = self
+            .inner
+            .active_degrades
+            .iter()
+            .fold(base, |acc, &l| acc.max(l));
+        let loss = if self.inner.nodes[self.node.index()].blackout_depth > 0 {
+            1.0
+        } else {
+            degraded
+        };
         // Spatial index: only the 3×3 cell neighborhood of the sender is
         // examined instead of every node. Candidates come back sorted by
         // node index *before* any loss draw, so `medium_rng` consumes
@@ -1213,6 +1440,225 @@ mod tests {
             w.app_as::<Probe>(n).unwrap().levels.clone()
         };
         assert_ne!(sample(42), sample(43));
+    }
+
+    /// Records packets, reboots, and bad-block notifications.
+    #[derive(Default)]
+    struct FaultProbe {
+        packets: Vec<(NodeId, Vec<u8>)>,
+        reboots: u32,
+        bad_blocks: Vec<u32>,
+    }
+    impl Application for FaultProbe {
+        fn on_packet(&mut self, _ctx: &mut dyn Runtime, from: NodeId, bytes: &[u8]) {
+            self.packets.push((from, bytes.to_vec()));
+        }
+        fn on_reboot(&mut self, _ctx: &mut dyn Runtime) {
+            self.reboots += 1;
+        }
+        fn on_flash_bad_block(&mut self, _ctx: &mut dyn Runtime, block: u32) {
+            self.bad_blocks.push(block);
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    /// Broadcasts one `PING` at each scheduled second.
+    struct Pinger(Vec<f64>);
+    impl Application for Pinger {
+        fn on_start(&mut self, ctx: &mut dyn Runtime) {
+            for (i, &s) in self.0.iter().enumerate() {
+                ctx.set_timer(SimDuration::from_secs_f64(s), i as u32);
+            }
+        }
+        fn on_timer(&mut self, ctx: &mut dyn Runtime, timer: Timer) {
+            ctx.broadcast("PING", vec![timer.token as u8].into());
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    fn secs(s: f64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_secs_f64(s)
+    }
+
+    #[test]
+    fn empty_fault_plan_is_bit_identical_to_no_injection() {
+        let run = |inject: bool| {
+            let mut w = World::new(WorldConfig::with_seed(77));
+            w.add_node(Position::new(0.0, 0.0), Box::new(Chatter));
+            w.add_node(Position::new(1.0, 0.0), Box::new(Chatter));
+            if inject {
+                w.inject_faults(&FaultPlan::new()).unwrap();
+            }
+            w.run_for_secs(2.0);
+            w.trace().digest()
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn crash_silences_node_and_reboot_restores_it() {
+        let mut w = World::new(quiet_cfg(21));
+        let _tx = w.add_node(Position::new(0.0, 0.0), Box::new(Pinger(vec![1.0, 2.0])));
+        let rx = w.add_node(Position::new(1.0, 0.0), Box::new(FaultProbe::default()));
+        let plan = FaultPlan::new()
+            .with(FaultEvent::NodeCrash {
+                at: secs(0.5),
+                node: rx,
+            })
+            .with(FaultEvent::NodeReboot {
+                at: secs(1.5),
+                node: rx,
+            });
+        w.inject_faults(&plan).unwrap();
+        w.run_for_secs(3.0);
+        let probe = w.app_as::<FaultProbe>(rx).unwrap();
+        assert_eq!(probe.reboots, 1, "reboot callback delivered once");
+        assert_eq!(
+            probe.packets.len(),
+            1,
+            "only the post-reboot ping arrives: {:?}",
+            probe.packets
+        );
+        assert_eq!(probe.packets[0].1, vec![1], "it is the second ping");
+        assert!(w.energy_of(rx) > 0.0, "crash preserves the battery");
+        let kinds: Vec<&str> = w
+            .trace()
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::FaultInjected { kind, .. } => Some(*kind),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(kinds, vec!["CRASH", "REBOOT"]);
+    }
+
+    #[test]
+    fn reboot_without_crash_or_energy_is_a_noop() {
+        let mut cfg = quiet_cfg(22);
+        cfg.energy.battery_mj = 50.0;
+        cfg.energy.idle_mw = 0.0;
+        cfg.energy.radio_listen_mw = 100.0; // dead at t = 0.5 s
+        let mut w = World::new(cfg);
+        let a = w.add_node(Position::new(0.0, 0.0), Box::new(FaultProbe::default()));
+        let b = w.add_node(Position::new(50.0, 0.0), Box::new(FaultProbe::default()));
+        let plan = FaultPlan::new()
+            .with(FaultEvent::NodeReboot {
+                at: secs(0.2),
+                node: a, // alive: no-op
+            })
+            .with(FaultEvent::NodeReboot {
+                at: secs(1.0),
+                node: b, // battery exhausted: no-op
+            });
+        w.inject_faults(&plan).unwrap();
+        w.run_for_secs(2.0);
+        assert_eq!(w.app_as::<FaultProbe>(a).unwrap().reboots, 0);
+        assert_eq!(w.app_as::<FaultProbe>(b).unwrap().reboots, 0);
+        assert_eq!(w.energy_of(b), 0.0);
+    }
+
+    #[test]
+    fn blackout_window_blocks_and_then_releases_traffic() {
+        let mut w = World::new(quiet_cfg(23));
+        let _tx = w.add_node(Position::new(0.0, 0.0), Box::new(Pinger(vec![1.0, 3.0])));
+        let rx = w.add_node(Position::new(1.0, 0.0), Box::new(FaultProbe::default()));
+        let plan = FaultPlan::new().with(FaultEvent::RadioBlackout {
+            from: secs(0.5),
+            until: secs(2.0),
+            scope: FaultScope::All,
+        });
+        w.inject_faults(&plan).unwrap();
+        w.run_for_secs(4.0);
+        let probe = w.app_as::<FaultProbe>(rx).unwrap();
+        assert_eq!(probe.packets.len(), 1, "in-blackout ping lost");
+        assert_eq!(probe.packets[0].1, vec![1], "post-blackout ping arrives");
+        assert!(
+            w.telemetry().counter("sim.packets.lost").get() >= 1,
+            "the blacked-out send counts as lost"
+        );
+    }
+
+    #[test]
+    fn region_blackout_only_covers_nodes_inside() {
+        let mut w = World::new(quiet_cfg(24));
+        let _tx = w.add_node(Position::new(0.0, 0.0), Box::new(Pinger(vec![1.0])));
+        let near = w.add_node(Position::new(1.0, 0.0), Box::new(FaultProbe::default()));
+        let far = w.add_node(Position::new(2.5, 0.0), Box::new(FaultProbe::default()));
+        // Covers the receiver at x = 2.5 but neither the sender nor the
+        // near receiver.
+        let plan = FaultPlan::new().with(FaultEvent::RadioBlackout {
+            from: secs(0.5),
+            until: secs(2.0),
+            scope: FaultScope::Region {
+                center: Position::new(2.5, 0.0),
+                radius_ft: 0.5,
+            },
+        });
+        w.inject_faults(&plan).unwrap();
+        w.run_for_secs(3.0);
+        assert_eq!(w.app_as::<FaultProbe>(near).unwrap().packets.len(), 1);
+        assert!(
+            w.app_as::<FaultProbe>(far).unwrap().packets.is_empty(),
+            "blacked-out receiver heard a ping"
+        );
+    }
+
+    #[test]
+    fn full_link_degrade_loses_everything_in_window() {
+        let mut w = World::new(quiet_cfg(25));
+        let _tx = w.add_node(Position::new(0.0, 0.0), Box::new(Pinger(vec![1.0, 3.0])));
+        let rx = w.add_node(Position::new(1.0, 0.0), Box::new(FaultProbe::default()));
+        let plan = FaultPlan::new().with(FaultEvent::LinkDegrade {
+            from: secs(0.5),
+            until: secs(2.0),
+            loss_prob: 1.0,
+        });
+        w.inject_faults(&plan).unwrap();
+        w.run_for_secs(4.0);
+        let probe = w.app_as::<FaultProbe>(rx).unwrap();
+        assert_eq!(probe.packets.len(), 1, "only the post-window ping lands");
+        assert_eq!(probe.packets[0].1, vec![1]);
+    }
+
+    #[test]
+    fn bad_block_notification_reaches_the_application() {
+        let mut w = World::new(quiet_cfg(26));
+        let n = w.add_node(Position::new(0.0, 0.0), Box::new(FaultProbe::default()));
+        let plan = FaultPlan::new().with(FaultEvent::FlashBadBlock {
+            at: secs(1.0),
+            node: n,
+            block: 3,
+        });
+        w.inject_faults(&plan).unwrap();
+        w.run_for_secs(2.0);
+        assert_eq!(w.app_as::<FaultProbe>(n).unwrap().bad_blocks, vec![3]);
+        assert_eq!(w.telemetry().counter("sim.faults.injected").get(), 1);
+    }
+
+    #[test]
+    fn invalid_plan_is_rejected_before_scheduling() {
+        let mut w = World::new(quiet_cfg(27));
+        w.add_node(Position::new(0.0, 0.0), Box::new(FaultProbe::default()));
+        let plan = FaultPlan::new().with(FaultEvent::NodeCrash {
+            at: secs(1.0),
+            node: NodeId(5),
+        });
+        assert!(w.inject_faults(&plan).is_err());
+        w.run_for_secs(1.0);
+        assert!(w
+            .trace()
+            .iter()
+            .all(|e| !matches!(e, TraceEvent::FaultInjected { .. })));
     }
 
     #[test]

@@ -171,6 +171,7 @@ fn run_seed_sweep(opts: &Options) {
             node_cfg: node_config(&shared),
             world_cfg,
             drain_secs: 20.0,
+            faults: enviromic_sim::FaultPlan::new(),
         }
     });
     let seeds: Vec<u64> = (opts.seed..opts.seed + opts.seeds).collect();

@@ -8,7 +8,7 @@
 
 use enviromic_core::{EnviroMicNode, NodeConfig};
 use enviromic_metrics::Experiment;
-use enviromic_sim::{Trace, World, WorldConfig};
+use enviromic_sim::{FaultPlan, Trace, World, WorldConfig};
 use enviromic_telemetry::TelemetryReport;
 use enviromic_types::{Position, SimDuration};
 use enviromic_workloads::Scenario;
@@ -107,7 +107,28 @@ pub fn run_scenario(
     world_cfg: WorldConfig,
     drain_secs: f64,
 ) -> ExperimentRun {
+    run_scenario_with_faults(scenario, node_cfg, world_cfg, drain_secs, &FaultPlan::new())
+}
+
+/// Like [`run_scenario`], with a schedule of injected faults (crashes,
+/// reboots, blackouts, link degradation, bad flash blocks). An empty plan
+/// is bit-identical to [`run_scenario`].
+///
+/// # Panics
+///
+/// Panics when the scenario or the fault plan is invalid.
+#[must_use]
+pub fn run_scenario_with_faults(
+    scenario: Scenario,
+    node_cfg: &NodeConfig,
+    world_cfg: WorldConfig,
+    drain_secs: f64,
+    faults: &FaultPlan,
+) -> ExperimentRun {
     let mut world = build_world(&scenario, node_cfg, world_cfg);
+    world
+        .inject_faults(faults)
+        .unwrap_or_else(|e| panic!("invalid fault plan: {e}"));
     let end = scenario.end() + SimDuration::from_secs_f64(drain_secs);
     world.run_until(end);
     world.finish();

@@ -25,10 +25,13 @@
 //! assert_eq!(serial.digests(), pooled.digests());
 //! ```
 
-use crate::harness::{forest_world_config, indoor_world_config, run_scenario, ExperimentRun};
+use crate::harness::{
+    forest_world_config, indoor_world_config, run_scenario_with_faults, ExperimentRun,
+};
 use enviromic_core::{Mode, NodeConfig};
-use enviromic_sim::WorldConfig;
+use enviromic_sim::{FaultPlan, WorldConfig};
 use enviromic_telemetry::TelemetryReport;
+use enviromic_types::SimDuration;
 use enviromic_workloads::{
     forest_scenario, indoor_scenario, mobile_scenario, ForestParams, IndoorParams, MobileParams,
     Scenario,
@@ -49,6 +52,9 @@ pub struct JobInput {
     pub world_cfg: WorldConfig,
     /// Quiet time appended after the scenario for in-flight transfers.
     pub drain_secs: f64,
+    /// Scheduled fault injections (empty for fault-free points). Must be
+    /// derived purely from the job's seed, like everything else here.
+    pub faults: FaultPlan,
 }
 
 /// One named point of the sweep grid (a scenario plus its configuration).
@@ -104,6 +110,7 @@ impl ScenarioSpec {
                 node_cfg: NodeConfig::default().with_mode(Mode::Full),
                 world_cfg: indoor_world_config(seed),
                 drain_secs: 5.0,
+                faults: FaultPlan::new(),
             }
         })
     }
@@ -120,6 +127,7 @@ impl ScenarioSpec {
             node_cfg: NodeConfig::default().with_mode(Mode::Full),
             world_cfg: indoor_world_config(seed),
             drain_secs: 5.0,
+            faults: FaultPlan::new(),
         })
     }
 
@@ -137,6 +145,60 @@ impl ScenarioSpec {
                 node_cfg: NodeConfig::default().with_mode(Mode::Full),
                 world_cfg: forest_world_config(seed),
                 drain_secs: 5.0,
+                faults: FaultPlan::new(),
+            }
+        })
+    }
+
+    /// The chaos indoor point: the quick-indoor workload with a
+    /// seed-derived [`FaultPlan::chaos`] schedule injected — node crashes
+    /// with later reboots, a radio blackout window, a link-degradation
+    /// window, and bad flash blocks. Same determinism contract as every
+    /// other point: the plan is a pure function of the seed.
+    #[must_use]
+    pub fn chaos_indoor(duration_secs: f64) -> ScenarioSpec {
+        ScenarioSpec::new("chaos-indoor", move |seed| {
+            let params = IndoorParams {
+                duration_secs,
+                ..IndoorParams::default()
+            };
+            let scenario = indoor_scenario(&params, seed);
+            let faults = FaultPlan::chaos(
+                seed,
+                scenario.topology.positions().len(),
+                SimDuration::from_secs_f64(duration_secs),
+            );
+            JobInput {
+                scenario,
+                node_cfg: NodeConfig::default().with_mode(Mode::Full),
+                world_cfg: indoor_world_config(seed),
+                drain_secs: 5.0,
+                faults,
+            }
+        })
+    }
+
+    /// The chaos forest point: the quick-forest workload under a
+    /// seed-derived [`FaultPlan::chaos`] schedule.
+    #[must_use]
+    pub fn chaos_forest(duration_secs: f64) -> ScenarioSpec {
+        ScenarioSpec::new("chaos-forest", move |seed| {
+            let params = ForestParams {
+                duration_secs,
+                ..ForestParams::default()
+            };
+            let scenario = forest_scenario(&params, seed);
+            let faults = FaultPlan::chaos(
+                seed,
+                scenario.topology.positions().len(),
+                SimDuration::from_secs_f64(duration_secs),
+            );
+            JobInput {
+                scenario,
+                node_cfg: NodeConfig::default().with_mode(Mode::Full),
+                world_cfg: forest_world_config(seed),
+                drain_secs: 5.0,
+                faults,
             }
         })
     }
@@ -175,6 +237,20 @@ impl SweepPlan {
         )
     }
 
+    /// The chaos sweep: the quick grid with seed-derived fault schedules
+    /// injected (`sweep --chaos`). CI diffs its digests across worker
+    /// counts exactly like the fault-free grid.
+    #[must_use]
+    pub fn chaos(seeds: Vec<u64>) -> Self {
+        SweepPlan::new(
+            seeds,
+            vec![
+                ScenarioSpec::chaos_indoor(120.0),
+                ScenarioSpec::chaos_forest(120.0),
+            ],
+        )
+    }
+
     /// Rebuilds every scenario point at a different duration (only
     /// meaningful for plans built from the stock quick points).
     #[must_use]
@@ -185,6 +261,8 @@ impl SweepPlan {
             .map(|s| match s.label.as_str() {
                 "quick-indoor" => ScenarioSpec::quick_indoor(duration_secs),
                 "quick-forest" => ScenarioSpec::quick_forest(duration_secs),
+                "chaos-indoor" => ScenarioSpec::chaos_indoor(duration_secs),
+                "chaos-forest" => ScenarioSpec::chaos_forest(duration_secs),
                 _ => s.clone(),
             })
             .collect();
@@ -361,11 +439,12 @@ struct SweepJob {
 fn execute(job: &SweepJob) -> JobOutcome {
     let started = Instant::now();
     let input = job.spec.build(job.seed);
-    let run = run_scenario(
+    let run = run_scenario_with_faults(
         input.scenario,
         &input.node_cfg,
         input.world_cfg,
         input.drain_secs,
+        &input.faults,
     );
     JobOutcome {
         label: job.spec.label.clone(),
@@ -508,6 +587,24 @@ mod tests {
         let rendered = summary.render();
         assert!(rendered.contains("quick-indoor"));
         assert!(rendered.contains("workers"));
+    }
+
+    #[test]
+    fn chaos_sweep_is_bit_identical_across_worker_counts() {
+        let plan = SweepPlan::chaos(vec![3, 4]).with_duration(20.0);
+        let serial = run_sweep(&plan, 1);
+        let pooled = run_sweep(&plan, 4);
+        assert_eq!(serial.digests(), pooled.digests());
+        assert_eq!(serial.aggregate.counters, pooled.aggregate.counters);
+        // The chaos plans actually did something in every job.
+        for job in &serial.jobs {
+            let faults = job
+                .run
+                .telemetry
+                .counter("sim.faults.injected")
+                .unwrap_or(0);
+            assert!(faults > 0, "{}/{} injected no faults", job.label, job.seed);
+        }
     }
 
     #[test]
