@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! repro [FIGURE ...] [--seed N] [--quick] [--jobs N] [-q | --verbose]
-//!       [--telemetry-out PATH]
+//!       [--telemetry-out PATH] [--timeline SECS] [--timeline-out PATH]
 //!
 //! FIGURE: fig3 fig6 fig7 fig8 fig10 fig11 fig12 fig13 fig14
 //!         fig16 fig17 fig18 headline all    (default: all)
@@ -13,6 +13,11 @@
 //! -v / --verbose       extra detail + print the telemetry dashboard
 //! --telemetry-out PATH telemetry JSON destination
 //!                      (default target/telemetry/repro.json)
+//! --timeline SECS      also run a quick-indoor capture with a sim-time
+//!                      metric timeline sampled every SECS and dump it
+//!                      (events + timeline) for the `trace` explorer
+//! --timeline-out PATH  capture dump destination
+//!                      (default target/telemetry/repro_timeline.json)
 //! ```
 //!
 //! Each figure prints the same rows/series the paper plots; EXPERIMENTS.md
@@ -22,6 +27,7 @@
 //! perf work a machine-readable baseline per invocation.
 
 use enviromic::metrics::render_series;
+use enviromic::observe::{DumpFile, RunDump};
 use enviromic_bench::{ablation, fig03, fig06, fig08, indoor, outdoor};
 use enviromic_telemetry::{log, log_info, log_warn, Registry, TelemetryReport};
 use std::collections::BTreeSet;
@@ -32,6 +38,8 @@ struct Options {
     quick: bool,
     jobs: usize,
     telemetry_out: String,
+    timeline: Option<f64>,
+    timeline_out: String,
 }
 
 /// Default worker count: one per available core.
@@ -47,6 +55,8 @@ fn parse_args() -> Options {
     let mut quiet = false;
     let mut verbose = false;
     let mut telemetry_out = String::from("target/telemetry/repro.json");
+    let mut timeline = None;
+    let mut timeline_out = String::from("target/telemetry/repro_timeline.json");
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -75,11 +85,24 @@ fn parse_args() -> Options {
                     std::process::exit(2);
                 });
             }
+            "--timeline" => {
+                timeline = Some(args.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| {
+                    log_warn!("--timeline expects seconds");
+                    std::process::exit(2);
+                }));
+            }
+            "--timeline-out" => {
+                timeline_out = args.next().unwrap_or_else(|| {
+                    log_warn!("--timeline-out expects a path");
+                    std::process::exit(2);
+                });
+            }
             "--help" | "-h" => {
                 println!(
                     "usage: repro [fig3 fig6 fig7 fig8 fig10 fig11 fig12 fig13 fig14 \
                      fig16 fig17 fig18 headline ablation all] [--seed N] [--quick] \
-                     [--jobs N] [-q|--quiet] [-v|--verbose] [--telemetry-out PATH]"
+                     [--jobs N] [-q|--quiet] [-v|--verbose] [--telemetry-out PATH] \
+                     [--timeline SECS] [--timeline-out PATH]"
                 );
                 std::process::exit(0);
             }
@@ -103,6 +126,43 @@ fn parse_args() -> Options {
         quick,
         jobs,
         telemetry_out,
+        timeline,
+        timeline_out,
+    }
+}
+
+/// `--timeline SECS`: a dedicated quick-indoor capture run with sim-time
+/// sampling on, dumped (events + timeline) for the `trace` explorer.
+fn run_timeline_capture(opts: &Options, registry: &Registry) {
+    use enviromic::core::{Mode, NodeConfig};
+    use enviromic::harness::{indoor_world_config, run_scenario};
+    use enviromic::types::SimDuration;
+    use enviromic::workloads::{indoor_scenario, IndoorParams};
+
+    let Some(secs) = opts.timeline else { return };
+    let _phase = registry.span("timeline-capture");
+    log_info!("[repro] timeline capture: quick-indoor 120s, sampled every {secs:.1}s...");
+    let params = IndoorParams {
+        duration_secs: 120.0,
+        ..IndoorParams::default()
+    };
+    let scenario = indoor_scenario(&params, opts.seed);
+    let cfg = NodeConfig::default().with_mode(Mode::Full);
+    let mut wcfg = indoor_world_config(opts.seed);
+    wcfg.timeline_sample_period = Some(SimDuration::from_secs_f64(secs));
+    let run = run_scenario(scenario, &cfg, wcfg, 5.0);
+    let dump = DumpFile {
+        runs: vec![RunDump::from_run("quick-indoor", opts.seed, &run, true)],
+    };
+    let path = std::path::Path::new(&opts.timeline_out);
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            let _ = std::fs::create_dir_all(parent);
+        }
+    }
+    match std::fs::write(path, dump.to_json()) {
+        Ok(()) => log_info!("[repro] timeline dump written to {}", opts.timeline_out),
+        Err(e) => log_warn!("could not write {}: {e}", opts.timeline_out),
     }
 }
 
@@ -267,6 +327,8 @@ fn main() {
             );
         }
     }
+
+    run_timeline_capture(&opts, &registry);
 
     // Telemetry export: spans + per-setting breakdown from the registry,
     // plus the unprefixed cross-run totals.

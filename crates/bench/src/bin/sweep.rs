@@ -3,7 +3,8 @@
 //! ```text
 //! sweep [--seeds N] [--seed-start S] [--jobs N] [--duration SECS]
 //!       [--scenario indoor|forest|both] [--chaos] [--out PATH]
-//!       [--digests-out PATH] [-q | --verbose]
+//!       [--digests-out PATH] [--timeline SECS] [--timeline-out PATH]
+//!       [-q | --verbose]
 //!
 //! --seeds N            number of consecutive seeds (default 8)
 //! --seed-start S       first seed (default 42, the golden-digest seed)
@@ -17,6 +18,10 @@
 //!                      (default target/bench/BENCH_sweep.json)
 //! --digests-out PATH   also write a "label seed digest events" text table
 //!                      (for CI to diff across worker counts)
+//! --timeline SECS      sample a sim-time metric timeline every SECS in
+//!                      every job (per-seed digests stay bit-identical)
+//! --timeline-out PATH  write the per-job timelines as a `trace`-explorer
+//!                      dump (digest + timeline per run, no event ledger)
 //! ```
 //!
 //! Every job owns its own world, RNG, and telemetry registry, so the
@@ -24,6 +29,7 @@
 //! value — CI runs the same grid at `--jobs 1` and `--jobs 2` and diffs
 //! the `--digests-out` tables to enforce that.
 
+use enviromic::observe::{DumpFile, RunDump};
 use enviromic::sweep::{run_sweep, ScenarioSpec, SweepPlan};
 use enviromic_telemetry::{log, log_info, log_warn};
 
@@ -36,13 +42,15 @@ struct Options {
     chaos: bool,
     out: String,
     digests_out: Option<String>,
+    timeline: Option<f64>,
+    timeline_out: Option<String>,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: sweep [--seeds N] [--seed-start S] [--jobs N] [--duration SECS] \
          [--scenario indoor|forest|both] [--chaos] [--out PATH] [--digests-out PATH] \
-         [-q|--quiet] [-v|--verbose]"
+         [--timeline SECS] [--timeline-out PATH] [-q|--quiet] [-v|--verbose]"
     );
     std::process::exit(2);
 }
@@ -57,6 +65,8 @@ fn parse_args() -> Options {
         chaos: false,
         out: String::from("target/bench/BENCH_sweep.json"),
         digests_out: None,
+        timeline: None,
+        timeline_out: None,
     };
     let mut quiet = false;
     let mut verbose = false;
@@ -77,6 +87,10 @@ fn parse_args() -> Options {
             "--chaos" => opts.chaos = true,
             "--out" => opts.out = value(),
             "--digests-out" => opts.digests_out = Some(value()),
+            "--timeline" => {
+                opts.timeline = Some(value().parse().unwrap_or_else(|_| usage()));
+            }
+            "--timeline-out" => opts.timeline_out = Some(value()),
             "--quiet" | "-q" => quiet = true,
             "--verbose" | "-v" => verbose = true,
             "--help" | "-h" => usage(),
@@ -130,7 +144,10 @@ fn main() {
         }
     };
     let seeds: Vec<u64> = (opts.seed_start..opts.seed_start + opts.seeds).collect();
-    let plan = SweepPlan::new(seeds, scenarios);
+    let mut plan = SweepPlan::new(seeds, scenarios);
+    if let Some(secs) = opts.timeline {
+        plan = plan.with_timeline(secs);
+    }
     log_info!(
         "[sweep] {} seeds x {} scenarios = {} jobs on {} workers ({:.0}s each)...",
         plan.seeds.len(),
@@ -145,6 +162,17 @@ fn main() {
     print!("{}", summary.render());
 
     write_with_parents(&opts.out, &summary.to_json());
+    if let Some(path) = &opts.timeline_out {
+        // Digest + timeline per job; the event ledgers would dwarf the file.
+        let dump = DumpFile {
+            runs: outcome
+                .jobs
+                .iter()
+                .map(|j| RunDump::from_run(&j.label, j.seed, &j.run, false))
+                .collect(),
+        };
+        write_with_parents(path, &dump.to_json());
+    }
     if let Some(path) = &opts.digests_out {
         let mut table = String::new();
         for j in &summary.jobs {

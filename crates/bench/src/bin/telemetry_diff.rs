@@ -1,0 +1,151 @@
+//! `telemetry-diff` — the CI metric regression gate.
+//!
+//! ```text
+//! telemetry-diff --baseline PATH --current PATH [--write] [--self-test]
+//!                [-q | --verbose]
+//!
+//! --baseline PATH   committed TelemetryBaseline JSON (tolerances + report)
+//! --current PATH    the run to judge: a TelemetryReport JSON, or a sweep
+//!                   summary JSON (its aggregate report is used)
+//! --write           (re)capture: wrap --current in the default tolerance
+//!                   policy and write it to --baseline instead of diffing
+//! --self-test       prove the gate can fail: inject drift into the
+//!                   baseline's own report and require it to be caught
+//! ```
+//!
+//! Exits 0 when every metric is inside its tolerance band, 1 on drift (or
+//! a failed self-test), 2 on usage errors. See `gate` module docs for the
+//! band semantics.
+
+use enviromic_bench::gate::{self, TelemetryBaseline};
+use enviromic_telemetry::{log, log_info, TelemetryReport};
+
+struct Options {
+    baseline: String,
+    current: String,
+    write: bool,
+    self_test: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: telemetry-diff --baseline PATH --current PATH [--write] \
+         [--self-test] [-q|--quiet] [-v|--verbose]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Options {
+    let mut opts = Options {
+        baseline: String::new(),
+        current: String::new(),
+        write: false,
+        self_test: false,
+    };
+    let mut quiet = false;
+    let mut verbose = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = || args.next().unwrap_or_else(|| usage());
+        match arg.as_str() {
+            "--baseline" => opts.baseline = value(),
+            "--current" => opts.current = value(),
+            "--write" => opts.write = true,
+            "--self-test" => opts.self_test = true,
+            "--quiet" | "-q" => quiet = true,
+            "--verbose" | "-v" => verbose = true,
+            "--help" | "-h" => usage(),
+            _ => usage(),
+        }
+    }
+    log::init_from_flags(quiet, verbose);
+    if opts.baseline.is_empty() || opts.current.is_empty() {
+        usage();
+    }
+    opts
+}
+
+fn read(path: &str) -> String {
+    std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("telemetry-diff: could not read {path}: {e}");
+        std::process::exit(2);
+    })
+}
+
+/// Accepts either a bare `TelemetryReport` or a sweep summary (any JSON
+/// object with an `aggregate` report field).
+fn parse_current(path: &str, text: &str) -> TelemetryReport {
+    if let Ok(report) = TelemetryReport::from_json(text) {
+        return report;
+    }
+    let fallback = serde::Value::from_json(text)
+        .ok()
+        .and_then(|v| v.get("aggregate").cloned())
+        .and_then(|v| {
+            serde::Deserialize::from_value(&v)
+                .map_err(|_: serde::DeError| ())
+                .ok()
+        });
+    fallback.unwrap_or_else(|| {
+        eprintln!("telemetry-diff: {path} is neither a TelemetryReport nor a sweep summary");
+        std::process::exit(2);
+    })
+}
+
+fn main() {
+    let opts = parse_args();
+    let current = parse_current(&opts.current, &read(&opts.current));
+
+    if opts.write {
+        let baseline = TelemetryBaseline::capture(current);
+        let path = std::path::Path::new(&opts.baseline);
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                let _ = std::fs::create_dir_all(parent);
+            }
+        }
+        if let Err(e) = std::fs::write(path, baseline.to_json()) {
+            eprintln!("telemetry-diff: could not write {}: {e}", opts.baseline);
+            std::process::exit(2);
+        }
+        log_info!("[telemetry-diff] baseline written to {}", opts.baseline);
+        return;
+    }
+
+    let baseline = TelemetryBaseline::from_json(&read(&opts.baseline)).unwrap_or_else(|e| {
+        eprintln!(
+            "telemetry-diff: could not parse baseline {}: {e}",
+            opts.baseline
+        );
+        std::process::exit(2);
+    });
+
+    if opts.self_test {
+        match gate::self_test(&baseline) {
+            Ok(caught) => {
+                log_info!(
+                    "[telemetry-diff] self-test: gate caught {} injected drifts",
+                    caught.len()
+                );
+            }
+            Err(e) => {
+                eprintln!("telemetry-diff: SELF-TEST FAILED: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    let drifts = gate::diff(&baseline, &current);
+    if drifts.is_empty() {
+        println!("telemetry gate: OK ({} vs {})", opts.current, opts.baseline);
+    } else {
+        println!(
+            "telemetry gate: {} metric(s) drifted ({} vs {}):",
+            drifts.len(),
+            opts.current,
+            opts.baseline
+        );
+        print!("{}", gate::render_drifts(&drifts));
+        std::process::exit(1);
+    }
+}

@@ -10,6 +10,7 @@
 //! | [`indoor`] | Figs. 10–14 and the headline 4× claim |
 //! | [`outdoor`] | Figs. 16–18 — the forest deployment |
 //! | [`ablation`] | design-choice and future-work ablations |
+//! | [`gate`] | telemetry regression gate (`telemetry-diff` binary) |
 //!
 //! Run `cargo run --release -p enviromic-bench --bin repro -- all` to
 //! print every figure; see EXPERIMENTS.md for the paper-vs-measured
@@ -22,5 +23,6 @@ pub mod ablation;
 pub mod fig03;
 pub mod fig06;
 pub mod fig08;
+pub mod gate;
 pub mod indoor;
 pub mod outdoor;

@@ -17,8 +17,8 @@ use enviromic_net::{
     decode_envelope, BulkReceiver, BulkSender, Message, NeighborTable, PiggybackQueue, TreeState,
 };
 use enviromic_runtime::{
-    Application, AudioBlock, DropReason, RecordKind, Runtime, StorageOccupancy, Timer, TimerHandle,
-    TraceEvent,
+    Application, AudioBlock, DropReason, NodeProbe, NodeRole, RecordKind, Runtime,
+    StorageOccupancy, Timer, TimerHandle, TraceEvent,
 };
 use enviromic_telemetry::{Counter, Histogram, Registry};
 use enviromic_timesync::{BeaconScheduler, SyncState};
@@ -803,6 +803,21 @@ impl Application for EnviroMicNode {
 
     fn poll_occupancy(&self) -> Option<StorageOccupancy> {
         Some(self.store.occupancy())
+    }
+
+    fn poll_probe(&self) -> Option<NodeProbe> {
+        let role = if self.leader.is_some() {
+            NodeRole::Leader
+        } else if self.group_event.is_some() {
+            NodeRole::Member
+        } else {
+            NodeRole::Idle
+        };
+        Some(NodeProbe {
+            occupancy: self.store.occupancy(),
+            chunks: self.store.len(),
+            role,
+        })
     }
 
     fn on_reboot(&mut self, ctx: &mut dyn Runtime) {

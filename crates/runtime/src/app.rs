@@ -56,6 +56,43 @@ pub struct StorageOccupancy {
     pub capacity: u64,
 }
 
+/// A node's protocol role at a sampling instant, as reported by
+/// [`Application::poll_probe`] for the timeline's per-node series.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeRole {
+    /// Not participating in any recording group.
+    Idle,
+    /// Member of a recording group led by another node.
+    Member,
+    /// Leader of a recording group.
+    Leader,
+}
+
+impl NodeRole {
+    /// Stable numeric encoding for timeline series (0 = idle, 1 = member,
+    /// 2 = leader).
+    #[must_use]
+    pub fn as_level(self) -> f64 {
+        match self {
+            NodeRole::Idle => 0.0,
+            NodeRole::Member => 1.0,
+            NodeRole::Leader => 2.0,
+        }
+    }
+}
+
+/// A point-in-time report of one node's protocol state, polled by the
+/// backend's timeline sampler ([`Application::poll_probe`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NodeProbe {
+    /// Chunk-store usage.
+    pub occupancy: StorageOccupancy,
+    /// Chunks currently held (own and hosted).
+    pub chunks: u32,
+    /// Current protocol role.
+    pub role: NodeRole,
+}
+
 /// A protocol stack running on one node.
 ///
 /// All callbacks receive the hosting [`Runtime`] scoped to the node; the
@@ -94,6 +131,14 @@ pub trait Application {
     /// Storage usage report for the occupancy poller; return `None` when
     /// the application has no chunk store (e.g. a data mule).
     fn poll_occupancy(&self) -> Option<StorageOccupancy> {
+        None
+    }
+
+    /// Protocol-state report for the timeline sampler; return `None` when
+    /// the application has no probe-worthy state. Implementations must be
+    /// read-only: the sampler runs between events of a seeded execution
+    /// and must not perturb it.
+    fn poll_probe(&self) -> Option<NodeProbe> {
         None
     }
 

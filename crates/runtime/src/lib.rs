@@ -53,7 +53,7 @@ mod mock;
 mod runtime;
 mod trace;
 
-pub use app::{Application, AudioBlock, StorageOccupancy, Timer, TimerHandle};
+pub use app::{Application, AudioBlock, NodeProbe, NodeRole, StorageOccupancy, Timer, TimerHandle};
 pub use energy::EnergyModel;
 pub use mock::{MockRuntime, SentPacket};
 pub use runtime::Runtime;

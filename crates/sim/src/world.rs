@@ -10,7 +10,9 @@ use crate::spatial::{AudibleIndex, NodeGrid};
 use enviromic_runtime::{
     Application, AudioBlock, EnergyModel, Runtime, Timer, TimerHandle, Trace, TraceEvent,
 };
-use enviromic_telemetry::{Counter, Histogram, Registry, TelemetryReport};
+use enviromic_telemetry::{
+    Counter, Histogram, Registry, TelemetryReport, Timeline, TimelineReport,
+};
 use enviromic_types::{audio, Bytes, NodeId, Position, SimDuration, SimTime};
 use rand::rngs::SmallRng;
 use rand::Rng;
@@ -36,6 +38,12 @@ enum Ev {
         session: u64,
     },
     OccupancyPoll,
+    /// Periodic timeline sample. Scheduled before the world runs and
+    /// self-rescheduling, so — like fault actions — it holds fixed queue
+    /// sequence numbers and only shifts later events' sequence numbers
+    /// uniformly, never their relative order. The handler is read-only
+    /// with respect to nodes, RNG streams, and the trace.
+    TimelineSample,
     SourceMark {
         source: crate::acoustics::SourceId,
         started: bool,
@@ -99,6 +107,7 @@ struct SimMetrics {
     delivery_candidates: Counter,
     timers_fired: Counter,
     faults_injected: Counter,
+    timeline_samples: Counter,
     dispatch_us: Histogram,
 }
 
@@ -112,6 +121,7 @@ impl SimMetrics {
             delivery_candidates: reg.counter("sim.delivery.candidates"),
             timers_fired: reg.counter("sim.timers.fired"),
             faults_injected: reg.counter("sim.faults.injected"),
+            timeline_samples: reg.counter("sim.timeline.samples"),
             dispatch_us: reg.histogram("sim.dispatch_us"),
         }
     }
@@ -160,6 +170,11 @@ pub struct World {
     inner: Inner,
     apps: Vec<Option<Box<dyn Application>>>,
     started: bool,
+    /// Sim-time metric recorder, present when
+    /// [`WorldConfig::timeline_sample_period`] is set. Lives on `World`
+    /// (not `Inner`) so the sampler can borrow it alongside `inner` and
+    /// `apps` disjointly.
+    timeline: Option<Timeline>,
 }
 
 impl std::fmt::Debug for World {
@@ -180,6 +195,9 @@ impl World {
         let medium_rng = streams.stream("medium", 0);
         let telemetry = Registry::new();
         let metrics = SimMetrics::new(&telemetry);
+        let timeline = cfg
+            .timeline_sample_period
+            .map(|p| Timeline::new(p.as_secs_f64()));
         World {
             inner: Inner {
                 cfg,
@@ -203,6 +221,7 @@ impl World {
             },
             apps: Vec::new(),
             started: false,
+            timeline,
         }
     }
 
@@ -484,10 +503,14 @@ impl World {
         }
         self.started = true;
         self.inner.build_spatial_index();
-        // Start the acoustic level ticker and the occupancy poller.
+        // Start the acoustic level ticker, the occupancy poller, and the
+        // timeline sampler.
         self.inner.queue.schedule(SimTime::ZERO, Ev::AcousticTick);
         if self.inner.cfg.occupancy_snapshot_period.is_some() {
             self.inner.queue.schedule(SimTime::ZERO, Ev::OccupancyPoll);
+        }
+        if self.inner.cfg.timeline_sample_period.is_some() {
+            self.inner.queue.schedule(SimTime::ZERO, Ev::TimelineSample);
         }
         for idx in 0..self.apps.len() {
             let node = NodeId(idx as u16);
@@ -609,6 +632,13 @@ impl World {
                     }
                 }
             }
+            Ev::TimelineSample => {
+                if let Some(period) = self.inner.cfg.timeline_sample_period {
+                    let next = self.inner.now + period;
+                    self.inner.queue.schedule(next, Ev::TimelineSample);
+                }
+                self.sample_timeline();
+            }
             Ev::SourceMark { source, started } => {
                 let t = self.inner.now;
                 self.inner.trace.push(if started {
@@ -619,6 +649,49 @@ impl World {
             }
             Ev::Fault(action) => self.apply_fault(action),
         }
+    }
+
+    /// Takes one timeline sample: every registered counter and gauge,
+    /// plus the per-node probe series.
+    ///
+    /// Determinism: this observes only — it consumes no RNG stream,
+    /// emits no trace records, and mutates no node state (battery levels
+    /// are *peeked*, not integrated, so no node can die here earlier than
+    /// it otherwise would). The trace digest is therefore bit-identical
+    /// with the timeline on or off, at any cadence.
+    fn sample_timeline(&mut self) {
+        let Some(tl) = &mut self.timeline else { return };
+        self.inner.metrics.timeline_samples.inc();
+        tl.sample(self.inner.now.as_secs_f64(), &self.inner.telemetry.report());
+        for (idx, app) in self.apps.iter().enumerate() {
+            let slot = &self.inner.nodes[idx];
+            tl.record(
+                &format!("node.{idx}.energy_mj"),
+                self.inner.peek_energy(idx),
+            );
+            tl.record(
+                &format!("node.{idx}.alive"),
+                if slot.alive { 1.0 } else { 0.0 },
+            );
+            let Some(app) = app.as_ref() else { continue };
+            if let Some(probe) = app.poll_probe() {
+                let frac = if probe.occupancy.capacity == 0 {
+                    0.0
+                } else {
+                    probe.occupancy.used as f64 / probe.occupancy.capacity as f64
+                };
+                tl.record(&format!("node.{idx}.occupancy"), frac);
+                tl.record(&format!("node.{idx}.chunks"), f64::from(probe.chunks));
+                tl.record(&format!("node.{idx}.role"), probe.role.as_level());
+            }
+        }
+    }
+
+    /// A snapshot of the sim-time timeline recorded so far; `None` unless
+    /// [`WorldConfig::timeline_sample_period`] is set.
+    #[must_use]
+    pub fn timeline_report(&self) -> Option<TimelineReport> {
+        self.timeline.as_ref().map(Timeline::report)
     }
 
     /// Applies one scheduled fault. The `FaultInjected` marker is emitted
@@ -780,6 +853,31 @@ impl Inner {
         if slot.energy_mj <= 0.0 {
             self.kill(node);
         }
+    }
+
+    /// Remaining battery of node `idx` as of now, *without* mutating any
+    /// state: unlike [`Inner::integrate_energy`] it neither advances
+    /// `last_energy_update` nor kills an exhausted node — the timeline
+    /// sampler must not make a node die earlier than the event that would
+    /// have settled its drain. Floored at zero.
+    fn peek_energy(&self, idx: usize) -> f64 {
+        let slot = &self.nodes[idx];
+        if !slot.alive {
+            return slot.energy_mj.max(0.0);
+        }
+        let secs = self
+            .now
+            .saturating_since(slot.last_energy_update)
+            .as_secs_f64();
+        let e = &self.cfg.energy;
+        let mut mw = e.idle_mw;
+        if slot.radio_on {
+            mw += e.radio_listen_mw;
+        }
+        if slot.session.is_some() {
+            mw += e.sampling_mw;
+        }
+        (slot.energy_mj - mw * secs).max(0.0)
     }
 
     /// Charges a one-off energy cost to `node`.
@@ -1659,6 +1757,98 @@ mod tests {
             .trace()
             .iter()
             .all(|e| !matches!(e, TraceEvent::FaultInjected { .. })));
+    }
+
+    #[test]
+    fn timeline_sampling_never_perturbs_the_trace() {
+        let run = |period: Option<f64>| {
+            let mut cfg = WorldConfig::with_seed(31);
+            cfg.timeline_sample_period = period.map(SimDuration::from_secs_f64);
+            let mut w = World::new(cfg);
+            w.add_node(Position::new(0.0, 0.0), Box::new(Chatter));
+            w.add_node(Position::new(1.0, 0.0), Box::new(Chatter));
+            w.run_for_secs(3.0);
+            (w.trace().digest(), w.timeline_report())
+        };
+        let (off, none) = run(None);
+        let (coarse, coarse_tl) = run(Some(1.0));
+        let (fine, fine_tl) = run(Some(0.1));
+        assert_eq!(off, coarse, "timeline sampling changed the trace");
+        assert_eq!(off, fine, "cadence changed the trace");
+        assert!(none.is_none());
+        assert!(coarse_tl.unwrap().times.len() < fine_tl.unwrap().times.len());
+    }
+
+    #[test]
+    fn timeline_carries_metrics_and_node_probes() {
+        struct Occupied;
+        impl Application for Occupied {
+            fn poll_probe(&self) -> Option<enviromic_runtime::NodeProbe> {
+                Some(enviromic_runtime::NodeProbe {
+                    occupancy: enviromic_runtime::StorageOccupancy {
+                        used: 3,
+                        capacity: 12,
+                    },
+                    chunks: 3,
+                    role: enviromic_runtime::NodeRole::Leader,
+                })
+            }
+            fn as_any(&self) -> &dyn Any {
+                self
+            }
+            fn as_any_mut(&mut self) -> &mut dyn Any {
+                self
+            }
+        }
+        let mut cfg = quiet_cfg(32);
+        cfg.timeline_sample_period = Some(SimDuration::from_secs_f64(0.5));
+        let mut w = World::new(cfg);
+        w.add_node(Position::new(0.0, 0.0), Box::new(Chatter));
+        w.add_node(Position::new(1.0, 0.0), Box::new(Occupied));
+        w.run_for_secs(2.0);
+        let tl = w.timeline_report().expect("timeline configured");
+        // Samples at 0.0, 0.5, 1.0, 1.5, 2.0.
+        assert_eq!(tl.times.len(), 5);
+        let samples = tl.series("sim.timeline.samples").expect("self-accounting");
+        assert_eq!(samples.total(), 5.0, "one counted sample per tick");
+        assert_eq!(
+            w.telemetry().counter("sim.timeline.samples").get(),
+            5,
+            "registry counter agrees"
+        );
+        // The Chatter node has physics probes but no protocol probe.
+        assert!(tl.series("node.0.energy_mj").is_some());
+        assert!(tl.series("node.0.role").is_none());
+        // The Occupied node reports all five series.
+        let occ = tl.series("node.1.occupancy").expect("occupancy series");
+        assert!(occ.points.iter().all(|&p| (p - 0.25).abs() < 1e-12));
+        assert_eq!(tl.series("node.1.role").unwrap().max(), 2.0);
+        assert_eq!(tl.series("node.1.chunks").unwrap().max(), 3.0);
+        // Energy decreases monotonically while the node idles.
+        let energy = &tl.series("node.1.energy_mj").unwrap().points;
+        assert!(energy.windows(2).all(|w| w[1] <= w[0]), "drain: {energy:?}");
+        assert!(energy[0] > 0.0);
+    }
+
+    #[test]
+    fn peeking_energy_does_not_settle_drain() {
+        // A node with a ~1 s battery sampled every 0.2 s: the sampler
+        // peeks energy without integrating, so the node must die at the
+        // same event it dies at without a timeline. Compare death times.
+        let run = |timeline: bool| {
+            let mut cfg = quiet_cfg(33);
+            cfg.energy.battery_mj = 100.0;
+            cfg.energy.idle_mw = 0.0;
+            cfg.energy.radio_listen_mw = 100.0;
+            if timeline {
+                cfg.timeline_sample_period = Some(SimDuration::from_secs_f64(0.2));
+            }
+            let mut w = World::new(cfg);
+            w.add_node(Position::new(0.0, 0.0), Box::new(Probe::default()));
+            w.run_for_secs(2.0);
+            format!("{:?}", w.trace().events())
+        };
+        assert_eq!(run(false), run(true));
     }
 
     #[test]

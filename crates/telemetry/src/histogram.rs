@@ -138,8 +138,9 @@ impl Histogram {
 
 /// An immutable histogram summary: totals, extrema, estimated quantiles,
 /// and the sparse bucket counts they derive from (kept so snapshots can
-/// be merged without losing resolution).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+/// be merged without losing resolution). The all-zero `Default` is the
+/// snapshot of an empty histogram.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct HistogramSnapshot {
     /// Number of observations.
     pub count: u64,
@@ -173,6 +174,12 @@ impl HistogramSnapshot {
     }
 
     /// Folds `other` into `self`, recomputing the quantile estimates.
+    ///
+    /// Empty snapshots report `min = max = 0.0` as placeholders, so both
+    /// directions guard against contaminating real extrema: an empty
+    /// `other` is a no-op, and an empty `self` adopts `other`'s extrema
+    /// wholesale (pinned by `tests/prop_histogram.rs` against a
+    /// merge-of-raw-observations reference).
     pub fn merge(&mut self, other: &HistogramSnapshot) {
         if other.count == 0 {
             return;

@@ -13,6 +13,10 @@
 //! * a serializable [`TelemetryReport`] snapshot that merges across runs,
 //!   exports as JSON next to the figure CSVs, and renders as a plain-text
 //!   [dashboard](TelemetryReport::render_dashboard);
+//! * a [`Timeline`] recorder that samples counters (as deltas) and gauges
+//!   at a sim-time cadence into a [`TimelineReport`] with sparkline
+//!   rendering — how metrics evolve *during* a run, not just their final
+//!   aggregate;
 //! * a process-wide leveled [logger](log) behind `--verbose`/`-q` flags.
 //!
 //! Metric names follow a `subsystem.metric` convention, e.g.
@@ -43,7 +47,9 @@ pub mod log;
 mod registry;
 mod render;
 mod report;
+mod timeline;
 
 pub use histogram::{Histogram, HistogramSnapshot};
 pub use registry::{Counter, Gauge, Registry, Span};
 pub use report::{SpanSnapshot, TelemetryReport};
+pub use timeline::{SeriesKind, Timeline, TimelineReport, TimelineSeries};

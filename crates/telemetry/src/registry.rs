@@ -208,6 +208,13 @@ impl Registry {
     /// Merges a snapshot back in, with every name prefixed by `prefix.`
     /// (spans nest under a `prefix` root). Used to fold per-run reports
     /// into a session-wide registry.
+    ///
+    /// Counters, histograms, and spans accumulate. Gauges are
+    /// **last-write-wins**: a gauge is a point-in-time level, not a total,
+    /// so absorbing two reports under the *same* prefix keeps the value of
+    /// the later absorb — the same rule [`TelemetryReport::merge`] applies.
+    /// Absorb runs under distinct prefixes (as the bench session does) to
+    /// keep every run's gauges.
     pub fn absorb(&self, prefix: &str, report: &TelemetryReport) {
         let report = report.with_prefix(prefix);
         for (name, v) in &report.counters {
@@ -318,5 +325,39 @@ mod tests {
                 .map(|h| h.count),
             Some(1)
         );
+    }
+
+    /// Pins the documented gauge semantics across both merge paths:
+    /// counters sum, gauges are last-write-wins.
+    #[test]
+    fn absorb_and_merge_gauges_are_last_write_wins() {
+        let early = Registry::new();
+        early.gauge("core.balance.beta").set(1.5);
+        early.counter("sim.packets.sent").add(10);
+        let late = Registry::new();
+        late.gauge("core.balance.beta").set(0.25);
+        late.counter("sim.packets.sent").add(7);
+
+        // Same prefix twice: the later absorb wins the gauge, counters sum.
+        let session = Registry::new();
+        session.absorb("run", &early.report());
+        session.absorb("run", &late.report());
+        let report = session.report();
+        assert_eq!(report.gauge("run.core.balance.beta"), Some(0.25));
+        assert_eq!(report.counter("run.sim.packets.sent"), Some(17));
+
+        // TelemetryReport::merge applies the identical rule.
+        let mut merged = early.report();
+        merged.merge(&late.report());
+        assert_eq!(merged.gauge("core.balance.beta"), Some(0.25));
+        assert_eq!(merged.counter("sim.packets.sent"), Some(17));
+
+        // Distinct prefixes keep both runs' gauges.
+        let split = Registry::new();
+        split.absorb("run1", &early.report());
+        split.absorb("run2", &late.report());
+        let report = split.report();
+        assert_eq!(report.gauge("run1.core.balance.beta"), Some(1.5));
+        assert_eq!(report.gauge("run2.core.balance.beta"), Some(0.25));
     }
 }

@@ -1,0 +1,96 @@
+//! Property tests: merging histogram *snapshots* agrees with observing
+//! the raw series into a single histogram, and empty snapshots never
+//! contaminate a nonempty partner's extrema.
+//!
+//! The contamination risk (ISSUE 6): an empty snapshot reports
+//! `min = max = 0.0`, so a naive merge could drag the minimum of a
+//! positive-valued histogram down to zero. `HistogramSnapshot::merge`
+//! guards both directions (early return when `other` is empty; adopt
+//! `other`'s extrema when `self` is empty) — these tests pin that.
+
+use enviromic_telemetry::{Histogram, HistogramSnapshot};
+use proptest::prelude::*;
+
+/// Mixed observations: mostly positive, with exact zeros and negatives
+/// sprinkled in to exercise the `zero_or_less` path.
+fn obs() -> impl Strategy<Value = f64> {
+    prop_oneof![
+        8 => 1e-3f64..1e6,
+        1 => Just(0.0),
+        1 => -50.0f64..0.0,
+    ]
+}
+
+fn snapshot_of(values: &[f64]) -> HistogramSnapshot {
+    let h = Histogram::default();
+    for &v in values {
+        h.observe(v);
+    }
+    h.snapshot()
+}
+
+proptest! {
+    /// merge(snapshot(a), snapshot(b)) == snapshot(a ++ b), up to
+    /// summation order in `sum`. Either side may be empty.
+    #[test]
+    fn merge_of_snapshots_matches_raw_observations(
+        a in proptest::collection::vec(obs(), 0..60),
+        b in proptest::collection::vec(obs(), 0..60),
+    ) {
+        let mut merged = snapshot_of(&a);
+        merged.merge(&snapshot_of(&b));
+
+        let whole: Vec<f64> = a.iter().chain(&b).copied().collect();
+        let expect = snapshot_of(&whole);
+
+        // Different addition order can differ in the last ulps.
+        let tol = 1e-9 * expect.sum.abs().max(1.0);
+        prop_assert!(
+            (merged.sum - expect.sum).abs() <= tol,
+            "sum diverged: merged {} vs raw {}",
+            merged.sum,
+            expect.sum
+        );
+        merged.sum = expect.sum;
+        // Quantiles are recomputed from identical buckets/extrema, so the
+        // rest must agree exactly — including min/max when a side is empty.
+        prop_assert_eq!(merged, expect);
+    }
+
+    /// Merging any number of empty snapshots into a positive-valued
+    /// histogram leaves its minimum strictly positive.
+    #[test]
+    fn empty_merges_never_drag_min_to_zero(
+        values in proptest::collection::vec(1e-3f64..1e6, 1..40),
+        empties in 1usize..4,
+    ) {
+        let mut snap = snapshot_of(&values);
+        let before = snap.clone();
+        for _ in 0..empties {
+            snap.merge(&HistogramSnapshot::default());
+        }
+        prop_assert!(snap.min > 0.0, "min contaminated: {}", snap.min);
+        prop_assert_eq!(snap, before);
+    }
+}
+
+#[test]
+fn empty_into_nonempty_and_back() {
+    let nonempty = snapshot_of(&[3.0, 7.0, 11.0]);
+    let empty = HistogramSnapshot::default();
+
+    // other empty: no-op.
+    let mut merged = nonempty.clone();
+    merged.merge(&empty);
+    assert_eq!(merged, nonempty);
+
+    // self empty: adopt other wholesale (extrema included).
+    let mut merged = empty.clone();
+    merged.merge(&nonempty);
+    assert_eq!((merged.min, merged.max, merged.count), (3.0, 11.0, 3));
+
+    // both empty: still the zeroed default.
+    let mut merged = HistogramSnapshot::default();
+    merged.merge(&empty);
+    assert_eq!((merged.count, merged.min, merged.max), (0, 0.0, 0.0));
+}

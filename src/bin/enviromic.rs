@@ -16,14 +16,22 @@
 //!   --flash    CHUNKS                       per-node flash capacity
 //!   --beta-max X                            balancer sensitivity bound
 //!   --prelude  SECS                         enable the prelude optimization
+//!   --timeline SECS                         sample a sim-time metric
+//!                                           timeline every SECS (digest
+//!                                           stays bit-identical)
+//!   --timeline-out PATH                     write a run dump (events +
+//!                                           timeline) for the `trace`
+//!                                           explorer
 //!   --series                                also print the miss-ratio series
 //!   --stats                                 print the telemetry dashboard
+//!                                           (and the timeline, if sampled)
 //!   -q / --quiet                            suppress status lines
 //!   -v / --verbose                          extra detail on stderr
 //! ```
 
 use enviromic::core::{Mode, NodeConfig};
 use enviromic::harness::{forest_world_config, indoor_world_config, run_scenario};
+use enviromic::observe::{DumpFile, RunDump};
 use enviromic::sim::{RecordKind, TraceEvent, WorldConfig};
 use enviromic::sweep::{run_sweep, JobInput, ScenarioSpec, SweepPlan};
 use enviromic::types::SimDuration;
@@ -44,6 +52,8 @@ struct Options {
     flash: Option<u32>,
     beta_max: Option<f64>,
     prelude: Option<f64>,
+    timeline: Option<f64>,
+    timeline_out: Option<String>,
     series: bool,
     stats: bool,
 }
@@ -53,8 +63,8 @@ fn usage() -> ! {
         "usage: enviromic [--scenario indoor|mobile|forest|voice] \
          [--mode full|coop|baseline] [--duration SECS] [--seed N] \
          [--seeds N] [--jobs N] \
-         [--flash CHUNKS] [--beta-max X] [--prelude SECS] [--series] \
-         [--stats] [-q|--quiet] [-v|--verbose]"
+         [--flash CHUNKS] [--beta-max X] [--prelude SECS] [--timeline SECS] \
+         [--timeline-out PATH] [--series] [--stats] [-q|--quiet] [-v|--verbose]"
     );
     std::process::exit(2);
 }
@@ -70,6 +80,8 @@ fn parse_args() -> Options {
         flash: None,
         beta_max: None,
         prelude: None,
+        timeline: None,
+        timeline_out: None,
         series: false,
         stats: false,
     };
@@ -105,6 +117,8 @@ fn parse_args() -> Options {
             "--flash" => opts.flash = value().parse().ok().or_else(|| usage()),
             "--beta-max" => opts.beta_max = value().parse().ok().or_else(|| usage()),
             "--prelude" => opts.prelude = value().parse().ok().or_else(|| usage()),
+            "--timeline" => opts.timeline = value().parse().ok().or_else(|| usage()),
+            "--timeline-out" => opts.timeline_out = Some(value()),
             "--series" => opts.series = true,
             "--stats" => opts.stats = true,
             "--quiet" | "-q" => quiet = true,
@@ -160,6 +174,23 @@ fn node_config(opts: &Options) -> NodeConfig {
     cfg
 }
 
+/// Writes `contents` to `path`, creating parent directories as needed.
+fn write_dump(path: &str, contents: &str) {
+    let p = std::path::Path::new(path);
+    if let Some(parent) = p.parent() {
+        if !parent.as_os_str().is_empty() {
+            let _ = std::fs::create_dir_all(parent);
+        }
+    }
+    match std::fs::write(p, contents) {
+        Ok(()) => log_info!("[enviromic] run dump written to {path}"),
+        Err(e) => {
+            eprintln!("enviromic: could not write {path}: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
 /// `--seeds N`: the same scenario replayed across N consecutive seeds on a
 /// worker pool; prints the per-seed digest table instead of a harvest report.
 fn run_seed_sweep(opts: &Options) {
@@ -181,12 +212,27 @@ fn run_seed_sweep(opts: &Options) {
         opts.scenario,
         opts.jobs,
     );
-    let outcome = run_sweep(&SweepPlan::new(seeds, vec![spec]), opts.jobs);
+    let mut plan = SweepPlan::new(seeds, vec![spec]);
+    if let Some(secs) = opts.timeline {
+        plan = plan.with_timeline(secs);
+    }
+    let outcome = run_sweep(&plan, opts.jobs);
     let summary = outcome.summary();
     print!("{}", summary.render());
     if opts.stats {
         println!();
         print!("{}", summary.aggregate.render_dashboard());
+    }
+    if let Some(path) = &opts.timeline_out {
+        // Timeline-only dumps: per-seed event ledgers would dwarf the file.
+        let dump = DumpFile {
+            runs: outcome
+                .jobs
+                .iter()
+                .map(|j| RunDump::from_run(&j.label, j.seed, &j.run, false))
+                .collect(),
+        };
+        write_dump(path, &dump.to_json());
     }
 }
 
@@ -196,7 +242,10 @@ fn main() {
         run_seed_sweep(&opts);
         return;
     }
-    let (scenario, world_cfg) = build_scenario(&opts, opts.seed);
+    let (scenario, mut world_cfg) = build_scenario(&opts, opts.seed);
+    if let Some(secs) = opts.timeline {
+        world_cfg.timeline_sample_period = Some(SimDuration::from_secs_f64(secs));
+    }
     let horizon = scenario.duration.as_secs_f64();
     let cfg = node_config(&opts);
 
@@ -265,5 +314,16 @@ fn main() {
     if opts.stats {
         println!();
         print!("{}", run.telemetry.render_dashboard());
+        if let Some(tl) = &run.timeline {
+            println!();
+            print!("{}", tl.render_dashboard(72));
+        }
+    }
+
+    if let Some(path) = &opts.timeline_out {
+        let dump = DumpFile {
+            runs: vec![RunDump::from_run(&opts.scenario, opts.seed, &run, true)],
+        };
+        write_dump(path, &dump.to_json());
     }
 }

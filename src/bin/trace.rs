@@ -1,0 +1,207 @@
+//! `trace` — offline run-dump explorer.
+//!
+//! Loads a [`DumpFile`] written by `enviromic --timeline-out`,
+//! `repro --timeline-out`, or `sweep --timeline-out` and answers the
+//! questions a debugging session actually asks: *what did node 3 do
+//! between 40 s and 60 s?*, *how many chunks migrated?*, *what did the
+//! energy curve look like?*
+//!
+//! ```text
+//! trace DUMP.json [OPTIONS]
+//!   --run SELECTOR      restrict to one run: an index (0), a label
+//!                       (quick-indoor), or label/seed (quick-indoor/42)
+//!   --node N            keep events involving node N
+//!   --kind K            keep events of kind K: a variant name
+//!                       (Migrated, MessageSent) or a protocol label
+//!                       (TASK_REQUEST, CRASH), case-insensitive
+//!   --from SECS         keep events at or after SECS of sim-time
+//!   --to SECS           keep events at or before SECS of sim-time
+//!   --ledger            print the filtered events, one line each
+//!   --timeline          print the run's metric-timeline dashboard
+//!   --series PREFIX     restrict the timeline to series under PREFIX
+//!                       (e.g. node.3, sim., core.)
+//!   --json              emit the filtered events as JSON
+//!   -q / --quiet        suppress status lines
+//!   -v / --verbose      extra detail on stderr
+//! ```
+//!
+//! With no options, prints a per-run summary: digest, event count, time
+//! span, and the event-kind census.
+
+use enviromic::observe::{kind_counts, render_ledger, DumpFile, RunDump, TraceFilter};
+use enviromic::telemetry::TimelineReport;
+use enviromic_telemetry::{log, log_warn};
+
+struct Options {
+    path: String,
+    run: Option<String>,
+    filter: TraceFilter,
+    ledger: bool,
+    timeline: bool,
+    series: Option<String>,
+    json: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: trace DUMP.json [--run INDEX|LABEL|LABEL/SEED] [--node N] \
+         [--kind K] [--from SECS] [--to SECS] [--ledger] [--timeline] \
+         [--series PREFIX] [--json] [-q|--quiet] [-v|--verbose]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Options {
+    let mut opts = Options {
+        path: String::new(),
+        run: None,
+        filter: TraceFilter::default(),
+        ledger: false,
+        timeline: false,
+        series: None,
+        json: false,
+    };
+    let mut quiet = false;
+    let mut verbose = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = || args.next().unwrap_or_else(|| usage());
+        match arg.as_str() {
+            "--run" => opts.run = Some(value()),
+            "--node" => opts.filter.node = value().parse().ok().or_else(|| usage()),
+            "--kind" => opts.filter.kind = Some(value()),
+            "--from" => opts.filter.from_secs = value().parse().ok().or_else(|| usage()),
+            "--to" => opts.filter.to_secs = value().parse().ok().or_else(|| usage()),
+            "--ledger" => opts.ledger = true,
+            "--timeline" => opts.timeline = true,
+            "--series" => opts.series = Some(value()),
+            "--json" => opts.json = true,
+            "--quiet" | "-q" => quiet = true,
+            "--verbose" | "-v" => verbose = true,
+            "--help" | "-h" => usage(),
+            _ if opts.path.is_empty() && !arg.starts_with('-') => opts.path = arg,
+            _ => usage(),
+        }
+    }
+    log::init_from_flags(quiet, verbose);
+    if opts.path.is_empty() {
+        usage();
+    }
+    opts
+}
+
+/// Does `run` match the `--run` selector (index, label, or label/seed)?
+fn selected(run: &RunDump, index: usize, selector: &str) -> bool {
+    if selector.parse::<usize>() == Ok(index) {
+        return true;
+    }
+    match selector.split_once('/') {
+        Some((label, seed)) => run.label == label && seed.parse() == Ok(run.seed),
+        None => run.label == selector,
+    }
+}
+
+fn print_summary(run: &RunDump, events: &[&enviromic::observe::TraceRecord], filtered: bool) {
+    println!(
+        "run {}/{}: digest {}  {} events{}",
+        run.label,
+        run.seed,
+        run.digest,
+        events.len(),
+        if filtered {
+            format!(" (of {} dumped)", run.events.len())
+        } else {
+            String::new()
+        },
+    );
+    if let Some((lo, hi)) = run.span_secs() {
+        println!("  span {lo:.1}..{hi:.1}s");
+    }
+    let counts = kind_counts(events.iter().copied());
+    if !counts.is_empty() {
+        println!("  events by kind:");
+        for (kind, n) in counts {
+            println!("    {kind:<32} {n:>7}");
+        }
+    }
+    match &run.timeline {
+        Some(tl) => println!(
+            "  timeline: {} samples every {:.1}s, {} series (use --timeline)",
+            tl.times.len(),
+            tl.interval_secs,
+            tl.series.len(),
+        ),
+        None => println!("  timeline: none (rerun with --timeline SECS)"),
+    }
+}
+
+fn print_timeline(run: &RunDump, series_prefix: Option<&str>) {
+    let Some(tl) = &run.timeline else {
+        println!("run {}/{}: no timeline in dump", run.label, run.seed);
+        return;
+    };
+    let view = match series_prefix {
+        Some(prefix) => TimelineReport {
+            interval_secs: tl.interval_secs,
+            times: tl.times.clone(),
+            series: tl.series_with_prefix(prefix).into_iter().cloned().collect(),
+        },
+        None => tl.clone(),
+    };
+    if view.series.is_empty() {
+        println!(
+            "run {}/{}: no timeline series match the prefix",
+            run.label, run.seed
+        );
+        return;
+    }
+    print!("{}", view.render_dashboard(72));
+}
+
+fn main() {
+    let opts = parse_args();
+    let text = std::fs::read_to_string(&opts.path).unwrap_or_else(|e| {
+        log_warn!("could not read {}: {e}", opts.path);
+        std::process::exit(1);
+    });
+    let dump = DumpFile::from_json(&text).unwrap_or_else(|e| {
+        log_warn!("could not parse {}: {e}", opts.path);
+        std::process::exit(1);
+    });
+
+    let runs: Vec<&RunDump> = dump
+        .runs
+        .iter()
+        .enumerate()
+        .filter(|(i, r)| opts.run.as_deref().is_none_or(|sel| selected(r, *i, sel)))
+        .map(|(_, r)| r)
+        .collect();
+    if runs.is_empty() {
+        log_warn!(
+            "no run matches {:?} ({} in dump)",
+            opts.run.as_deref().unwrap_or("<any>"),
+            dump.runs.len()
+        );
+        std::process::exit(1);
+    }
+
+    let filtered = opts.filter != TraceFilter::default();
+    for (i, run) in runs.iter().enumerate() {
+        if i > 0 {
+            println!();
+        }
+        let events = opts.filter.apply(&run.events);
+        if opts.json {
+            let owned: Vec<_> = events.iter().map(|e| (*e).clone()).collect();
+            println!("{}", serde::Serialize::to_value(&owned).to_json_pretty());
+            continue;
+        }
+        print_summary(run, &events, filtered);
+        if opts.ledger {
+            print!("{}", render_ledger(events.iter().copied()));
+        }
+        if opts.timeline || opts.series.is_some() {
+            print_timeline(run, opts.series.as_deref());
+        }
+    }
+}

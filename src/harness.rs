@@ -9,7 +9,7 @@
 use enviromic_core::{EnviroMicNode, NodeConfig};
 use enviromic_metrics::Experiment;
 use enviromic_sim::{FaultPlan, Trace, World, WorldConfig};
-use enviromic_telemetry::TelemetryReport;
+use enviromic_telemetry::{TelemetryReport, TimelineReport};
 use enviromic_types::{Position, SimDuration};
 use enviromic_workloads::Scenario;
 
@@ -50,6 +50,9 @@ pub struct ExperimentRun {
     /// Snapshot of the run's telemetry registry: protocol counters,
     /// latency histograms, flash wear, and physical-layer statistics.
     pub telemetry: TelemetryReport,
+    /// Sim-time metric timeline, present when the world config set
+    /// [`WorldConfig::timeline_sample_period`].
+    pub timeline: Option<TimelineReport>,
 }
 
 impl ExperimentRun {
@@ -132,11 +135,13 @@ pub fn run_scenario_with_faults(
     let end = scenario.end() + SimDuration::from_secs_f64(drain_secs);
     world.run_until(end);
     world.finish();
+    let timeline = world.timeline_report();
     let (trace, telemetry) = world.into_parts();
     ExperimentRun {
         scenario,
         trace,
         telemetry,
+        timeline,
     }
 }
 

@@ -31,6 +31,7 @@
 //! | [`telemetry`] | runtime counters, histograms, span timing, logging |
 //! | [`harness`] | one-call experiment assembly and execution |
 //! | [`sweep`] | parallel seed × scenario sweeps with deterministic replay |
+//! | [`observe`] | run dumps, trace filtering, per-node ledgers (the `trace` explorer) |
 //!
 //! # Quickstart
 //!
@@ -51,6 +52,7 @@
 #![warn(missing_docs)]
 
 pub mod harness;
+pub mod observe;
 pub mod sweep;
 
 pub use enviromic_core as core;

@@ -1,0 +1,645 @@
+//! Run dumps and offline trace exploration.
+//!
+//! The simulator's [`Trace`](crate::sim::Trace) is serialize-only (its
+//! message kinds are `&'static str` labels), which is fine for writing a
+//! run out but useless for reading one back. This module owns the
+//! round-trippable mirror: [`TraceRecord`] (owned, `String`-labeled) and
+//! the [`RunDump`]/[`DumpFile`] containers the `--timeline-out` flags
+//! write and the `trace` explorer binary reads. [`TraceFilter`] answers
+//! the explorer's node / event-kind / time-window queries, and the
+//! rendering helpers produce the per-node ledgers and summaries it
+//! prints.
+
+use crate::harness::ExperimentRun;
+use crate::sim::TraceEvent;
+use enviromic_runtime::{DropReason, RecordKind};
+use enviromic_telemetry::TimelineReport;
+use enviromic_types::{EventId, NodeId, SimTime, SourceId};
+use serde::{Deserialize, Serialize};
+
+/// An owned, round-trippable trace record: field-for-field the same shape
+/// as [`TraceEvent`], with `&'static str` labels widened to `String` so
+/// dumps can be read back by the explorer.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum TraceRecord {
+    /// A node stored an interval of audio in its local chunk store.
+    Recorded {
+        /// Recording node.
+        node: NodeId,
+        /// The event file the data was labeled with, if any.
+        event: Option<EventId>,
+        /// Interval start (global clock).
+        t0: SimTime,
+        /// Interval end (global clock).
+        t1: SimTime,
+        /// Stored payload bytes.
+        bytes: u64,
+        /// What produced the recording.
+        kind: RecordKind,
+    },
+    /// A node wanted to record but had to drop the audio.
+    RecordDropped {
+        /// Node that dropped.
+        node: NodeId,
+        /// Interval start (global clock).
+        t0: SimTime,
+        /// Interval end (global clock).
+        t1: SimTime,
+        /// Why the data was dropped.
+        reason: DropReason,
+    },
+    /// A node erased a previously stored interval.
+    Erased {
+        /// Erasing node.
+        node: NodeId,
+        /// Interval start (global clock).
+        t0: SimTime,
+        /// Interval end (global clock).
+        t1: SimTime,
+        /// Erased payload bytes.
+        bytes: u64,
+    },
+    /// A control or data message left a node's radio.
+    MessageSent {
+        /// Sending node.
+        node: NodeId,
+        /// Protocol-level message kind (e.g. `"TASK_REQUEST"`).
+        kind: String,
+        /// Encoded size in bytes.
+        bytes: u32,
+        /// Send time (global clock).
+        t: SimTime,
+    },
+    /// A chunk entered a node's store.
+    ChunkStored {
+        /// The storing node.
+        node: NodeId,
+        /// The node that originally recorded the audio.
+        origin: NodeId,
+        /// Event file the chunk belongs to, if labeled.
+        event: Option<EventId>,
+        /// Audio interval start.
+        audio_t0: SimTime,
+        /// Audio interval end.
+        audio_t1: SimTime,
+        /// Payload bytes.
+        bytes: u32,
+        /// Store time (global clock).
+        t: SimTime,
+    },
+    /// A chunk left a node's store.
+    ChunkRemoved {
+        /// The node the chunk left.
+        node: NodeId,
+        /// The original recorder.
+        origin: NodeId,
+        /// Audio interval start.
+        audio_t0: SimTime,
+        /// Audio interval end.
+        audio_t1: SimTime,
+        /// Removal time (global clock).
+        t: SimTime,
+    },
+    /// A bulk storage-balancing transfer finished.
+    Migrated {
+        /// Donor node.
+        from: NodeId,
+        /// Recipient node.
+        to: NodeId,
+        /// Chunks moved.
+        chunks: u32,
+        /// Payload bytes moved.
+        bytes: u64,
+        /// True when the transfer duplicated data (lost final ACK).
+        duplicated: bool,
+        /// Completion time (global clock).
+        t: SimTime,
+    },
+    /// A node became leader for an event.
+    LeaderElected {
+        /// The new leader.
+        node: NodeId,
+        /// The event it minted or adopted.
+        event: EventId,
+        /// True when this was a handoff rather than a fresh election.
+        handoff: bool,
+        /// Election time (global clock).
+        t: SimTime,
+    },
+    /// Periodic storage occupancy poll.
+    Occupancy {
+        /// Polled node.
+        node: NodeId,
+        /// Used chunk slots.
+        used: u64,
+        /// Total chunk slots.
+        capacity: u64,
+        /// Poll time (global clock).
+        t: SimTime,
+    },
+    /// Ground-truth: a source became active.
+    SourceStarted {
+        /// The source.
+        source: SourceId,
+        /// Activation time.
+        t: SimTime,
+    },
+    /// Ground-truth: a source went silent.
+    SourceStopped {
+        /// The source.
+        source: SourceId,
+        /// Deactivation time.
+        t: SimTime,
+    },
+    /// Ground-truth: a scheduled fault fired.
+    FaultInjected {
+        /// Fault kind (e.g. `"CRASH"`, `"REBOOT"`).
+        kind: String,
+        /// Afflicted node, when the fault is node-scoped.
+        node: Option<NodeId>,
+        /// Injection time (global clock).
+        t: SimTime,
+    },
+}
+
+impl From<&TraceEvent> for TraceRecord {
+    fn from(e: &TraceEvent) -> TraceRecord {
+        match *e {
+            TraceEvent::Recorded {
+                node,
+                event,
+                t0,
+                t1,
+                bytes,
+                kind,
+            } => TraceRecord::Recorded {
+                node,
+                event,
+                t0,
+                t1,
+                bytes,
+                kind,
+            },
+            TraceEvent::RecordDropped {
+                node,
+                t0,
+                t1,
+                reason,
+            } => TraceRecord::RecordDropped {
+                node,
+                t0,
+                t1,
+                reason,
+            },
+            TraceEvent::Erased {
+                node,
+                t0,
+                t1,
+                bytes,
+            } => TraceRecord::Erased {
+                node,
+                t0,
+                t1,
+                bytes,
+            },
+            TraceEvent::MessageSent {
+                node,
+                kind,
+                bytes,
+                t,
+            } => TraceRecord::MessageSent {
+                node,
+                kind: kind.to_string(),
+                bytes,
+                t,
+            },
+            TraceEvent::ChunkStored {
+                node,
+                origin,
+                event,
+                audio_t0,
+                audio_t1,
+                bytes,
+                t,
+            } => TraceRecord::ChunkStored {
+                node,
+                origin,
+                event,
+                audio_t0,
+                audio_t1,
+                bytes,
+                t,
+            },
+            TraceEvent::ChunkRemoved {
+                node,
+                origin,
+                audio_t0,
+                audio_t1,
+                t,
+            } => TraceRecord::ChunkRemoved {
+                node,
+                origin,
+                audio_t0,
+                audio_t1,
+                t,
+            },
+            TraceEvent::Migrated {
+                from,
+                to,
+                chunks,
+                bytes,
+                duplicated,
+                t,
+            } => TraceRecord::Migrated {
+                from,
+                to,
+                chunks,
+                bytes,
+                duplicated,
+                t,
+            },
+            TraceEvent::LeaderElected {
+                node,
+                event,
+                handoff,
+                t,
+            } => TraceRecord::LeaderElected {
+                node,
+                event,
+                handoff,
+                t,
+            },
+            TraceEvent::Occupancy {
+                node,
+                used,
+                capacity,
+                t,
+            } => TraceRecord::Occupancy {
+                node,
+                used,
+                capacity,
+                t,
+            },
+            TraceEvent::SourceStarted { source, t } => TraceRecord::SourceStarted { source, t },
+            TraceEvent::SourceStopped { source, t } => TraceRecord::SourceStopped { source, t },
+            TraceEvent::FaultInjected { kind, node, t } => TraceRecord::FaultInjected {
+                kind: kind.to_string(),
+                node,
+                t,
+            },
+        }
+    }
+}
+
+impl TraceRecord {
+    /// The record's variant name (the explorer's `--kind` vocabulary).
+    #[must_use]
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            TraceRecord::Recorded { .. } => "Recorded",
+            TraceRecord::RecordDropped { .. } => "RecordDropped",
+            TraceRecord::Erased { .. } => "Erased",
+            TraceRecord::MessageSent { .. } => "MessageSent",
+            TraceRecord::ChunkStored { .. } => "ChunkStored",
+            TraceRecord::ChunkRemoved { .. } => "ChunkRemoved",
+            TraceRecord::Migrated { .. } => "Migrated",
+            TraceRecord::LeaderElected { .. } => "LeaderElected",
+            TraceRecord::Occupancy { .. } => "Occupancy",
+            TraceRecord::SourceStarted { .. } => "SourceStarted",
+            TraceRecord::SourceStopped { .. } => "SourceStopped",
+            TraceRecord::FaultInjected { .. } => "FaultInjected",
+        }
+    }
+
+    /// The global-clock time the record refers to (interval records use
+    /// their start).
+    #[must_use]
+    pub fn time(&self) -> SimTime {
+        match *self {
+            TraceRecord::Recorded { t0, .. }
+            | TraceRecord::RecordDropped { t0, .. }
+            | TraceRecord::Erased { t0, .. } => t0,
+            TraceRecord::MessageSent { t, .. }
+            | TraceRecord::ChunkStored { t, .. }
+            | TraceRecord::ChunkRemoved { t, .. }
+            | TraceRecord::Migrated { t, .. }
+            | TraceRecord::LeaderElected { t, .. }
+            | TraceRecord::Occupancy { t, .. }
+            | TraceRecord::SourceStarted { t, .. }
+            | TraceRecord::SourceStopped { t, .. }
+            | TraceRecord::FaultInjected { t, .. } => t,
+        }
+    }
+
+    /// True when the record concerns `node` (either endpoint of a
+    /// migration; the afflicted node of a node-scoped fault; source
+    /// markers concern no node).
+    #[must_use]
+    pub fn involves(&self, node: NodeId) -> bool {
+        match *self {
+            TraceRecord::Recorded { node: n, .. }
+            | TraceRecord::RecordDropped { node: n, .. }
+            | TraceRecord::Erased { node: n, .. }
+            | TraceRecord::MessageSent { node: n, .. }
+            | TraceRecord::LeaderElected { node: n, .. }
+            | TraceRecord::Occupancy { node: n, .. } => n == node,
+            TraceRecord::ChunkStored {
+                node: n, origin, ..
+            }
+            | TraceRecord::ChunkRemoved {
+                node: n, origin, ..
+            } => n == node || origin == node,
+            TraceRecord::Migrated { from, to, .. } => from == node || to == node,
+            TraceRecord::FaultInjected { node: n, .. } => n == Some(node),
+            TraceRecord::SourceStarted { .. } | TraceRecord::SourceStopped { .. } => false,
+        }
+    }
+
+    /// The record's protocol-level label, when it has one (`MessageSent`
+    /// message kinds, `FaultInjected` fault kinds).
+    #[must_use]
+    pub fn label(&self) -> Option<&str> {
+        match self {
+            TraceRecord::MessageSent { kind, .. } | TraceRecord::FaultInjected { kind, .. } => {
+                Some(kind)
+            }
+            _ => None,
+        }
+    }
+}
+
+/// One dumped run: identity, golden digest, and (optionally) the full
+/// event ledger and metric timeline.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunDump {
+    /// Scenario label (e.g. `quick-indoor`).
+    pub label: String,
+    /// The run's seed.
+    pub seed: u64,
+    /// Trace digest as a `0x`-prefixed hex string.
+    pub digest: String,
+    /// The trace, mirrored into owned records; empty when the dump was
+    /// written timeline-only.
+    pub events: Vec<TraceRecord>,
+    /// The run's sim-time metric timeline, when sampling was enabled.
+    pub timeline: Option<TimelineReport>,
+}
+
+impl RunDump {
+    /// Captures `run` under `label`/`seed`. `with_events` controls whether
+    /// the (large) event ledger is included or only digest + timeline.
+    #[must_use]
+    pub fn from_run(label: &str, seed: u64, run: &ExperimentRun, with_events: bool) -> RunDump {
+        RunDump {
+            label: label.to_string(),
+            seed,
+            digest: format!("{:#018x}", run.trace.digest()),
+            events: if with_events {
+                run.trace.iter().map(TraceRecord::from).collect()
+            } else {
+                Vec::new()
+            },
+            timeline: run.timeline.clone(),
+        }
+    }
+
+    /// The time span `[first, last]` covered by the dumped events, in
+    /// seconds; `None` when no events were dumped.
+    #[must_use]
+    pub fn span_secs(&self) -> Option<(f64, f64)> {
+        let mut times = self.events.iter().map(|e| e.time().as_secs_f64());
+        let first = times.next()?;
+        let (lo, hi) = times.fold((first, first), |(lo, hi), t| (lo.min(t), hi.max(t)));
+        Some((lo, hi))
+    }
+}
+
+/// A file of dumped runs — what `--timeline-out` writes and the `trace`
+/// explorer loads.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct DumpFile {
+    /// The dumped runs, in the order they were produced.
+    pub runs: Vec<RunDump>,
+}
+
+impl DumpFile {
+    /// Serializes the dump as indented JSON.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        serde::Serialize::to_value(self).to_json_pretty()
+    }
+
+    /// Parses a dump back from JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error string for malformed JSON or mismatched shape.
+    pub fn from_json(text: &str) -> Result<DumpFile, String> {
+        let value = serde::Value::from_json(text).map_err(|e| e.to_string())?;
+        serde::Deserialize::from_value(&value).map_err(|e: serde::DeError| e.to_string())
+    }
+}
+
+/// A node / event-kind / time-window query over dumped trace records.
+/// `None` fields match everything.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TraceFilter {
+    /// Keep records involving this node.
+    pub node: Option<u16>,
+    /// Keep records of this kind: a variant name (`Migrated`) or a
+    /// protocol label (`TASK_REQUEST`, `CRASH`), case-insensitive.
+    pub kind: Option<String>,
+    /// Keep records at or after this many seconds of sim-time.
+    pub from_secs: Option<f64>,
+    /// Keep records at or before this many seconds of sim-time.
+    pub to_secs: Option<f64>,
+}
+
+impl TraceFilter {
+    /// Does `record` pass every set criterion?
+    #[must_use]
+    pub fn matches(&self, record: &TraceRecord) -> bool {
+        if let Some(node) = self.node {
+            if !record.involves(NodeId(node)) {
+                return false;
+            }
+        }
+        if let Some(kind) = &self.kind {
+            let by_variant = record.kind_name().eq_ignore_ascii_case(kind);
+            let by_label = record.label().is_some_and(|l| l.eq_ignore_ascii_case(kind));
+            if !by_variant && !by_label {
+                return false;
+            }
+        }
+        let t = record.time().as_secs_f64();
+        if self.from_secs.is_some_and(|from| t < from) {
+            return false;
+        }
+        if self.to_secs.is_some_and(|to| t > to) {
+            return false;
+        }
+        true
+    }
+
+    /// The records of `events` passing the filter, in order.
+    #[must_use]
+    pub fn apply<'a>(&self, events: &'a [TraceRecord]) -> Vec<&'a TraceRecord> {
+        events.iter().filter(|e| self.matches(e)).collect()
+    }
+}
+
+/// `(kind, count)` for every record kind present, sorted by descending
+/// count then name.
+#[must_use]
+pub fn kind_counts<'a>(events: impl IntoIterator<Item = &'a TraceRecord>) -> Vec<(String, usize)> {
+    let mut counts: Vec<(String, usize)> = Vec::new();
+    for e in events {
+        let key = match e.label() {
+            Some(label) => format!("{}/{}", e.kind_name(), label),
+            None => e.kind_name().to_string(),
+        };
+        match counts.iter_mut().find(|(k, _)| *k == key) {
+            Some((_, n)) => *n += 1,
+            None => counts.push((key, 1)),
+        }
+    }
+    counts.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+    counts
+}
+
+/// Renders records as a time-ordered ledger, one line per record.
+#[must_use]
+pub fn render_ledger<'a>(events: impl IntoIterator<Item = &'a TraceRecord>) -> String {
+    let mut out = String::new();
+    for e in events {
+        out.push_str(&format!("  {:>10.3}s  {e:?}\n", e.time().as_secs_f64()));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::{indoor_world_config, run_scenario};
+    use enviromic_core::{Mode, NodeConfig};
+    use enviromic_types::SimDuration;
+    use enviromic_workloads::{indoor_scenario, IndoorParams};
+
+    fn quick_run(timeline: bool) -> ExperimentRun {
+        let params = IndoorParams {
+            duration_secs: 20.0,
+            ..IndoorParams::default()
+        };
+        let scenario = indoor_scenario(&params, 7);
+        let cfg = NodeConfig::default().with_mode(Mode::Full);
+        let mut wcfg = indoor_world_config(7);
+        if timeline {
+            wcfg.timeline_sample_period = Some(SimDuration::from_secs_f64(5.0));
+        }
+        run_scenario(scenario, &cfg, wcfg, 2.0)
+    }
+
+    #[test]
+    fn dump_round_trips_with_events_and_timeline() {
+        let run = quick_run(true);
+        let dump = DumpFile {
+            runs: vec![RunDump::from_run("quick-indoor", 7, &run, true)],
+        };
+        let back = DumpFile::from_json(&dump.to_json()).expect("parses");
+        assert_eq!(back, dump);
+        let r = &back.runs[0];
+        assert_eq!(r.events.len(), run.trace.len());
+        assert!(r.digest.starts_with("0x"));
+        assert!(r.timeline.is_some(), "timeline captured");
+        assert!(r.span_secs().is_some());
+    }
+
+    #[test]
+    fn eventless_dump_keeps_digest_and_timeline() {
+        let run = quick_run(true);
+        let dump = RunDump::from_run("quick-indoor", 7, &run, false);
+        assert!(dump.events.is_empty());
+        assert!(dump.timeline.is_some());
+        assert_eq!(dump.span_secs(), None);
+    }
+
+    #[test]
+    fn records_mirror_every_trace_event() {
+        let run = quick_run(false);
+        for (orig, rec) in run
+            .trace
+            .iter()
+            .zip(run.trace.iter().map(TraceRecord::from))
+        {
+            assert_eq!(orig.time(), rec.time(), "time preserved: {orig:?}");
+        }
+    }
+
+    #[test]
+    fn filter_answers_node_kind_and_window_queries() {
+        let run = quick_run(false);
+        let events: Vec<TraceRecord> = run.trace.iter().map(TraceRecord::from).collect();
+
+        let by_node = TraceFilter {
+            node: Some(0),
+            ..TraceFilter::default()
+        };
+        let node_events = by_node.apply(&events);
+        assert!(!node_events.is_empty(), "node 0 did something");
+        assert!(node_events.iter().all(|e| e.involves(NodeId(0))));
+
+        let by_kind = TraceFilter {
+            kind: Some("messagesent".into()),
+            ..TraceFilter::default()
+        };
+        let sent = by_kind.apply(&events);
+        assert!(!sent.is_empty());
+        assert!(sent
+            .iter()
+            .all(|e| matches!(e, TraceRecord::MessageSent { .. })));
+
+        // A protocol label narrows further than the variant name.
+        let by_label = TraceFilter {
+            kind: Some("SENSING".into()),
+            ..TraceFilter::default()
+        };
+        assert!(by_label.apply(&events).len() <= sent.len());
+
+        let windowed = TraceFilter {
+            from_secs: Some(5.0),
+            to_secs: Some(10.0),
+            ..TraceFilter::default()
+        };
+        let in_window = windowed.apply(&events);
+        assert!(!in_window.is_empty());
+        assert!(in_window
+            .iter()
+            .all(|e| (5.0..=10.0).contains(&e.time().as_secs_f64())));
+
+        // Composed criteria intersect.
+        let both = TraceFilter {
+            node: Some(0),
+            kind: Some("MessageSent".into()),
+            from_secs: Some(5.0),
+            to_secs: Some(10.0),
+        };
+        for e in both.apply(&events) {
+            assert!(e.involves(NodeId(0)));
+            assert_eq!(e.kind_name(), "MessageSent");
+        }
+    }
+
+    #[test]
+    fn counts_and_ledger_render() {
+        let run = quick_run(false);
+        let events: Vec<TraceRecord> = run.trace.iter().map(TraceRecord::from).collect();
+        let counts = kind_counts(&events);
+        assert!(!counts.is_empty());
+        let total: usize = counts.iter().map(|(_, n)| n).sum();
+        assert_eq!(total, events.len(), "every record counted once");
+        assert!(counts.windows(2).all(|w| w[0].1 >= w[1].1), "sorted desc");
+        let ledger = render_ledger(events.iter().take(3));
+        assert_eq!(ledger.lines().count(), 3);
+        assert!(ledger.contains('s'));
+    }
+}

@@ -215,13 +215,22 @@ pub struct SweepPlan {
     pub seeds: Vec<u64>,
     /// The scenario/config points of the grid.
     pub scenarios: Vec<ScenarioSpec>,
+    /// If set, every job records a sim-time metric timeline at this
+    /// cadence (seconds). Applied on top of whatever the spec builds, so
+    /// stock points gain timelines without bespoke closures; per-seed
+    /// trace digests are unaffected (the sampler is a passive observer).
+    pub timeline_secs: Option<f64>,
 }
 
 impl SweepPlan {
     /// A plan over `seeds` and `scenarios`.
     #[must_use]
     pub fn new(seeds: Vec<u64>, scenarios: Vec<ScenarioSpec>) -> Self {
-        SweepPlan { seeds, scenarios }
+        SweepPlan {
+            seeds,
+            scenarios,
+            timeline_secs: None,
+        }
     }
 
     /// The standard quick sweep: quick-indoor × quick-forest at 120 s,
@@ -269,7 +278,15 @@ impl SweepPlan {
         SweepPlan {
             seeds: self.seeds,
             scenarios,
+            timeline_secs: self.timeline_secs,
         }
+    }
+
+    /// Enables per-job timeline sampling at `secs` of sim-time per sample.
+    #[must_use]
+    pub fn with_timeline(mut self, secs: f64) -> Self {
+        self.timeline_secs = Some(secs);
+        self
     }
 
     /// Total number of jobs the plan expands to.
@@ -432,13 +449,17 @@ struct SweepJob {
     index: usize,
     seed: u64,
     spec: ScenarioSpec,
+    timeline_secs: Option<f64>,
 }
 
 /// Executes a single job: builds the world from the spec, runs it to
 /// completion, and digests the trace.
 fn execute(job: &SweepJob) -> JobOutcome {
     let started = Instant::now();
-    let input = job.spec.build(job.seed);
+    let mut input = job.spec.build(job.seed);
+    if let Some(secs) = job.timeline_secs {
+        input.world_cfg.timeline_sample_period = Some(SimDuration::from_secs_f64(secs));
+    }
     let run = run_scenario_with_faults(
         input.scenario,
         &input.node_cfg,
@@ -475,7 +496,12 @@ pub fn run_sweep(plan: &SweepPlan, workers: usize) -> SweepOutcome {
         .iter()
         .flat_map(|spec| plan.seeds.iter().map(move |&seed| (spec.clone(), seed)))
         .enumerate()
-        .map(|(index, (spec, seed))| SweepJob { index, seed, spec })
+        .map(|(index, (spec, seed))| SweepJob {
+            index,
+            seed,
+            spec,
+            timeline_secs: plan.timeline_secs,
+        })
         .collect();
     let total = jobs.len();
     let workers = workers.clamp(1, total.max(1));

@@ -15,6 +15,7 @@
 use enviromic::harness::{indoor_world_config, run_scenario};
 use enviromic::sweep::{run_sweep, ScenarioSpec, SweepPlan};
 use enviromic_core::{Mode, NodeConfig};
+use enviromic_types::SimDuration;
 use enviromic_workloads::{indoor_scenario, mobile_scenario, IndoorParams, MobileParams};
 
 /// Golden values captured from the quick indoor run below at seed 42.
@@ -104,6 +105,76 @@ fn mobile_golden_digest_holds_inside_worker_pool() {
             "mobile sweep on {workers} workers diverged from the golden trace",
         );
     }
+}
+
+/// Timeline sampling is a pure observer: both golden digests must hold
+/// with sampling enabled at any cadence. A sampler that drew RNG,
+/// emitted trace events, or settled energy accounting early would move
+/// the digest and fail this pin at one cadence but not another.
+#[test]
+fn golden_digests_hold_with_timeline_sampling() {
+    for interval in [5.0, 0.5] {
+        let params = IndoorParams {
+            duration_secs: 120.0,
+            ..IndoorParams::default()
+        };
+        let scenario = indoor_scenario(&params, 42);
+        let cfg = NodeConfig::default().with_mode(Mode::Full);
+        let mut wcfg = indoor_world_config(42);
+        wcfg.timeline_sample_period = Some(SimDuration::from_secs_f64(interval));
+        let run = run_scenario(scenario, &cfg, wcfg, 5.0);
+        assert_eq!(
+            (run.trace.len(), run.trace.digest()),
+            (GOLDEN_EVENTS, GOLDEN_DIGEST),
+            "timeline sampling every {interval}s perturbed the indoor trace",
+        );
+        let tl = run.timeline.expect("timeline was sampled");
+        assert!(!tl.times.is_empty(), "timeline captured samples");
+
+        let scenario = mobile_scenario(&MobileParams::default());
+        let cfg = NodeConfig::default().with_mode(Mode::Full);
+        let mut wcfg = indoor_world_config(42);
+        wcfg.timeline_sample_period = Some(SimDuration::from_secs_f64(interval));
+        let run = run_scenario(scenario, &cfg, wcfg, 5.0);
+        assert_eq!(
+            (run.trace.len(), run.trace.digest()),
+            (GOLDEN_MOBILE_EVENTS, GOLDEN_MOBILE_DIGEST),
+            "timeline sampling every {interval}s perturbed the mobile trace",
+        );
+    }
+}
+
+/// The timeline itself is deterministic: the same plan run on 1 and 4
+/// workers must serialize to byte-identical timeline JSON per job (CI
+/// enforces the same property on the dumped files). Wall-clock metrics
+/// never enter the timeline, so full equality is exact.
+#[test]
+fn timelines_are_bit_identical_across_worker_counts() {
+    let plan =
+        SweepPlan::new(vec![41, 42], vec![ScenarioSpec::quick_indoor(30.0)]).with_timeline(5.0);
+    let reference: Vec<(u64, String)> = run_sweep(&plan, 1)
+        .jobs
+        .iter()
+        .map(|j| {
+            let tl = j.run.timeline.as_ref().expect("timeline sampled");
+            (j.seed, tl.to_json())
+        })
+        .collect();
+    let parallel: Vec<(u64, String)> = run_sweep(&plan, 4)
+        .jobs
+        .iter()
+        .map(|j| {
+            let tl = j.run.timeline.as_ref().expect("timeline sampled");
+            (j.seed, tl.to_json())
+        })
+        .collect();
+    assert_eq!(reference, parallel, "timeline JSON varies with pool size");
+    assert!(
+        reference
+            .iter()
+            .all(|(_, json)| json.contains("node.0.energy_mj")),
+        "per-node probes present in every timeline",
+    );
 }
 
 #[test]
