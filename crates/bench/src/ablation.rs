@@ -11,15 +11,25 @@
 //!   trades storage for robustness.
 //! * **detector margin** — silence-filtering sensitivity: misses vs.
 //!   false-positive (unattributable) recordings.
+//!
+//! The module also hosts the **storage-policy matrix**
+//! ([`run_policy_matrix`]): every
+//! [`BalancePolicy`](enviromic::core::BalancePolicy) implementation run
+//! head-to-head through the indoor, forest, and chaos scenario families,
+//! emitting the comparative [`PolicyMatrix`] report committed as
+//! `BENCH_policies.json` (storage utilization, chunk loss under faults,
+//! migration radio energy, and the `balance.policy.*` telemetry).
 
 use crate::indoor::suite_world_config;
-use enviromic::core::{Mode, NodeConfig};
-use enviromic::harness::ExperimentRun;
+use enviromic::core::{Mode, NodeConfig, PolicyKind};
+use enviromic::harness::{forest_world_config, ExperimentRun};
 use enviromic::metrics::mean;
+use enviromic::runtime::EnergyModel;
 use enviromic::sim::TraceEvent;
-use enviromic::sweep::{run_sweep, JobInput, ScenarioSpec, SweepPlan};
+use enviromic::sweep::{run_sweep, JobInput, JobOutcome, ScenarioSpec, SweepPlan};
 use enviromic::types::SimDuration;
-use enviromic::workloads::{indoor_scenario, IndoorParams};
+use enviromic::workloads::{forest_scenario, indoor_scenario, ForestParams, IndoorParams};
+use serde::{Deserialize, Serialize};
 
 /// One ablation row: a label and its measured metrics.
 #[derive(Debug, Clone)]
@@ -149,6 +159,342 @@ pub fn render(rows: &[AblationRow]) -> String {
     out
 }
 
+// ----- storage-policy matrix (BalancePolicy head-to-head) ---------------------
+
+/// Flash capacity used by the policy matrix: small enough that the
+/// workloads pressure storage within a few hundred seconds, so the
+/// policies actually diverge (drops vs migrations vs redundant copies).
+pub const POLICY_FLASH_CHUNKS: u32 = 180;
+
+/// The message kinds that make up the migration choreography; their
+/// transmit time prices the `migration_energy_mj` column.
+const MIGRATION_KINDS: [&str; 4] = ["MIGRATE_OFFER", "MIGRATE_ACCEPT", "BULK_DATA", "BULK_ACK"];
+
+fn policy_cfg(kind: PolicyKind) -> NodeConfig {
+    NodeConfig::default()
+        .with_mode(Mode::Full)
+        .with_flash_chunks(POLICY_FLASH_CHUNKS)
+        .with_policy(kind)
+}
+
+/// One (scenario family × policy × seed) cell of the policy matrix.
+///
+/// Deliberately free of wall-clock fields: the whole report is a pure
+/// function of the plan, so CI regenerates it at different worker counts
+/// and byte-diffs the files.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PolicyRow {
+    /// Scenario family (`indoor`, `forest`, `chaos-indoor`).
+    pub scenario: String,
+    /// Policy name (see [`PolicyKind::name`]).
+    pub policy: String,
+    /// The run's seed.
+    pub seed: u64,
+    /// Trace digest as `0x`-prefixed hex (the determinism fingerprint).
+    pub digest: String,
+    /// Trace event count.
+    pub events: u64,
+    /// Mean occupied fraction of flash across nodes at the end of the run.
+    pub storage_utilization: f64,
+    /// Standard deviation of final per-node occupancy (chunks) — the
+    /// balance quality measure of Fig. 13.
+    pub occupancy_stddev: f64,
+    /// Whole-run recording miss ratio.
+    pub miss_ratio: f64,
+    /// Chunks dropped on the floor because the local store was full.
+    pub chunks_dropped: u64,
+    /// Chunks held across all stores at the end of the run.
+    pub chunks_stored: u64,
+    /// `dropped / (dropped + stored)` — the chunk-loss measure (redundant
+    /// copies count as stored: extra copies are extra retained data).
+    pub loss_ratio: f64,
+    /// Chunks acknowledged out over migration sessions.
+    pub chunks_migrated: u64,
+    /// Chunks left duplicated by abandoned sessions (lost ACKs).
+    pub duplicated_chunks: u64,
+    /// Packets of the migration choreography (offer/accept/data/ack).
+    pub migration_packets: u64,
+    /// Transmit energy of those packets in millijoules, priced with the
+    /// default [`EnergyModel`] at 250 kbps.
+    pub migration_energy_mj: f64,
+    /// `balance.policy.<name>.offers`.
+    pub policy_offers: u64,
+    /// `balance.policy.<name>.holds` (decision ticks that kept data).
+    pub policy_holds: u64,
+    /// `balance.policy.<name>.inbound_accepted`.
+    pub policy_inbound_accepted: u64,
+    /// `balance.policy.<name>.inbound_rejected`.
+    pub policy_inbound_rejected: u64,
+    /// `balance.policy.<name>.chunks_retained` (deliberate replicas).
+    pub policy_chunks_retained: u64,
+    /// `balance.policy.<name>.sessions_closed`.
+    pub policy_sessions_closed: u64,
+}
+
+/// Per (scenario family × policy) aggregate: seed-means of the headline
+/// columns.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PolicySummary {
+    /// Scenario family.
+    pub scenario: String,
+    /// Policy name.
+    pub policy: String,
+    /// Seeds aggregated.
+    pub runs: u64,
+    /// Mean storage utilization.
+    pub storage_utilization: f64,
+    /// Mean occupancy standard deviation.
+    pub occupancy_stddev: f64,
+    /// Mean miss ratio.
+    pub miss_ratio: f64,
+    /// Mean chunk-loss ratio.
+    pub loss_ratio: f64,
+    /// Mean chunks migrated per run.
+    pub chunks_migrated: f64,
+    /// Mean migration transmit energy, millijoules.
+    pub migration_energy_mj: f64,
+}
+
+/// The comparative storage-policy report (`BENCH_policies.json`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PolicyMatrix {
+    /// Per-run scenario duration, seconds.
+    pub duration_secs: f64,
+    /// Seeds each (scenario × policy) cell was run at.
+    pub seeds: Vec<u64>,
+    /// Per-node flash capacity used, chunks.
+    pub flash_chunks: u64,
+    /// Every cell, plan-ordered (scenario-major, then policy, then seed).
+    pub rows: Vec<PolicyRow>,
+    /// Seed-averaged comparison per (scenario × policy).
+    pub summary: Vec<PolicySummary>,
+}
+
+impl PolicyMatrix {
+    /// Serializes the report as indented JSON.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        serde::Serialize::to_value(self).to_json_pretty()
+    }
+
+    /// Parses a report back from JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error string for malformed JSON or mismatched shape.
+    pub fn from_json(text: &str) -> Result<PolicyMatrix, String> {
+        let value = serde::Value::from_json(text).map_err(|e| e.to_string())?;
+        serde::Deserialize::from_value(&value).map_err(|e: serde::DeError| e.to_string())
+    }
+
+    /// Renders the seed-averaged comparison table.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::from(
+            "Storage-policy ablation (seed means)\n\n\
+             scenario       policy         util   occ-sd    miss    loss   migr/run   energy(mJ)\n",
+        );
+        let mut last_scenario = "";
+        for s in &self.summary {
+            if s.scenario != last_scenario && !last_scenario.is_empty() {
+                out.push('\n');
+            }
+            last_scenario = &s.scenario;
+            out.push_str(&format!(
+                "  {:<12} {:<13} {:>6.3}  {:>7.1}  {:>6.3}  {:>6.3}  {:>9.1}  {:>11.2}\n",
+                s.scenario,
+                s.policy,
+                s.storage_utilization,
+                s.occupancy_stddev,
+                s.miss_ratio,
+                s.loss_ratio,
+                s.chunks_migrated,
+                s.migration_energy_mj,
+            ));
+        }
+        out
+    }
+}
+
+fn policy_row(scenario: &str, kind: PolicyKind, job: &JobOutcome, duration: f64) -> PolicyRow {
+    let exp = job.run.experiment();
+    let energy = EnergyModel::default();
+    let (mut migration_packets, mut migration_energy_mj) = (0u64, 0.0f64);
+    let (mut chunks_migrated, mut duplicated_chunks) = (0u64, 0u64);
+    for ev in job.run.trace.iter() {
+        match ev {
+            TraceEvent::MessageSent { kind, bytes, .. } if MIGRATION_KINDS.contains(kind) => {
+                migration_packets += 1;
+                let tx_secs = f64::from(*bytes) * 8.0 / 250_000.0;
+                migration_energy_mj += energy.radio_tx_mw * tx_secs;
+            }
+            TraceEvent::Migrated {
+                duplicated, chunks, ..
+            } => {
+                if *duplicated {
+                    duplicated_chunks += u64::from(*chunks);
+                } else {
+                    chunks_migrated += u64::from(*chunks);
+                }
+            }
+            _ => {}
+        }
+    }
+    let occupancy = exp.occupancy_at(duration);
+    let occ_f: Vec<f64> = occupancy.iter().map(|&u| u as f64).collect();
+    let m = mean(&occ_f);
+    let var = occ_f.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / occ_f.len().max(1) as f64;
+    let chunks_stored: u64 = occupancy.iter().sum();
+    let chunks_dropped = job
+        .run
+        .telemetry
+        .counter("core.storage.chunks_dropped")
+        .unwrap_or(0);
+    let denom = chunks_dropped + chunks_stored;
+    let policy_counter = |which: &str| {
+        job.run
+            .telemetry
+            .counter(&format!("balance.policy.{}.{which}", kind.name()))
+            .unwrap_or(0)
+    };
+    PolicyRow {
+        scenario: scenario.to_owned(),
+        policy: kind.name().to_owned(),
+        seed: job.seed,
+        digest: format!("{:#018x}", job.digest),
+        events: job.events as u64,
+        storage_utilization: m / f64::from(POLICY_FLASH_CHUNKS),
+        occupancy_stddev: var.sqrt(),
+        miss_ratio: exp.miss_ratio(duration),
+        chunks_dropped,
+        chunks_stored,
+        loss_ratio: if denom == 0 {
+            0.0
+        } else {
+            chunks_dropped as f64 / denom as f64
+        },
+        chunks_migrated,
+        duplicated_chunks,
+        migration_packets,
+        migration_energy_mj,
+        policy_offers: policy_counter("offers"),
+        policy_holds: policy_counter("holds"),
+        policy_inbound_accepted: policy_counter("inbound_accepted"),
+        policy_inbound_rejected: policy_counter("inbound_rejected"),
+        policy_chunks_retained: policy_counter("chunks_retained"),
+        policy_sessions_closed: policy_counter("sessions_closed"),
+    }
+}
+
+/// Builds one (scenario family × policy) sweep point.
+fn policy_spec(family: &'static str, kind: PolicyKind, duration: f64) -> ScenarioSpec {
+    let label = format!("{family}+{}", kind.name());
+    match family {
+        "forest" => ScenarioSpec::new(label, move |seed| {
+            let params = ForestParams {
+                duration_secs: duration,
+                ..ForestParams::default()
+            };
+            // Forest worlds do not snapshot occupancy by default; the
+            // matrix needs the polls for its utilization columns.
+            let mut world_cfg = forest_world_config(seed);
+            world_cfg.occupancy_snapshot_period = Some(SimDuration::from_secs_f64(60.0));
+            JobInput {
+                scenario: forest_scenario(&params, seed),
+                node_cfg: policy_cfg(kind),
+                world_cfg,
+                drain_secs: 20.0,
+                faults: enviromic_sim::FaultPlan::new(),
+            }
+        }),
+        _ => ScenarioSpec::new(label, move |seed| {
+            let params = IndoorParams {
+                duration_secs: duration,
+                ..IndoorParams::default()
+            };
+            let scenario = indoor_scenario(&params, seed);
+            let faults = if family == "chaos-indoor" {
+                enviromic_sim::FaultPlan::chaos(
+                    seed,
+                    scenario.topology.positions().len(),
+                    SimDuration::from_secs_f64(duration),
+                )
+            } else {
+                enviromic_sim::FaultPlan::new()
+            };
+            JobInput {
+                scenario,
+                node_cfg: policy_cfg(kind),
+                world_cfg: suite_world_config(seed),
+                drain_secs: 20.0,
+                faults,
+            }
+        }),
+    }
+}
+
+/// Scenario families the policy matrix sweeps: the two deployment
+/// workloads plus the chaos variant, so "loss under faults" is measured
+/// under an actual fault schedule.
+pub const POLICY_SCENARIOS: [&str; 3] = ["indoor", "forest", "chaos-indoor"];
+
+/// Runs every [`BalancePolicy`](enviromic::core::BalancePolicy) through
+/// the scenario families at every seed, on `jobs` workers. The result is
+/// deterministic: the same seeds produce a byte-identical report at any
+/// worker count.
+#[must_use]
+pub fn run_policy_matrix(seeds: &[u64], duration: f64, jobs: usize) -> PolicyMatrix {
+    let mut specs = Vec::new();
+    let mut cells: Vec<(&str, PolicyKind)> = Vec::new();
+    for family in POLICY_SCENARIOS {
+        for kind in PolicyKind::ALL {
+            specs.push(policy_spec(family, kind, duration));
+            cells.push((family, kind));
+        }
+    }
+    let out = run_sweep(&SweepPlan::new(seeds.to_vec(), specs), jobs);
+    // Jobs come back scenario-major in plan order: all seeds of cell 0,
+    // then all seeds of cell 1, ...
+    let rows: Vec<PolicyRow> = cells
+        .iter()
+        .enumerate()
+        .flat_map(|(i, &(family, kind))| {
+            out.jobs[i * seeds.len()..(i + 1) * seeds.len()]
+                .iter()
+                .map(move |job| policy_row(family, kind, job, duration))
+        })
+        .collect();
+    let summary = cells
+        .iter()
+        .map(|&(family, kind)| {
+            let cell: Vec<&PolicyRow> = rows
+                .iter()
+                .filter(|r| r.scenario == family && r.policy == kind.name())
+                .collect();
+            let n = cell.len().max(1) as f64;
+            let avg = |f: &dyn Fn(&PolicyRow) -> f64| cell.iter().map(|r| f(r)).sum::<f64>() / n;
+            PolicySummary {
+                scenario: family.to_owned(),
+                policy: kind.name().to_owned(),
+                runs: cell.len() as u64,
+                storage_utilization: avg(&|r| r.storage_utilization),
+                occupancy_stddev: avg(&|r| r.occupancy_stddev),
+                miss_ratio: avg(&|r| r.miss_ratio),
+                loss_ratio: avg(&|r| r.loss_ratio),
+                chunks_migrated: avg(&|r| r.chunks_migrated as f64),
+                migration_energy_mj: avg(&|r| r.migration_energy_mj),
+            }
+        })
+        .collect();
+    PolicyMatrix {
+        duration_secs: duration,
+        seeds: seeds.to_vec(),
+        flash_chunks: u64::from(POLICY_FLASH_CHUNKS),
+        rows,
+        summary,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -169,5 +515,36 @@ mod tests {
             no_piggy.packets,
             reference.packets
         );
+    }
+
+    #[test]
+    fn policy_matrix_is_deterministic_and_contrasts_policies() {
+        let seeds = [11, 12];
+        let serial = run_policy_matrix(&seeds, 150.0, 1);
+        let pooled = run_policy_matrix(&seeds, 150.0, 4);
+        // Byte-identical report regardless of worker count — the property
+        // CI enforces on BENCH_policies.json.
+        assert_eq!(serial, pooled);
+        assert_eq!(serial.to_json(), pooled.to_json());
+        assert_eq!(
+            serial.rows.len(),
+            POLICY_SCENARIOS.len() * PolicyKind::ALL.len() * seeds.len()
+        );
+        let back = PolicyMatrix::from_json(&serial.to_json()).expect("parses");
+        assert_eq!(back, serial);
+
+        for r in &serial.rows {
+            assert!((0.0..=1.0).contains(&r.storage_utilization), "{r:?}");
+            assert!((0.0..=1.0).contains(&r.loss_ratio), "{r:?}");
+            // The no-migration baseline really does switch migration off.
+            if r.policy == "no-migration" {
+                assert_eq!(r.migration_packets, 0, "{r:?}");
+                assert_eq!(r.chunks_migrated, 0, "{r:?}");
+                assert_eq!(r.migration_energy_mj, 0.0, "{r:?}");
+            }
+        }
+        let rendered = serial.render();
+        assert!(rendered.contains("no-migration"));
+        assert!(rendered.contains("chaos-indoor"));
     }
 }

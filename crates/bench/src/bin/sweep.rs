@@ -2,15 +2,18 @@
 //!
 //! ```text
 //! sweep [--seeds N] [--seed-start S] [--jobs N] [--duration SECS]
-//!       [--scenario indoor|forest|both] [--chaos] [--out PATH]
-//!       [--digests-out PATH] [--timeline SECS] [--timeline-out PATH]
-//!       [-q | --verbose]
+//!       [--scenario indoor|forest|both] [--policy NAME] [--chaos]
+//!       [--out PATH] [--digests-out PATH] [--timeline SECS]
+//!       [--timeline-out PATH] [-q | --verbose]
 //!
 //! --seeds N            number of consecutive seeds (default 8)
 //! --seed-start S       first seed (default 42, the golden-digest seed)
 //! --jobs N             worker threads (default: available cores)
 //! --duration SECS      per-run duration (default 120, the quick length)
 //! --scenario WHICH     grid axis: indoor, forest, or both (default both)
+//! --policy NAME        storage-balancing policy for every node: beta-ttl
+//!                      (default), no-migration, coordinated, or flooding;
+//!                      non-default policies relabel points "label+policy"
 //! --chaos              inject a seed-derived fault schedule into every
 //!                      run (crashes + reboots, a radio blackout, link
 //!                      degradation, bad flash blocks)
@@ -31,6 +34,7 @@
 
 use enviromic::observe::{DumpFile, RunDump};
 use enviromic::sweep::{run_sweep, ScenarioSpec, SweepPlan};
+use enviromic_core::PolicyKind;
 use enviromic_telemetry::{log, log_info, log_warn};
 
 struct Options {
@@ -39,6 +43,7 @@ struct Options {
     jobs: usize,
     duration: f64,
     scenario: String,
+    policy: PolicyKind,
     chaos: bool,
     out: String,
     digests_out: Option<String>,
@@ -49,7 +54,8 @@ struct Options {
 fn usage() -> ! {
     eprintln!(
         "usage: sweep [--seeds N] [--seed-start S] [--jobs N] [--duration SECS] \
-         [--scenario indoor|forest|both] [--chaos] [--out PATH] [--digests-out PATH] \
+         [--scenario indoor|forest|both] [--policy beta-ttl|no-migration|coordinated|flooding] \
+         [--chaos] [--out PATH] [--digests-out PATH] \
          [--timeline SECS] [--timeline-out PATH] [-q|--quiet] [-v|--verbose]"
     );
     std::process::exit(2);
@@ -62,6 +68,7 @@ fn parse_args() -> Options {
         jobs: std::thread::available_parallelism().map_or(1, |n| n.get()),
         duration: 120.0,
         scenario: "both".into(),
+        policy: PolicyKind::default(),
         chaos: false,
         out: String::from("target/bench/BENCH_sweep.json"),
         digests_out: None,
@@ -84,6 +91,12 @@ fn parse_args() -> Options {
             }
             "--duration" => opts.duration = value().parse().unwrap_or_else(|_| usage()),
             "--scenario" => opts.scenario = value(),
+            "--policy" => {
+                opts.policy = value().parse().unwrap_or_else(|e: String| {
+                    eprintln!("sweep: {e}");
+                    usage()
+                });
+            }
             "--chaos" => opts.chaos = true,
             "--out" => opts.out = value(),
             "--digests-out" => opts.digests_out = Some(value()),
@@ -144,7 +157,7 @@ fn main() {
         }
     };
     let seeds: Vec<u64> = (opts.seed_start..opts.seed_start + opts.seeds).collect();
-    let mut plan = SweepPlan::new(seeds, scenarios);
+    let mut plan = SweepPlan::new(seeds, scenarios).with_policy(opts.policy);
     if let Some(secs) = opts.timeline {
         plan = plan.with_timeline(secs);
     }

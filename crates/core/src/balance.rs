@@ -1,21 +1,44 @@
-//! Distributed storage balancing (§II-B).
+//! Distributed storage balancing: the §II-B *mechanics*.
 //!
-//! Each node tracks its data acquisition rate with an EWMA, derives
-//! `TTL_storage = C(t)/R(t)` and `TTL_energy = E(t)/D(R(t))`, and — when
-//! storage is the bottleneck and a neighbour's TTL exceeds its own by the
-//! TTL-dependent factor `β_i` — migrates a batch of chunks to that
-//! neighbour over the reliable bulk-transfer protocol. Received data can
-//! be re-migrated later, so hot-spot data diffuses outward exactly as in
-//! the paper's Fig. 18.
+//! Each node tracks its data acquisition rate with an EWMA and runs the
+//! reliable MigrateOffer/MigrateAccept/BulkData choreography that moves
+//! chunk batches between neighbours. The *decisions* — when to shed data,
+//! to whom, and whether to accept or retain — are delegated to the node's
+//! pluggable [`BalancePolicy`](crate::BalancePolicy); under the default
+//! [`BetaTtlPolicy`](crate::BetaTtlPolicy) this is exactly the paper's
+//! TTL/β heuristic, where hot-spot data diffuses outward as in Fig. 18.
+//! Received data can be re-migrated later regardless of policy.
 
 use crate::node::{
     BulkPurpose, EnviroMicNode, InboundBulk, OutboundBulk, PendingOffer, T_BULK, T_RATE, T_STATE,
 };
+use crate::policy::{BalanceView, NeighborView};
 use enviromic_flash::Chunk;
 use enviromic_net::{BulkReceiver, BulkSender, Message, SenderStep};
 use enviromic_runtime::{Runtime, TraceEvent};
 use enviromic_types::NodeId;
-use rand::Rng;
+
+/// Snapshots the balancing-relevant node state into a [`BalanceView`].
+///
+/// A macro rather than a method so the view's borrows are *field* borrows
+/// (`$node.cfg`, a local neighbour `Vec`): the caller can still take
+/// `&mut $node.policy` while the view is alive — disjoint paths the
+/// borrow checker accepts, where a `&self` helper method would not.
+macro_rules! balance_view {
+    ($node:expr, $neighbors:expr) => {
+        BalanceView {
+            me: $node.me,
+            ttl_storage_secs: $node.ttl_storage_f64(),
+            rate: $node.rate,
+            stored_chunks: $node.store.len(),
+            free_chunks: $node.store.free(),
+            capacity_chunks: $node.store.capacity(),
+            net_avg_free: $node.net_avg_free,
+            neighbors: $neighbors,
+            cfg: &$node.cfg,
+        }
+    };
+}
 
 impl EnviroMicNode {
     // ----- periodic rate estimation (§II-B) -----------------------------------
@@ -86,8 +109,25 @@ impl EnviroMicNode {
         self.arm(ctx, T_STATE, self.cfg.state_period);
     }
 
-    /// The migration decision of §II-B: find a neighbour `j` with
-    /// `TTL_j / TTL_i > β_i` while energy is not the bottleneck.
+    /// A policy-ready snapshot of the neighbour table, in node-ID order
+    /// (so no policy can depend on hash-map iteration order).
+    fn neighbor_views(&self) -> Vec<NeighborView> {
+        self.neighbors
+            .entries()
+            .into_iter()
+            .map(|(node, info)| NeighborView {
+                node,
+                ttl_secs: info.ttl_secs,
+                free_chunks: info.free_chunks,
+                avg_free_pct: info.avg_free_pct,
+            })
+            .collect()
+    }
+
+    /// The periodic migration decision, delegated to the node's
+    /// [`BalancePolicy`](crate::BalancePolicy). The mechanical guards are
+    /// policy-independent: a node mid-session, with an outstanding offer,
+    /// or with nothing stored never initiates a migration.
     fn balance_check(&mut self, ctx: &mut dyn Runtime) {
         if !self.cfg.mode.balancing()
             || self.bulk_out.is_some()
@@ -96,65 +136,30 @@ impl EnviroMicNode {
         {
             return;
         }
-        let ttl_i = self.ttl_storage_f64();
-        if !ttl_i.is_finite() {
-            return; // no inflow: nothing to balance away
-        }
-        if self.ttl_energy_f64(ctx) <= ttl_i {
-            return; // energy is the bottleneck: store locally (§II-B)
-        }
-        // β_i varies linearly between 1 and β_max with the current TTL:
-        // nodes grow more sensitive to imbalance as their storage horizon
-        // shrinks.
-        let beta =
-            1.0 + (self.cfg.beta_max - 1.0) * (ttl_i / self.cfg.beta_ttl_ref_secs).clamp(0.0, 1.0);
-        // Collect every neighbour satisfying the imbalance condition, then
-        // pick one at random: deterministic "best TTL" selection would send
-        // every donor's offer to the same node, which can accept only one
-        // session at a time.
-        let mut eligible: Vec<(NodeId, u32)> = Vec::new();
-        for (node, info) in self.neighbors.entries() {
-            if info.free_chunks == 0 {
-                continue;
-            }
-            let ttl_j = if info.ttl_secs == u32::MAX {
-                f64::INFINITY
-            } else {
-                f64::from(info.ttl_secs)
-            };
-            if ttl_j / ttl_i <= beta {
-                continue;
-            }
-            eligible.push((node, info.free_chunks));
-        }
-        if eligible.is_empty() {
+        let neighbors = self.neighbor_views();
+        let view = balance_view!(self, &neighbors);
+        let Some(plan) = self.policy.should_migrate(ctx, &view) else {
+            self.policy_metrics.holds.inc();
             return;
-        }
-        let (target, target_free) = eligible[ctx.rng().gen_range(0..eligible.len())];
-        let chunks = u16::try_from(
-            u64::from(self.cfg.migrate_batch)
-                .min(u64::from(self.store.len()))
-                .min(u64::from(target_free)),
-        )
-        .unwrap_or(u16::MAX);
-        if chunks == 0 {
-            return;
-        }
+        };
         let session = self.session_seq;
         self.session_seq += 1;
         self.metrics.migrate_offered.inc();
-        self.metrics.beta.observe(beta);
+        self.policy_metrics.offers.inc();
+        if let Some(beta) = plan.beta {
+            self.metrics.beta.observe(beta);
+        }
         self.pending_offer = Some(PendingOffer {
-            to: target,
+            to: plan.target,
             session,
-            chunks,
+            chunks: plan.chunks,
             made_at: ctx.now(),
         });
         self.send(
             ctx,
             Message::MigrateOffer {
-                to: target,
-                chunks,
+                to: plan.target,
+                chunks: plan.chunks,
                 session,
             },
         );
@@ -177,16 +182,14 @@ impl EnviroMicNode {
             self.metrics.migrate_rejected.inc();
             return; // busy or full: ignore and let the offer expire
         }
-        if self.cfg.global_balance_hints {
-            // Global hint: a node markedly fuller than the network average
-            // declines further inflow, so border nodes with nowhere to
-            // shed onward do not become dumping grounds (Fig. 13(c)).
-            let own_free = f64::from(self.store.free()) / f64::from(self.store.capacity());
-            if own_free < self.net_avg_free * 0.8 {
-                self.metrics.migrate_rejected.inc();
-                return;
-            }
+        let neighbors = self.neighbor_views();
+        let view = balance_view!(self, &neighbors);
+        if !self.policy.accept_inbound(&view, from, chunks) {
+            self.metrics.migrate_rejected.inc();
+            self.policy_metrics.inbound_rejected.inc();
+            return;
         }
+        self.policy_metrics.inbound_accepted.inc();
         let granted =
             u16::try_from(u64::from(chunks).min(u64::from(self.store.free()))).unwrap_or(u16::MAX);
         if granted == 0 {
@@ -326,29 +329,32 @@ impl EnviroMicNode {
         let Some(outbound) = &mut self.bulk_out else {
             return;
         };
-        if let Some(_delivered) = outbound.sender.on_ack(session, seq) {
-            if outbound.purpose == BulkPurpose::Migration {
-                // Delivered: release the local copy (head of the queue),
-                // unless this node keeps deliberate replicas and still has
-                // headroom (the paper's "controlled redundancy" future
-                // work).
-                let keep_replica = self.cfg.replication_factor > 1
-                    && self.store.free() * 10 > self.store.capacity() * 3;
-                if !keep_replica {
-                    let _ = self.store.pop_front(ctx);
-                }
-                self.stats.chunks_migrated_out += 1;
-                self.metrics.chunks_migrated_out.inc();
+        let delivered = outbound.sender.on_ack(session, seq).is_some();
+        let migration = outbound.purpose == BulkPurpose::Migration;
+        if delivered && migration {
+            // Delivered: release the local copy (head of the queue), unless
+            // the policy keeps it as a deliberate replica (the paper's
+            // "controlled redundancy" future work; the dispersal policy's
+            // k-way copies).
+            let neighbors = self.neighbor_views();
+            let view = balance_view!(self, &neighbors);
+            if self.policy.retain_after_ack(&view) {
+                self.policy_metrics.chunks_retained.inc();
+            } else {
+                let _ = self.store.pop_front(ctx);
             }
+            self.stats.chunks_migrated_out += 1;
+            self.metrics.chunks_migrated_out.inc();
         }
         let Some(outbound) = &mut self.bulk_out else {
             return;
         };
         if outbound.sender.is_done() {
             let purpose = outbound.purpose;
+            let peer = outbound.sender.to();
             self.bulk_out = None;
             self.disarm(ctx, T_BULK);
-            self.after_bulk_out_finished(ctx, purpose);
+            self.after_bulk_out_finished(ctx, purpose, peer);
         } else if let Some(next) = outbound.sender.current() {
             self.send(ctx, next);
             self.arm(ctx, T_BULK, self.cfg.bulk_timeout);
@@ -382,16 +388,28 @@ impl EnviroMicNode {
                     });
                 }
                 self.bulk_out = None;
-                self.after_bulk_out_finished(ctx, purpose);
+                self.after_bulk_out_finished(ctx, purpose, to);
             }
         }
     }
 
     /// Post-session hook: retrieval sessions report completion to the
-    /// querier.
-    fn after_bulk_out_finished(&mut self, ctx: &mut dyn Runtime, purpose: BulkPurpose) {
-        if let BulkPurpose::Retrieval { root, query_id } = purpose {
-            self.finish_query_answer(ctx, root, query_id);
+    /// querier; migration sessions notify the balancing policy (which the
+    /// dispersal policy uses to track per-batch copy targets).
+    fn after_bulk_out_finished(
+        &mut self,
+        ctx: &mut dyn Runtime,
+        purpose: BulkPurpose,
+        peer: NodeId,
+    ) {
+        match purpose {
+            BulkPurpose::Migration => {
+                self.policy.on_migration_session_closed(peer);
+                self.policy_metrics.sessions_closed.inc();
+            }
+            BulkPurpose::Retrieval { root, query_id } => {
+                self.finish_query_answer(ctx, root, query_id);
+            }
         }
     }
 }

@@ -32,6 +32,136 @@ impl Mode {
     }
 }
 
+/// Which [`BalancePolicy`](crate::BalancePolicy) implementation a node
+/// runs. The default is the paper's §II-B β/TTL heuristic; the others are
+/// the competing storage-management strategies from the literature that
+/// the policy ablation (`crates/bench`) compares head-to-head.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PolicyKind {
+    /// The paper's migration heuristic: migrate to a neighbour whose
+    /// storage TTL exceeds this node's by the TTL-dependent factor `β_i`.
+    #[default]
+    BetaTtl,
+    /// Store-local baseline: never migrate, never accept migrations.
+    NoMigration,
+    /// Coordinated storage (after "Collaborative Storage Management in
+    /// Sensor Networks"): migrate only under local storage pressure, to
+    /// the neighbour with the most free space, chosen deterministically.
+    Coordinated,
+    /// Flooding-style redundant dispersal (after "Distributed
+    /// Flooding-based Storage Algorithms"): copy each batch to
+    /// `dispersal_k` distinct neighbours before releasing it locally.
+    Flooding,
+}
+
+impl PolicyKind {
+    /// Every selectable policy, in ablation-table order.
+    pub const ALL: [PolicyKind; 4] = [
+        PolicyKind::BetaTtl,
+        PolicyKind::NoMigration,
+        PolicyKind::Coordinated,
+        PolicyKind::Flooding,
+    ];
+
+    /// The policy's stable name, used for CLI selection, sweep labels,
+    /// and the `balance.policy.<name>.*` telemetry prefix.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            PolicyKind::BetaTtl => "beta-ttl",
+            PolicyKind::NoMigration => "no-migration",
+            PolicyKind::Coordinated => "coordinated",
+            PolicyKind::Flooding => "flooding",
+        }
+    }
+}
+
+impl std::str::FromStr for PolicyKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        PolicyKind::ALL
+            .into_iter()
+            .find(|k| k.name() == s)
+            .ok_or_else(|| {
+                let known: Vec<&str> = PolicyKind::ALL.iter().map(|k| k.name()).collect();
+                format!("unknown balance policy {s:?} (known: {})", known.join(", "))
+            })
+    }
+}
+
+impl std::fmt::Display for PolicyKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Storage-balancing policy selection and its per-policy parameters.
+///
+/// Lives inside [`NodeConfig`] (`cfg.balance`); the β/TTL knobs the paper
+/// itself tunes (`beta_max`, `migrate_batch`, ...) stay as top-level
+/// `NodeConfig` fields because every policy shares the session mechanics
+/// they govern.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BalanceConfig {
+    /// Which migration-decision policy the node runs.
+    pub policy: PolicyKind,
+    /// [`PolicyKind::Flooding`]: number of distinct neighbours each chunk
+    /// batch is copied to before the local copy is released. 1 degenerates
+    /// to plain (non-redundant) migration.
+    pub dispersal_k: u8,
+    /// [`PolicyKind::Coordinated`]: a node is "under storage pressure" —
+    /// and starts shedding data — when its free fraction falls below this
+    /// low-water mark, in `[0, 1]`.
+    pub coord_low_water: f64,
+    /// [`PolicyKind::Coordinated`]: the chosen neighbour must have at
+    /// least `own_free_chunks * coord_headroom` free slots, so data flows
+    /// strictly down the pressure gradient and cannot ping-pong.
+    pub coord_headroom: f64,
+}
+
+/// Largest accepted flooding fan-out: each extra copy multiplies bulk
+/// radio traffic, and past 8 the batch cannot finish dispersing within
+/// realistic neighbourhood sizes.
+pub const MAX_DISPERSAL_K: u8 = 8;
+
+impl Default for BalanceConfig {
+    fn default() -> Self {
+        BalanceConfig {
+            policy: PolicyKind::BetaTtl,
+            dispersal_k: 2,
+            coord_low_water: 0.25,
+            coord_headroom: 1.5,
+        }
+    }
+}
+
+impl BalanceConfig {
+    /// Checks internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first invalid field.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.dispersal_k == 0 {
+            return Err("dispersal fan-out must be at least 1".into());
+        }
+        if self.dispersal_k > MAX_DISPERSAL_K {
+            return Err(format!(
+                "dispersal fan-out {} exceeds the maximum of {MAX_DISPERSAL_K}",
+                self.dispersal_k
+            ));
+        }
+        if !(0.0..=1.0).contains(&self.coord_low_water) {
+            return Err("coordination low-water mark must lie in [0, 1]".into());
+        }
+        if self.coord_headroom < 1.0 || !self.coord_headroom.is_finite() {
+            return Err("coordination headroom must be a finite factor >= 1".into());
+        }
+        Ok(())
+    }
+}
+
 /// Configuration of one EnviroMic node.
 ///
 /// Defaults follow the values the paper determined empirically:
@@ -96,6 +226,8 @@ pub struct NodeConfig {
     pub checkpoint_interval: u32,
 
     // --- storage balancing ------------------------------------------------
+    /// Which storage-balancing policy runs and its per-policy parameters.
+    pub balance: BalanceConfig,
     /// Upper bound `β_max` of the imbalance threshold (§II-B).
     pub beta_max: f64,
     /// `β_i` reaches `β_max` when the node's TTL is at or above this many
@@ -161,6 +293,7 @@ impl Default for NodeConfig {
             prelude: None,
             flash_chunks: 2048,
             checkpoint_interval: 64,
+            balance: BalanceConfig::default(),
             beta_max: 2.0,
             beta_ttl_ref_secs: 600.0,
             state_period: SimDuration::from_secs_f64(5.0),
@@ -211,6 +344,20 @@ impl NodeConfig {
         self
     }
 
+    /// Selects the storage-balancing [`PolicyKind`].
+    #[must_use]
+    pub fn with_policy(mut self, policy: PolicyKind) -> Self {
+        self.balance.policy = policy;
+        self
+    }
+
+    /// Sets the flooding dispersal fan-out (copies per chunk batch).
+    #[must_use]
+    pub fn with_dispersal_k(mut self, k: u8) -> Self {
+        self.balance.dispersal_k = k;
+        self
+    }
+
     /// Sets the local flash capacity in chunks.
     #[must_use]
     pub fn with_flash_chunks(mut self, chunks: u32) -> Self {
@@ -252,6 +399,7 @@ impl NodeConfig {
         if self.migrate_batch == 0 {
             return Err("migrate batch must be at least 1".into());
         }
+        self.balance.validate()?;
         Ok(())
     }
 }
@@ -296,6 +444,69 @@ mod tests {
         assert!(c.validate().is_err());
         let mut c = base;
         c.migrate_batch = 0;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn policy_names_round_trip_and_unknowns_are_rejected() {
+        for kind in PolicyKind::ALL {
+            assert_eq!(kind.name().parse::<PolicyKind>(), Ok(kind));
+            assert_eq!(kind.to_string(), kind.name());
+        }
+        let err = "fountain".parse::<PolicyKind>().unwrap_err();
+        assert!(err.contains("unknown balance policy"), "{err}");
+        assert!(err.contains("beta-ttl"), "error lists known names: {err}");
+        // Case and spelling must match exactly: near-misses are errors,
+        // not silent fallbacks to the default policy.
+        assert!("BetaTtl".parse::<PolicyKind>().is_err());
+        assert!("".parse::<PolicyKind>().is_err());
+    }
+
+    #[test]
+    fn balance_config_validation_pins_the_parameter_ranges() {
+        let base = BalanceConfig::default();
+        assert_eq!(base.policy, PolicyKind::BetaTtl);
+        assert!(base.validate().is_ok());
+
+        let mut c = base;
+        c.dispersal_k = 0;
+        assert_eq!(
+            c.validate().unwrap_err(),
+            "dispersal fan-out must be at least 1"
+        );
+        c.dispersal_k = MAX_DISPERSAL_K;
+        assert!(c.validate().is_ok(), "the cap itself is accepted");
+        c.dispersal_k = MAX_DISPERSAL_K + 1;
+        assert!(c.validate().unwrap_err().contains("exceeds the maximum"));
+
+        let mut c = base;
+        c.coord_low_water = -0.01;
+        assert!(c.validate().is_err());
+        c.coord_low_water = 1.01;
+        assert!(c.validate().is_err());
+        c.coord_low_water = 1.0;
+        assert!(c.validate().is_ok(), "the boundary itself is accepted");
+
+        let mut c = base;
+        c.coord_headroom = 0.99;
+        assert!(c.validate().is_err());
+        c.coord_headroom = f64::NAN;
+        assert!(c.validate().is_err());
+        c.coord_headroom = f64::INFINITY;
+        assert!(c.validate().is_err());
+        c.coord_headroom = 1.0;
+        assert!(c.validate().is_ok(), "headroom 1.0 (any gradient) is legal");
+    }
+
+    #[test]
+    fn node_config_validation_covers_policy_selection() {
+        // An invalid BalanceConfig must fail NodeConfig::validate too —
+        // nodes are constructed from NodeConfig alone.
+        let mut c = NodeConfig::default().with_policy(PolicyKind::Flooding);
+        assert!(c.validate().is_ok());
+        c.balance.dispersal_k = 0;
+        assert!(c.validate().is_err());
+        let c = NodeConfig::default().with_dispersal_k(MAX_DISPERSAL_K + 1);
         assert!(c.validate().is_err());
     }
 

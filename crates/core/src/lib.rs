@@ -17,6 +17,10 @@
 //!   chunked flash storage, TTL-driven storage balancing, FTSP-style time
 //!   sync, and query answering. The [`Mode`] in [`NodeConfig`] selects
 //!   between the full system and the paper's two baselines.
+//! * [`BalancePolicy`] — the pluggable storage-balancing decision layer:
+//!   the paper's §II-B β/TTL heuristic ([`BetaTtlPolicy`], the default)
+//!   plus competing policies from the literature, selected per node via
+//!   [`BalanceConfig`] for head-to-head ablation.
 //! * [`DataMule`] — the collecting user, in one-hop or spanning-tree
 //!   retrieval mode.
 //! * [`recover_collected_mote`] — the physical-collection fallback,
@@ -47,12 +51,17 @@ mod balance;
 mod config;
 mod detector;
 mod node;
+mod policy;
 mod retrieve;
 mod storage;
 mod tasks;
 
-pub use config::{Mode, NodeConfig};
+pub use config::{BalanceConfig, Mode, NodeConfig, PolicyKind, MAX_DISPERSAL_K};
 pub use detector::{Detection, SoundDetector};
 pub use node::{EnviroMicNode, NodeStats};
+pub use policy::{
+    build_policy, BalancePolicy, BalanceView, BetaTtlPolicy, CoordinatedStoragePolicy,
+    FloodingDispersalPolicy, MigrationPlan, NeighborView, NoMigrationPolicy,
+};
 pub use retrieve::{recover_collected_mote, DataMule, MuleConfig, RetrievalMode, RetrievedFile};
 pub use storage::TracedStore;

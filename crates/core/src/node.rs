@@ -11,6 +11,7 @@
 
 use crate::config::{Mode, NodeConfig};
 use crate::detector::{Detection, SoundDetector};
+use crate::policy::{build_policy, BalancePolicy, PolicyMetrics};
 use crate::storage::TracedStore;
 use enviromic_flash::{Chunk, ChunkMeta, ChunkStore};
 use enviromic_net::{
@@ -256,6 +257,10 @@ pub struct EnviroMicNode {
     pub(crate) prelude_event_pending: bool,
 
     // balancing
+    /// The storage-balancing decision layer, built from
+    /// `cfg.balance` (and rebuilt on reboot: policy state is RAM state).
+    pub(crate) policy: Box<dyn BalancePolicy>,
+    pub(crate) policy_metrics: PolicyMetrics,
     pub(crate) rate: f64,
     /// Diffusive estimate of the network-wide average free fraction
     /// (global-balance extension), in [0, 1].
@@ -297,6 +302,7 @@ impl EnviroMicNode {
         let piggyback = PiggybackQueue::new(cfg.piggyback_max_wait, cfg.packet_budget);
         let beacons = BeaconScheduler::new(cfg.sync_min_period, cfg.sync_max_period);
         let rate = cfg.initial_rate;
+        let policy = build_policy(&cfg.balance);
         EnviroMicNode {
             cfg,
             me: NodeId(0),
@@ -321,6 +327,8 @@ impl EnviroMicNode {
             task: None,
             prelude_chunks: 0,
             prelude_event_pending: false,
+            policy,
+            policy_metrics: PolicyMetrics::default(),
             rate,
             net_avg_free: 1.0,
             pending_offer: None,
@@ -381,22 +389,6 @@ impl EnviroMicNode {
             return f64::INFINITY;
         }
         self.store.free_bytes() as f64 / self.rate
-    }
-
-    /// `TTL_energy` (§II-B): expected seconds until the battery dies if
-    /// the node keeps moving data out at its acquisition rate.
-    pub(crate) fn ttl_energy_f64(&self, ctx: &mut dyn Runtime) -> f64 {
-        let e = ctx.energy_model();
-        let tx_duty = if self.rate > 0.0 {
-            (self.rate * 8.0 / 250_000.0).min(1.0)
-        } else {
-            0.0
-        };
-        let drain_mw = e.idle_mw + e.radio_listen_mw + e.radio_tx_mw * tx_duty;
-        if drain_mw <= 0.0 {
-            return f64::INFINITY;
-        }
-        ctx.energy_mj() / drain_mw
     }
 
     // ----- timer plumbing ---------------------------------------------------
@@ -729,6 +721,7 @@ impl Application for EnviroMicNode {
         self.me = ctx.node_id();
         self.sync = SyncState::new(self.me);
         self.metrics = CoreMetrics::attach(ctx.telemetry());
+        self.policy_metrics = PolicyMetrics::attach(ctx.telemetry(), self.policy.kind());
         // Stagger periodic services so co-located nodes do not self-
         // synchronize.
         let state_stagger = {

@@ -7,7 +7,7 @@
 //! abstraction layer, exercising leader election, task sequencing, and
 //! the storage-balancing handshake in isolation.
 
-use enviromic_core::{EnviroMicNode, Mode, NodeConfig};
+use enviromic_core::{EnviroMicNode, Mode, NodeConfig, PolicyKind};
 use enviromic_flash::{Chunk, ChunkMeta};
 use enviromic_net::{decode_envelope, encode_envelope, Message};
 use enviromic_runtime::{Application, MockRuntime, Runtime, Timer, TimerHandle, TraceEvent};
@@ -624,4 +624,110 @@ fn late_migrate_accept_after_withdrawal_is_ignored() {
     );
     assert_eq!(counter(&rt, "core.migrate.chunks_out"), 0);
     assert_eq!(node.stored_chunks(), 4, "no chunk may leave the store");
+}
+
+// ----- pluggable storage policies (§II-B ablation surface) ---------------------
+
+#[test]
+fn no_migration_policy_refuses_inbound_offers() {
+    let (mut node, mut rt) = started_with(
+        1,
+        NodeConfig::default()
+            .with_mode(Mode::Full)
+            .with_policy(PolicyKind::NoMigration),
+    );
+    let offer = envelope(Message::MigrateOffer {
+        to: NodeId(1),
+        chunks: 2,
+        session: 7,
+    });
+    assert!(rt.deliver_now(&mut node, NodeId(5), &offer));
+    assert_eq!(counter(&rt, "core.migrate.rejected"), 1);
+    assert_eq!(
+        counter(&rt, "balance.policy.no-migration.inbound_rejected"),
+        1
+    );
+    assert!(
+        !sent_messages(&rt)
+            .iter()
+            .any(|m| matches!(m, Message::MigrateAccept { .. })),
+        "a no-migration node never grants an inbound session"
+    );
+}
+
+#[test]
+fn coordinated_policy_offers_only_under_storage_pressure() {
+    let cfg = || {
+        NodeConfig::default()
+            .with_mode(Mode::Full)
+            .with_flash_chunks(8)
+            .with_policy(PolicyKind::Coordinated)
+    };
+    let beacon = envelope(Message::StateUpdate {
+        ttl_secs: u32::MAX,
+        free_chunks: 64,
+        avg_free_pct: 100,
+    });
+
+    // 5 of 8 chunks held: free fraction 0.375 sits above the 0.25
+    // low-water mark, so even a well-off neighbour draws no offer.
+    let (mut calm, mut rt) = started_with(1, cfg());
+    migrate_in_chunks(&mut calm, &mut rt, 5, 32);
+    assert!(rt.deliver_now(&mut calm, NodeId(5), &beacon));
+    assert!(
+        advance_until_sent(&mut rt, &mut calm, 6000, |m| matches!(
+            m,
+            Message::MigrateOffer { .. }
+        ))
+        .is_none(),
+        "no offer without storage pressure"
+    );
+    assert!(counter(&rt, "balance.policy.coordinated.holds") > 0);
+    assert_eq!(counter(&rt, "balance.policy.coordinated.offers"), 0);
+
+    // 7 of 8: free fraction 0.125 is under low water, and the neighbour
+    // clears the 1.5x headroom bar — the node sheds load.
+    let (mut full, mut rt) = started_with(1, cfg());
+    migrate_in_chunks(&mut full, &mut rt, 7, 32);
+    assert!(rt.deliver_now(&mut full, NodeId(5), &beacon));
+    assert!(
+        advance_until_sent(&mut rt, &mut full, 6000, |m| matches!(
+            m,
+            Message::MigrateOffer { .. }
+        ))
+        .is_some(),
+        "storage pressure triggers a coordinated offer"
+    );
+    assert_eq!(counter(&rt, "balance.policy.coordinated.offers"), 1);
+}
+
+#[test]
+fn flooding_policy_disperses_without_ttl_pressure() {
+    let (mut node, mut rt) = started_with(
+        1,
+        NodeConfig::default()
+            .with_mode(Mode::Full)
+            .with_flash_chunks(8)
+            .with_policy(PolicyKind::Flooding),
+    );
+    migrate_in_chunks(&mut node, &mut rt, 4, 32);
+
+    // No rate tick has fired, so the node's own storage TTL is still
+    // infinite — beta-ttl would hold here. Flooding pushes copies anyway:
+    // its trigger is redundancy, not lifetime imbalance.
+    let beacon = envelope(Message::StateUpdate {
+        ttl_secs: 120,
+        free_chunks: 64,
+        avg_free_pct: 100,
+    });
+    assert!(rt.deliver_now(&mut node, NodeId(5), &beacon));
+    assert!(
+        advance_until_sent(&mut rt, &mut node, 6000, |m| matches!(
+            m,
+            Message::MigrateOffer { .. }
+        ))
+        .is_some(),
+        "flooding offers copies even with infinite own TTL"
+    );
+    assert_eq!(counter(&rt, "balance.policy.flooding.offers"), 1);
 }

@@ -15,6 +15,10 @@
 //!                                           (default: available cores)
 //!   --flash    CHUNKS                       per-node flash capacity
 //!   --beta-max X                            balancer sensitivity bound
+//!   --policy   NAME                         storage-balancing policy:
+//!                                           beta-ttl (default),
+//!                                           no-migration, coordinated,
+//!                                           or flooding
 //!   --prelude  SECS                         enable the prelude optimization
 //!   --timeline SECS                         sample a sim-time metric
 //!                                           timeline every SECS (digest
@@ -29,7 +33,7 @@
 //!   -v / --verbose                          extra detail on stderr
 //! ```
 
-use enviromic::core::{Mode, NodeConfig};
+use enviromic::core::{Mode, NodeConfig, PolicyKind};
 use enviromic::harness::{forest_world_config, indoor_world_config, run_scenario};
 use enviromic::observe::{DumpFile, RunDump};
 use enviromic::sim::{RecordKind, TraceEvent, WorldConfig};
@@ -51,6 +55,7 @@ struct Options {
     jobs: usize,
     flash: Option<u32>,
     beta_max: Option<f64>,
+    policy: PolicyKind,
     prelude: Option<f64>,
     timeline: Option<f64>,
     timeline_out: Option<String>,
@@ -63,7 +68,9 @@ fn usage() -> ! {
         "usage: enviromic [--scenario indoor|mobile|forest|voice] \
          [--mode full|coop|baseline] [--duration SECS] [--seed N] \
          [--seeds N] [--jobs N] \
-         [--flash CHUNKS] [--beta-max X] [--prelude SECS] [--timeline SECS] \
+         [--flash CHUNKS] [--beta-max X] \
+         [--policy beta-ttl|no-migration|coordinated|flooding] \
+         [--prelude SECS] [--timeline SECS] \
          [--timeline-out PATH] [--series] [--stats] [-q|--quiet] [-v|--verbose]"
     );
     std::process::exit(2);
@@ -79,6 +86,7 @@ fn parse_args() -> Options {
         jobs: std::thread::available_parallelism().map_or(1, |n| n.get()),
         flash: None,
         beta_max: None,
+        policy: PolicyKind::default(),
         prelude: None,
         timeline: None,
         timeline_out: None,
@@ -116,6 +124,12 @@ fn parse_args() -> Options {
             }
             "--flash" => opts.flash = value().parse().ok().or_else(|| usage()),
             "--beta-max" => opts.beta_max = value().parse().ok().or_else(|| usage()),
+            "--policy" => {
+                opts.policy = value().parse().unwrap_or_else(|e: String| {
+                    eprintln!("enviromic: {e}");
+                    usage()
+                });
+            }
             "--prelude" => opts.prelude = value().parse().ok().or_else(|| usage()),
             "--timeline" => opts.timeline = value().parse().ok().or_else(|| usage()),
             "--timeline-out" => opts.timeline_out = Some(value()),
@@ -168,6 +182,7 @@ fn node_config(opts: &Options) -> NodeConfig {
     if let Some(beta) = opts.beta_max {
         cfg = cfg.with_beta_max(beta);
     }
+    cfg = cfg.with_policy(opts.policy);
     if let Some(secs) = opts.prelude {
         cfg = cfg.with_prelude(SimDuration::from_secs_f64(secs));
     }

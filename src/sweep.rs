@@ -28,7 +28,7 @@
 use crate::harness::{
     forest_world_config, indoor_world_config, run_scenario_with_faults, ExperimentRun,
 };
-use enviromic_core::{Mode, NodeConfig};
+use enviromic_core::{Mode, NodeConfig, PolicyKind};
 use enviromic_sim::{FaultPlan, WorldConfig};
 use enviromic_telemetry::TelemetryReport;
 use enviromic_types::SimDuration;
@@ -93,6 +93,27 @@ impl ScenarioSpec {
     #[must_use]
     pub fn build(&self, seed: u64) -> JobInput {
         (self.build)(seed)
+    }
+
+    /// Re-parameterizes this point to run the given storage-balancing
+    /// policy on every node, relabelling it `{label}+{policy}` so digest
+    /// tables and metric prefixes keep policy points distinct. The
+    /// default [`PolicyKind::BetaTtl`] keeps the original label (the
+    /// golden-digest runs are those unmodified points).
+    #[must_use]
+    pub fn with_policy(self, policy: PolicyKind) -> ScenarioSpec {
+        if policy == PolicyKind::default() {
+            return self;
+        }
+        let inner = self.build;
+        ScenarioSpec {
+            label: format!("{}+{}", self.label, policy.name()),
+            build: Arc::new(move |seed| {
+                let mut input = inner(seed);
+                input.node_cfg.balance.policy = policy;
+                input
+            }),
+        }
     }
 
     /// The quick indoor point: the §IV-B testbed at `duration_secs`, full
@@ -286,6 +307,18 @@ impl SweepPlan {
     #[must_use]
     pub fn with_timeline(mut self, secs: f64) -> Self {
         self.timeline_secs = Some(secs);
+        self
+    }
+
+    /// Runs every scenario point under `policy` (see
+    /// [`ScenarioSpec::with_policy`]).
+    #[must_use]
+    pub fn with_policy(mut self, policy: PolicyKind) -> Self {
+        self.scenarios = self
+            .scenarios
+            .into_iter()
+            .map(|s| s.with_policy(policy))
+            .collect();
         self
     }
 

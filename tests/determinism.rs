@@ -14,7 +14,7 @@
 
 use enviromic::harness::{indoor_world_config, run_scenario};
 use enviromic::sweep::{run_sweep, ScenarioSpec, SweepPlan};
-use enviromic_core::{Mode, NodeConfig};
+use enviromic_core::{Mode, NodeConfig, PolicyKind};
 use enviromic_types::SimDuration;
 use enviromic_workloads::{indoor_scenario, mobile_scenario, IndoorParams, MobileParams};
 
@@ -174,6 +174,70 @@ fn timelines_are_bit_identical_across_worker_counts() {
             .iter()
             .all(|(_, json)| json.contains("node.0.energy_mj")),
         "per-node probes present in every timeline",
+    );
+}
+
+/// Every non-default storage policy honours the same determinism
+/// contract as the golden `beta-ttl` runs: per-seed digests are
+/// bit-identical at 1 and 4 sweep workers, fault-free *and* under the
+/// chaos fault schedule. A policy that drew RNG out of step with the
+/// event loop, iterated neighbours in map order, or leaked wall-clock
+/// state would diverge here before it could poison an ablation.
+#[test]
+fn non_default_policies_are_bit_identical_across_worker_counts() {
+    for kind in [
+        PolicyKind::NoMigration,
+        PolicyKind::Coordinated,
+        PolicyKind::Flooding,
+    ] {
+        let plan = SweepPlan::new(
+            vec![41, 42],
+            vec![
+                ScenarioSpec::quick_indoor(60.0),
+                ScenarioSpec::chaos_indoor(60.0),
+            ],
+        )
+        .with_policy(kind);
+        let serial: Vec<(String, u64, u64, usize)> = run_sweep(&plan, 1)
+            .jobs
+            .iter()
+            .map(|j| (j.label.clone(), j.seed, j.run.trace.digest(), j.events))
+            .collect();
+        let pooled: Vec<(String, u64, u64, usize)> = run_sweep(&plan, 4)
+            .jobs
+            .iter()
+            .map(|j| (j.label.clone(), j.seed, j.run.trace.digest(), j.events))
+            .collect();
+        assert_eq!(
+            serial,
+            pooled,
+            "policy {} diverged between 1 and 4 sweep workers",
+            kind.name(),
+        );
+        assert!(
+            serial.iter().all(|(label, _, _, events)| {
+                label.ends_with(&format!("+{}", kind.name())) && *events > 0
+            }),
+            "policy {} jobs must be relabelled and non-trivial",
+            kind.name(),
+        );
+    }
+}
+
+/// The policy axis genuinely reaches the nodes: swapping the policy on
+/// the golden scenario moves the trace digest away from the golden pin.
+/// If a wiring bug quietly dropped `--policy` on the floor, every
+/// "ablation" would compare four copies of beta-ttl and this would fail.
+#[test]
+fn non_default_policy_changes_the_golden_trace() {
+    let plan = SweepPlan::new(vec![42], vec![ScenarioSpec::quick_indoor(120.0)])
+        .with_policy(PolicyKind::NoMigration);
+    let out = run_sweep(&plan, 1);
+    assert_eq!(out.jobs.len(), 1);
+    assert_ne!(
+        out.jobs[0].run.trace.digest(),
+        GOLDEN_DIGEST,
+        "no-migration must not reproduce the beta-ttl golden digest",
     );
 }
 
