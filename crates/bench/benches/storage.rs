@@ -8,7 +8,7 @@ use enviromic::types::{EventId, NodeId, SimTime};
 fn chunk(tag: u32) -> Chunk {
     Chunk::new(
         ChunkMeta {
-            origin: NodeId(tag as u16),
+            origin: NodeId(tag),
             event: Some(EventId::new(NodeId(1), tag)),
             t_start: SimTime::from_jiffies(u64::from(tag) * 2785),
         },

@@ -12,12 +12,16 @@
 //!
 //! `emit_baseline` re-times both paths with plain `Instant` loops and
 //! writes per-size means and speedups to `BENCH_world.json` in the
-//! workspace root. Set `WORLD_BENCH_QUICK=1` to skip the Criterion
-//! groups and only emit the baseline (the CI mode).
+//! workspace root, together with whole-event-loop ns/event rows for the
+//! city-block workload at 1k/4k/10k nodes (the timer-wheel scale ladder).
+//! Set `WORLD_BENCH_QUICK=1` to skip the Criterion groups and only emit
+//! the baseline (the CI mode).
 
 use criterion::{black_box, criterion_group, BenchmarkId, Criterion};
+use enviromic::sweep::ScenarioSpec;
 use enviromic_sim::acoustics::AcousticField;
 use enviromic_sim::spatial::{AudibleIndex, NodeGrid};
+use enviromic_sim::World;
 use enviromic_types::{Position, SimDuration, SimTime};
 use enviromic_workloads::{large_grid_scenario, LargeGridParams, Scenario};
 use serde::{Deserialize, Serialize};
@@ -43,18 +47,18 @@ fn scenario(cols: usize, rows: usize) -> Scenario {
 
 /// The receiver resolution the pre-index delivery loop performed: scan
 /// every node, keep those in range (already in ascending index order).
-fn brute_receivers(positions: &[Position], center: Position, range_ft: f64, out: &mut Vec<u16>) {
+fn brute_receivers(positions: &[Position], center: Position, range_ft: f64, out: &mut Vec<u32>) {
     out.clear();
     for (i, p) in positions.iter().enumerate() {
         if p.distance_to(center) <= range_ft {
-            out.push(i as u16);
+            out.push(i as u32);
         }
     }
 }
 
 /// One full broadcast round via the grid: resolve receivers from every
 /// node in turn. Returns the total receiver count as the live output.
-fn grid_round(grid: &NodeGrid, positions: &[Position], out: &mut Vec<u16>) -> usize {
+fn grid_round(grid: &NodeGrid, positions: &[Position], out: &mut Vec<u32>) -> usize {
     let mut total = 0;
     for &p in positions {
         grid.query_sorted(p, RANGE_FT, out);
@@ -64,7 +68,7 @@ fn grid_round(grid: &NodeGrid, positions: &[Position], out: &mut Vec<u16>) -> us
 }
 
 /// One full broadcast round via the brute-force scan.
-fn brute_round(positions: &[Position], out: &mut Vec<u16>) -> usize {
+fn brute_round(positions: &[Position], out: &mut Vec<u32>) -> usize {
     let mut total = 0;
     for &p in positions {
         brute_receivers(positions, p, RANGE_FT, out);
@@ -183,12 +187,62 @@ struct WorldCase {
     sampling_speedup: f64,
 }
 
+/// One whole-event-loop throughput row: the city workload run end to end
+/// through the timer-wheel core at a given node count.
+#[derive(Debug, Serialize, Deserialize)]
+struct ScaleCase {
+    nodes: usize,
+    sim_secs: f64,
+    events: u64,
+    ns_per_event: f64,
+}
+
 /// The serialized baseline for `BENCH_world.json`.
 #[derive(Debug, Serialize, Deserialize)]
 struct WorldBaseline {
     bench: String,
     radio_range_ft: f64,
     cases: Vec<WorldCase>,
+    /// Event-loop throughput on the city scale ladder (1k/4k/10k nodes).
+    scale: Vec<ScaleCase>,
+}
+
+/// Node counts of the city event-loop ladder.
+const SCALE_SIZES: [usize; 3] = [1_000, 4_000, 10_000];
+
+/// Sim-time horizon of each city throughput run, seconds.
+const SCALE_SIM_SECS: f64 = 10.0;
+
+/// Runs the city workload end to end at `nodes` and returns its
+/// throughput row. The setup (world build, spatial indexes) is excluded:
+/// the row measures the event loop itself — queue scheduling, timer-wheel
+/// cascades, delivery, and protocol dispatch.
+fn scale_case(nodes: usize) -> ScaleCase {
+    let input = ScenarioSpec::city(nodes, SCALE_SIM_SECS).build(42);
+    let mut world = World::new(input.world_cfg);
+    for &pos in input.scenario.topology.positions() {
+        world.add_node(
+            pos,
+            Box::new(enviromic::core::EnviroMicNode::new(input.node_cfg.clone())),
+        );
+    }
+    for src in &input.scenario.sources {
+        world.add_source(src.clone()).expect("valid source");
+    }
+    // Dispatch one event so startup (index builds, on_start fan-out) is
+    // settled before the clock starts.
+    world.run_for_secs(0.0);
+    let warmup = world.events_dispatched();
+    let t0 = Instant::now();
+    world.run_for_secs(SCALE_SIM_SECS);
+    let wall = t0.elapsed().as_secs_f64();
+    let events = world.events_dispatched() - warmup;
+    ScaleCase {
+        nodes,
+        sim_secs: SCALE_SIM_SECS,
+        events,
+        ns_per_event: wall * 1e9 / events.max(1) as f64,
+    }
 }
 
 /// Measures every size with plain `Instant` loops and writes the combined
@@ -242,10 +296,20 @@ fn emit_baseline() {
         );
         cases.push(case);
     }
+    let mut scale = Vec::new();
+    for nodes in SCALE_SIZES {
+        let case = scale_case(nodes);
+        println!(
+            "scale baseline {} nodes: {} events over {:.0}s sim, {:.0} ns/event",
+            case.nodes, case.events, case.sim_secs, case.ns_per_event,
+        );
+        scale.push(case);
+    }
     let baseline = WorldBaseline {
         bench: "world_hot_loops_25_100_400".into(),
         radio_range_ft: RANGE_FT,
         cases,
+        scale,
     };
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_world.json");
     let json = serde::Serialize::to_value(&baseline).to_json_pretty();

@@ -43,7 +43,7 @@ fn main() {
     let exp = run.experiment();
 
     // Pairwise overlap between task recordings attributed to one source.
-    let mut recs: Vec<(u64, u64, u16, u32)> = Vec::new();
+    let mut recs: Vec<(u64, u64, u32, u32)> = Vec::new();
     for e in run.trace.iter() {
         if let TraceEvent::Recorded {
             node,

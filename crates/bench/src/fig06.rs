@@ -176,7 +176,7 @@ mod tests {
         let (rows, event) = run_timeline(5);
         assert!(rows.len() >= 4, "expected several task slots: {rows:?}");
         // Multiple distinct nodes recorded.
-        let mut nodes: Vec<u16> = rows.iter().map(|r| r.node.0).collect();
+        let mut nodes: Vec<u32> = rows.iter().map(|r| r.node.0).collect();
         nodes.sort_unstable();
         nodes.dedup();
         assert!(nodes.len() >= 2, "no rotation: {nodes:?}");

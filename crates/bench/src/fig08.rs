@@ -71,7 +71,7 @@ pub fn run(seed: u64) -> VoiceResult {
     let mut chunks = Vec::new();
     for i in 0..scenario.topology.len() {
         let node = world
-            .app_as::<EnviroMicNode>(NodeId(i as u16))
+            .app_as::<EnviroMicNode>(NodeId::from_index(i))
             .expect("EnviroMic node");
         chunks.extend(node.store().iter());
     }

@@ -511,7 +511,7 @@ mod tests {
     use super::*;
     use enviromic_runtime::MockRuntime;
 
-    fn neighbor(id: u16, ttl_secs: u32, free_chunks: u32) -> NeighborView {
+    fn neighbor(id: u32, ttl_secs: u32, free_chunks: u32) -> NeighborView {
         NeighborView {
             node: NodeId(id),
             ttl_secs,

@@ -330,7 +330,7 @@ pub struct DataMule {
     build_id: u32,
     rounds_done: u32,
     chunks: Vec<Chunk>,
-    seen: HashSet<(u16, u64)>,
+    seen: HashSet<(u32, u64)>,
     receivers: HashMap<(NodeId, u32), BulkReceiver>,
     /// Per-source advertised chunk counts from QUERY_DONE.
     expected: HashMap<NodeId, u32>,

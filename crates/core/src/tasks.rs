@@ -368,7 +368,10 @@ impl EnviroMicNode {
             candidates.push((
                 self.me,
                 self.ttl_storage_secs(),
-                self.current_level.clamp(0.0, 255.0) as u8,
+                // Round to the nearest level: a truncating `as u8` would
+                // bias every quantized reading downward, the same defect
+                // fixed for gossiped free-percent estimates in balance.rs.
+                self.current_level.clamp(0.0, 255.0).round() as u8,
                 self.prelude_chunks > 0,
             ));
         }
@@ -684,7 +687,8 @@ impl EnviroMicNode {
         self.check_leader_liveness(ctx);
         let msg = Message::Sensing {
             event: self.group_event,
-            level: self.current_level.clamp(0.0, 255.0) as u8,
+            // Round, not truncate — see the candidate quantization above.
+            level: self.current_level.clamp(0.0, 255.0).round() as u8,
             has_prelude: self.prelude_chunks > 0,
             ttl_secs: self.ttl_storage_secs(),
         };

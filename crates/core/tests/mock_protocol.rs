@@ -14,7 +14,7 @@ use enviromic_runtime::{Application, MockRuntime, Runtime, Timer, TimerHandle, T
 use enviromic_types::{EventId, NodeId, SimDuration, SimTime};
 
 /// Builds a started node on a mock backend with the given config.
-fn started_with(node: u16, cfg: NodeConfig) -> (EnviroMicNode, MockRuntime) {
+fn started_with(node: u32, cfg: NodeConfig) -> (EnviroMicNode, MockRuntime) {
     let mut app = EnviroMicNode::new(cfg);
     let mut rt = MockRuntime::new(NodeId(node));
     rt.start(&mut app);
@@ -22,7 +22,7 @@ fn started_with(node: u16, cfg: NodeConfig) -> (EnviroMicNode, MockRuntime) {
 }
 
 /// Builds a started Full-mode node on a mock backend.
-fn started(node: u16) -> (EnviroMicNode, MockRuntime) {
+fn started(node: u32) -> (EnviroMicNode, MockRuntime) {
     started_with(node, NodeConfig::default().with_mode(Mode::Full))
 }
 

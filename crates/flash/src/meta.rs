@@ -126,9 +126,15 @@ impl Chunk {
             0
         };
         block[2..6].copy_from_slice(&store_seq.to_le_bytes());
-        block[6..8].copy_from_slice(&self.meta.origin.0.to_le_bytes());
+        let origin = u16::try_from(self.meta.origin)
+            .expect("origin NodeId exceeds the u16 flash block format");
+        block[6..8].copy_from_slice(&origin.to_le_bytes());
         let (ev_leader, ev_seq) = match self.meta.event {
-            Some(ev) => (ev.leader().0, ev.seq()),
+            Some(ev) => (
+                u16::try_from(ev.leader())
+                    .expect("leader NodeId exceeds the u16 flash block format"),
+                ev.seq(),
+            ),
             None => (0, 0),
         };
         block[8..10].copy_from_slice(&ev_leader.to_le_bytes());
@@ -162,9 +168,9 @@ impl Chunk {
             return Err(DecodeError::BadChecksum);
         }
         let store_seq = u32::from_le_bytes([block[2], block[3], block[4], block[5]]);
-        let origin = NodeId(u16::from_le_bytes([block[6], block[7]]));
+        let origin = NodeId::from(u16::from_le_bytes([block[6], block[7]]));
         let event = if block[1] & FLAG_HAS_EVENT != 0 {
-            let leader = NodeId(u16::from_le_bytes([block[8], block[9]]));
+            let leader = NodeId::from(u16::from_le_bytes([block[8], block[9]]));
             let seq = u32::from_le_bytes([block[10], block[11], block[12], block[13]]);
             Some(EventId::new(leader, seq))
         } else {

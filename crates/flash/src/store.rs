@@ -486,7 +486,7 @@ mod tests {
     fn chunk(n: u8) -> Chunk {
         Chunk::new(
             ChunkMeta {
-                origin: NodeId(u16::from(n)),
+                origin: NodeId(u32::from(n)),
                 event: Some(EventId::new(NodeId(1), u32::from(n))),
                 t_start: SimTime::from_jiffies(u64::from(n) * 1000),
             },
@@ -574,7 +574,7 @@ mod tests {
         for n in 0..5 {
             s.push_back(chunk(n)).unwrap();
         }
-        let origins: Vec<u16> = s.iter().map(|c| c.meta.origin.0).collect();
+        let origins: Vec<u32> = s.iter().map(|c| c.meta.origin.0).collect();
         assert_eq!(origins, vec![0, 1, 2, 3, 4]);
     }
 
@@ -587,7 +587,7 @@ mod tests {
         s.pop_front().unwrap();
         let (flash, eeprom) = s.into_parts();
         let r = ChunkStore::recover(flash, eeprom, 1);
-        let origins: Vec<u16> = r.iter().map(|c| c.meta.origin.0).collect();
+        let origins: Vec<u32> = r.iter().map(|c| c.meta.origin.0).collect();
         assert_eq!(origins, vec![1, 2, 3, 4]);
     }
 
@@ -603,7 +603,7 @@ mod tests {
         let (flash, eeprom) = s.into_parts();
         let r = ChunkStore::recover(flash, eeprom, 100);
         assert_eq!(r.len(), 6, "all post-checkpoint pushes recovered");
-        let origins: Vec<u16> = r.iter().map(|c| c.meta.origin.0).collect();
+        let origins: Vec<u32> = r.iter().map(|c| c.meta.origin.0).collect();
         assert_eq!(origins, vec![0, 1, 2, 3, 4, 5]);
     }
 
@@ -629,10 +629,10 @@ mod tests {
         s.pop_front().unwrap();
         s.pop_front().unwrap();
         s.push_back(chunk(5)).unwrap();
-        let live: Vec<u16> = s.iter().map(|c| c.meta.origin.0).collect();
+        let live: Vec<u32> = s.iter().map(|c| c.meta.origin.0).collect();
         let (flash, eeprom) = s.into_parts();
         let r = ChunkStore::recover(flash, eeprom, 16);
-        let recovered: Vec<u16> = r.iter().map(|c| c.meta.origin.0).collect();
+        let recovered: Vec<u32> = r.iter().map(|c| c.meta.origin.0).collect();
         for o in &live {
             assert!(recovered.contains(o), "lost pushed chunk {o}");
         }
@@ -672,7 +672,7 @@ mod tests {
         assert_eq!(s.capacity(), 3, "bad block shrank usable capacity");
         assert!(s.is_full());
         assert_eq!(s.push_back(chunk(9)), Err(StoreError::Full));
-        let origins: Vec<u16> = s.iter().map(|c| c.meta.origin.0).collect();
+        let origins: Vec<u32> = s.iter().map(|c| c.meta.origin.0).collect();
         assert_eq!(origins, vec![0, 1, 2], "FIFO order survives the hole");
     }
 
@@ -717,7 +717,7 @@ mod tests {
         let (flash, eeprom) = s.into_parts();
         let r = ChunkStore::recover(flash, eeprom, 1);
         assert_eq!(r.capacity(), 4, "recovered store inherits the bad map");
-        let origins: Vec<u16> = r.iter().map(|c| c.meta.origin.0).collect();
+        let origins: Vec<u32> = r.iter().map(|c| c.meta.origin.0).collect();
         assert_eq!(origins, vec![0, 1, 2, 3]);
     }
 
@@ -731,7 +731,7 @@ mod tests {
         s.mark_bad_block(1);
         let (flash, eeprom) = s.into_parts();
         let r = ChunkStore::recover(flash, eeprom, 1);
-        let origins: Vec<u16> = r.iter().map(|c| c.meta.origin.0).collect();
+        let origins: Vec<u32> = r.iter().map(|c| c.meta.origin.0).collect();
         assert_eq!(origins, vec![0, 2], "hole stepped over, neighbours kept");
     }
 }

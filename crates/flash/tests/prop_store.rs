@@ -6,11 +6,11 @@ use enviromic_types::{EventId, NodeId, SimTime};
 use proptest::prelude::*;
 use std::collections::VecDeque;
 
-fn chunk(tag: u16) -> Chunk {
+fn chunk(tag: u32) -> Chunk {
     Chunk::new(
         ChunkMeta {
             origin: NodeId(tag),
-            event: Some(EventId::new(NodeId(tag), u32::from(tag))),
+            event: Some(EventId::new(NodeId(tag), tag)),
             t_start: SimTime::from_jiffies(u64::from(tag) * 7919),
         },
         vec![tag as u8; (tag as usize % 232).max(1)],
@@ -43,8 +43,8 @@ proptest! {
         ops in proptest::collection::vec(op_strategy(), 0..200),
     ) {
         let mut store = ChunkStore::new(capacity, 8);
-        let mut model: VecDeque<u16> = VecDeque::new();
-        let mut next_tag = 0u16;
+        let mut model: VecDeque<u32> = VecDeque::new();
+        let mut next_tag = 0u32;
         for op in ops {
             match op {
                 Op::Push => {
@@ -73,8 +73,8 @@ proptest! {
             }
             prop_assert_eq!(store.len() as usize, model.len());
             prop_assert_eq!(store.is_empty(), model.is_empty());
-            let stored: Vec<u16> = store.iter().map(|c| c.meta.origin.0).collect();
-            let expect: Vec<u16> = model.iter().copied().collect();
+            let stored: Vec<u32> = store.iter().map(|c| c.meta.origin.0).collect();
+            let expect: Vec<u32> = model.iter().copied().collect();
             prop_assert_eq!(stored, expect);
         }
     }
@@ -87,7 +87,7 @@ proptest! {
         ops in proptest::collection::vec(prop_oneof![3 => Just(true), 2 => Just(false)], 0..300),
     ) {
         let mut store = ChunkStore::new(capacity, 16);
-        let mut tag = 0u16;
+        let mut tag = 0u32;
         for push in ops {
             if push {
                 let _ = store.push_back(chunk(tag));
@@ -107,7 +107,7 @@ proptest! {
         ops in proptest::collection::vec(op_strategy(), 0..120),
     ) {
         let mut store = ChunkStore::new(capacity, checkpoint_interval);
-        let mut tag = 0u16;
+        let mut tag = 0u32;
         for op in ops {
             match op {
                 Op::Push => { let _ = store.push_back(chunk(tag)); tag += 1; }
@@ -119,10 +119,10 @@ proptest! {
                 Op::Checkpoint => store.checkpoint(),
             }
         }
-        let live: Vec<u16> = store.iter().map(|c| c.meta.origin.0).collect();
+        let live: Vec<u32> = store.iter().map(|c| c.meta.origin.0).collect();
         let (flash, eeprom) = store.into_parts();
         let recovered = ChunkStore::recover(flash, eeprom, checkpoint_interval);
-        let got: Vec<u16> = recovered.iter().map(|c| c.meta.origin.0).collect();
+        let got: Vec<u32> = recovered.iter().map(|c| c.meta.origin.0).collect();
         for t in &live {
             prop_assert!(got.contains(t), "chunk {} lost by recovery", t);
         }
@@ -141,8 +141,8 @@ proptest! {
     ) {
         let c = Chunk::new(
             ChunkMeta {
-                origin: NodeId(origin),
-                event: has_event.then(|| EventId::new(NodeId(leader), evseq)),
+                origin: NodeId::from(origin),
+                event: has_event.then(|| EventId::new(NodeId::from(leader), evseq)),
                 t_start: SimTime::from_jiffies(jiffies),
             },
             payload,

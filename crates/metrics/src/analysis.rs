@@ -150,7 +150,7 @@ impl<'a> Experiment<'a> {
             b: u64,
             source: Option<SourceId>,
         }
-        let mut keys: HashMap<(u16, u64), KeyInfo> = HashMap::new();
+        let mut keys: HashMap<(u32, u64), KeyInfo> = HashMap::new();
         let mut events = self.trace.iter().peekable();
         let mut out = Vec::new();
         let mut t = sample_secs;
@@ -357,7 +357,7 @@ impl<'a> Experiment<'a> {
             .enumerate()
             .max_by_key(|(_, &b)| b)
             .filter(|(_, &b)| b > 0)
-            .map(|(i, _)| NodeId(i as u16))
+            .map(|(i, _)| NodeId::from_index(i))
     }
 
     /// How many distinct event (file) IDs were used for each ground-truth
@@ -420,7 +420,7 @@ mod tests {
         SimTime::ZERO + SimDuration::from_secs_f64(secs)
     }
 
-    fn recorded(node: u16, t0: f64, t1: f64) -> TraceEvent {
+    fn recorded(node: u32, t0: f64, t1: f64) -> TraceEvent {
         TraceEvent::Recorded {
             node: NodeId(node),
             event: None,
@@ -483,7 +483,7 @@ mod tests {
         assert!((series[2].1 - 0.5).abs() < 1e-6, "half missed at the end");
     }
 
-    fn stored(node: u16, origin: u16, a: f64, b: f64) -> TraceEvent {
+    fn stored(node: u32, origin: u32, a: f64, b: f64) -> TraceEvent {
         TraceEvent::ChunkStored {
             node: NodeId(node),
             origin: NodeId(origin),

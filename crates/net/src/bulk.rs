@@ -228,7 +228,7 @@ mod tests {
     fn chunk(n: u8) -> Chunk {
         Chunk::new(
             ChunkMeta {
-                origin: NodeId(u16::from(n)),
+                origin: NodeId(u32::from(n)),
                 event: None,
                 t_start: SimTime::from_jiffies(u64::from(n)),
             },

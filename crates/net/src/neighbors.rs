@@ -212,7 +212,7 @@ mod tests {
         tab.sensing_report(NodeId(3), t(2000), Some(ev), 150, true, 70);
         // At t=2100 with 1 s freshness: node 1's report is stale.
         let members = tab.members_for(ev, t(2100), SimDuration::from_millis(1000));
-        let ids: Vec<u16> = members.iter().map(|(n, _)| n.0).collect();
+        let ids: Vec<u32> = members.iter().map(|(n, _)| n.0).collect();
         assert_eq!(ids, vec![3]);
     }
 
@@ -236,7 +236,7 @@ mod tests {
         tab.heard(NodeId(5), t(1));
         tab.heard(NodeId(2), t(1));
         tab.heard(NodeId(9), t(1));
-        let ids: Vec<u16> = tab.entries().iter().map(|(n, _)| n.0).collect();
+        let ids: Vec<u32> = tab.entries().iter().map(|(n, _)| n.0).collect();
         assert_eq!(ids, vec![2, 5, 9]);
     }
 }

@@ -210,13 +210,23 @@ const TAG_QUERY: u8 = 14;
 const TAG_QUERY_DATA: u8 = 15;
 const TAG_QUERY_DONE: u8 = 16;
 
+/// Narrows a node ID into the 16-bit radio wire format.
+///
+/// The over-the-air encoding stays two bytes (MicaZ-era frames are tiny and
+/// widening would change every packet's airtime), so worlds above 65 535
+/// nodes must keep radio traffic within the 16-bit ID space — this fails
+/// loudly instead of truncating if one ever leaks through.
+fn node_u16(id: NodeId) -> u16 {
+    u16::try_from(id).expect("NodeId exceeds the u16 radio wire format")
+}
+
 fn write_event(w: &mut Writer, event: EventId) {
-    w.u16(event.leader().0);
+    w.u16(node_u16(event.leader()));
     w.u32(event.seq());
 }
 
 fn read_event(r: &mut Reader<'_>) -> Result<EventId, WireError> {
-    let leader = NodeId(r.u16()?);
+    let leader = NodeId::from(r.u16()?);
     let seq = r.u32()?;
     Ok(EventId::new(leader, seq))
 }
@@ -239,14 +249,14 @@ fn read_opt_event(r: &mut Reader<'_>) -> Result<Option<EventId>, WireError> {
 }
 
 fn write_chunk(w: &mut Writer, chunk: &Chunk) {
-    w.u16(chunk.meta.origin.0);
+    w.u16(node_u16(chunk.meta.origin));
     write_opt_event(w, chunk.meta.event);
     w.time(chunk.meta.t_start);
     w.bytes8(&chunk.payload);
 }
 
 fn read_chunk(r: &mut Reader<'_>) -> Result<Chunk, WireError> {
-    let origin = NodeId(r.u16()?);
+    let origin = NodeId::from(r.u16()?);
     let event = read_opt_event(r)?;
     let t_start = r.time()?;
     let at = r.position();
@@ -353,14 +363,14 @@ impl Message {
             } => {
                 w.u8(TAG_TASK_REQUEST);
                 write_event(w, *event);
-                w.u16(recorder.0);
+                w.u16(node_u16(*recorder));
                 w.u32(*task_seq);
                 w.duration(*duration);
                 w.time(*leader_time);
                 match keep_prelude {
                     Some(n) => {
                         w.u8(1);
-                        w.u16(n.0);
+                        w.u16(node_u16(*n));
                     }
                     None => w.u8(0),
                 }
@@ -372,7 +382,7 @@ impl Message {
             } => {
                 w.u8(TAG_TASK_CONFIRM);
                 write_event(w, *event);
-                w.u16(recorder.0);
+                w.u16(node_u16(*recorder));
                 w.u32(*task_seq);
             }
             Message::TaskReject {
@@ -382,7 +392,7 @@ impl Message {
             } => {
                 w.u8(TAG_TASK_REJECT);
                 write_event(w, *event);
-                w.u16(recorder.0);
+                w.u16(node_u16(*recorder));
                 w.u32(*task_seq);
             }
             Message::StateUpdate {
@@ -401,7 +411,7 @@ impl Message {
                 session,
             } => {
                 w.u8(TAG_MIGRATE_OFFER);
-                w.u16(to.0);
+                w.u16(node_u16(*to));
                 w.u16(*chunks);
                 w.u32(*session);
             }
@@ -411,7 +421,7 @@ impl Message {
                 granted,
             } => {
                 w.u8(TAG_MIGRATE_ACCEPT);
-                w.u16(to.0);
+                w.u16(node_u16(*to));
                 w.u32(*session);
                 w.u16(*granted);
             }
@@ -423,7 +433,7 @@ impl Message {
                 chunk,
             } => {
                 w.u8(TAG_BULK_DATA);
-                w.u16(to.0);
+                w.u16(node_u16(*to));
                 w.u32(*session);
                 w.u16(*seq);
                 w.u8(u8::from(*last));
@@ -431,7 +441,7 @@ impl Message {
             }
             Message::BulkAck { to, session, seq } => {
                 w.u8(TAG_BULK_ACK);
-                w.u16(to.0);
+                w.u16(node_u16(*to));
                 w.u32(*session);
                 w.u16(*seq);
             }
@@ -441,7 +451,7 @@ impl Message {
                 ref_time,
             } => {
                 w.u8(TAG_TIME_SYNC);
-                w.u16(root.0);
+                w.u16(node_u16(*root));
                 w.u32(*seq);
                 w.time(*ref_time);
             }
@@ -451,7 +461,7 @@ impl Message {
                 hops,
             } => {
                 w.u8(TAG_TREE_BUILD);
-                w.u16(root.0);
+                w.u16(node_u16(*root));
                 w.u32(*build_id);
                 w.u8(*hops);
             }
@@ -463,7 +473,7 @@ impl Message {
                 all,
             } => {
                 w.u8(TAG_QUERY);
-                w.u16(root.0);
+                w.u16(node_u16(*root));
                 w.u32(*query_id);
                 w.time(*t0);
                 w.time(*t1);
@@ -476,8 +486,8 @@ impl Message {
                 chunk,
             } => {
                 w.u8(TAG_QUERY_DATA);
-                w.u16(to.0);
-                w.u16(root.0);
+                w.u16(node_u16(*to));
+                w.u16(node_u16(*root));
                 w.u32(*query_id);
                 write_chunk(w, chunk);
             }
@@ -489,10 +499,10 @@ impl Message {
                 sent,
             } => {
                 w.u8(TAG_QUERY_DONE);
-                w.u16(to.0);
-                w.u16(root.0);
+                w.u16(node_u16(*to));
+                w.u16(node_u16(*root));
                 w.u32(*query_id);
-                w.u16(source.0);
+                w.u16(node_u16(*source));
                 w.u32(*sent);
             }
         }
@@ -517,23 +527,23 @@ impl Message {
             },
             TAG_TASK_REQUEST => Message::TaskRequest {
                 event: read_event(r)?,
-                recorder: NodeId(r.u16()?),
+                recorder: NodeId::from(r.u16()?),
                 task_seq: r.u32()?,
                 duration: r.duration()?,
                 leader_time: r.time()?,
                 keep_prelude: match r.u8()? {
                     0 => None,
-                    _ => Some(NodeId(r.u16()?)),
+                    _ => Some(NodeId::from(r.u16()?)),
                 },
             },
             TAG_TASK_CONFIRM => Message::TaskConfirm {
                 event: read_event(r)?,
-                recorder: NodeId(r.u16()?),
+                recorder: NodeId::from(r.u16()?),
                 task_seq: r.u32()?,
             },
             TAG_TASK_REJECT => Message::TaskReject {
                 event: read_event(r)?,
-                recorder: NodeId(r.u16()?),
+                recorder: NodeId::from(r.u16()?),
                 task_seq: r.u32()?,
             },
             TAG_STATE_UPDATE => Message::StateUpdate {
@@ -542,55 +552,55 @@ impl Message {
                 avg_free_pct: r.u8()?,
             },
             TAG_MIGRATE_OFFER => Message::MigrateOffer {
-                to: NodeId(r.u16()?),
+                to: NodeId::from(r.u16()?),
                 chunks: r.u16()?,
                 session: r.u32()?,
             },
             TAG_MIGRATE_ACCEPT => Message::MigrateAccept {
-                to: NodeId(r.u16()?),
+                to: NodeId::from(r.u16()?),
                 session: r.u32()?,
                 granted: r.u16()?,
             },
             TAG_BULK_DATA => Message::BulkData {
-                to: NodeId(r.u16()?),
+                to: NodeId::from(r.u16()?),
                 session: r.u32()?,
                 seq: r.u16()?,
                 last: r.u8()? != 0,
                 chunk: read_chunk(r)?,
             },
             TAG_BULK_ACK => Message::BulkAck {
-                to: NodeId(r.u16()?),
+                to: NodeId::from(r.u16()?),
                 session: r.u32()?,
                 seq: r.u16()?,
             },
             TAG_TIME_SYNC => Message::TimeSync {
-                root: NodeId(r.u16()?),
+                root: NodeId::from(r.u16()?),
                 seq: r.u32()?,
                 ref_time: r.time()?,
             },
             TAG_TREE_BUILD => Message::TreeBuild {
-                root: NodeId(r.u16()?),
+                root: NodeId::from(r.u16()?),
                 build_id: r.u32()?,
                 hops: r.u8()?,
             },
             TAG_QUERY => Message::Query {
-                root: NodeId(r.u16()?),
+                root: NodeId::from(r.u16()?),
                 query_id: r.u32()?,
                 t0: r.time()?,
                 t1: r.time()?,
                 all: r.u8()? != 0,
             },
             TAG_QUERY_DATA => Message::QueryData {
-                to: NodeId(r.u16()?),
-                root: NodeId(r.u16()?),
+                to: NodeId::from(r.u16()?),
+                root: NodeId::from(r.u16()?),
                 query_id: r.u32()?,
                 chunk: read_chunk(r)?,
             },
             TAG_QUERY_DONE => Message::QueryDone {
-                to: NodeId(r.u16()?),
-                root: NodeId(r.u16()?),
+                to: NodeId::from(r.u16()?),
+                root: NodeId::from(r.u16()?),
                 query_id: r.u32()?,
-                source: NodeId(r.u16()?),
+                source: NodeId::from(r.u16()?),
                 sent: r.u32()?,
             },
             _ => {

@@ -7,11 +7,11 @@ use enviromic_types::{EventId, NodeId, SimDuration, SimTime};
 use proptest::prelude::*;
 
 fn arb_node() -> impl Strategy<Value = NodeId> {
-    any::<u16>().prop_map(NodeId)
+    any::<u16>().prop_map(NodeId::from)
 }
 
 fn arb_event() -> impl Strategy<Value = EventId> {
-    (any::<u16>(), any::<u32>()).prop_map(|(l, s)| EventId::new(NodeId(l), s))
+    (any::<u16>(), any::<u32>()).prop_map(|(l, s)| EventId::new(NodeId::from(l), s))
 }
 
 fn arb_time() -> impl Strategy<Value = SimTime> {

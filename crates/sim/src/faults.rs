@@ -242,7 +242,7 @@ impl FaultPlan {
         // One or two crash victims, each rebooting later in the run.
         let victims = 1 + usize::from(node_count > 2);
         for _ in 0..victims {
-            let node = NodeId(rng.gen_range(0..node_count) as u16);
+            let node = NodeId(rng.gen_range(0..node_count) as u32);
             let crash_frac = rng.gen_range(0.10..0.45);
             let reboot_frac = crash_frac + rng.gen_range(0.10..0.35);
             plan.push(FaultEvent::NodeCrash {
@@ -261,7 +261,7 @@ impl FaultPlan {
         let scope = if node_count == 1 || rng.gen::<f64>() < 0.5 {
             FaultScope::All
         } else {
-            FaultScope::Node(NodeId(rng.gen_range(0..node_count) as u16))
+            FaultScope::Node(NodeId(rng.gen_range(0..node_count) as u32))
         };
         plan.push(FaultEvent::RadioBlackout {
             from: at(from),
@@ -282,7 +282,7 @@ impl FaultPlan {
         for _ in 0..2 {
             plan.push(FaultEvent::FlashBadBlock {
                 at: at(rng.gen_range(0.05..0.90)),
-                node: NodeId(rng.gen_range(0..node_count) as u16),
+                node: NodeId(rng.gen_range(0..node_count) as u32),
                 block: rng.gen_range(0..8),
             });
         }

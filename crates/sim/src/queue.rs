@@ -1,13 +1,64 @@
-//! The discrete-event queue.
+//! The discrete-event queue: a hierarchical timer wheel.
 //!
-//! A binary heap of `(time, sequence)`-ordered entries. The monotonically
-//! increasing sequence number breaks ties deterministically in insertion
-//! order, which keeps whole-simulation runs bit-reproducible across
-//! platforms.
+//! Replaces the original `BinaryHeap<(time, seq)>` with a calendar-queue
+//! style hierarchy keyed by jiffies: O(1) amortized schedule/pop instead of
+//! O(log n), which is what keeps 10k-node worlds with millions of pending
+//! events affordable. The observable contract is unchanged and pinned by
+//! property tests against the old heap as an oracle: entries pop in
+//! ascending `(SimTime, seq)` order, where `seq` is a monotone insertion
+//! counter — same-time entries fire in scheduling order, which keeps
+//! whole-simulation runs bit-reproducible across platforms.
+//!
+//! # Structure
+//!
+//! Six levels of 64 slots each. A slot at level `L` spans `64^L` jiffies,
+//! so level 0 slots are single jiffies and the whole wheel covers
+//! `64^6 = 2^36` jiffies (~24 days of sim time) ahead of the current
+//! position; entries beyond that sit in an unsorted overflow list until the
+//! wheel advances far enough to admit them. An entry is placed by the
+//! highest 6-bit group in which its firing jiffy differs from the wheel's
+//! current position (`at XOR elapsed`), exactly the hashed hierarchy of
+//! classic kernel timer wheels.
+//!
+//! # Determinism argument
+//!
+//! Popping must reproduce the heap's total `(time, seq)` order exactly:
+//!
+//! * Within any slot, entries are only ever *appended* — directly by
+//!   [`EventQueue::schedule`] (seq is monotone, so appends are
+//!   seq-ascending) or by a cascade, which replays a higher slot's Vec in
+//!   order. A destination slot is always empty or populated exclusively by
+//!   earlier appends with smaller seq (a cascade into a frame happens once,
+//!   when the wheel enters the frame, strictly before any direct insert
+//!   into that frame can occur). Slot Vecs are therefore seq-sorted by
+//!   construction and never need sorting.
+//! * Level-0 slots span exactly one jiffy, so draining one yields entries
+//!   of a single firing time in seq order.
+//! * Every pending entry's firing time is `>= elapsed` (the wheel position
+//!   only advances to the firing time of a popped minimum), so bottom-up
+//!   slot scans always find the global minimum: level-`L` entries fire
+//!   strictly before any level-`L+1` entry.
+//!
+//! Entries scheduled *before* the wheel position — legal for the public
+//! queue API (the old heap allowed it), though the simulator never does it
+//! because events only schedule at `now + delay` — fall back to a small
+//! auxiliary binary heap that is checked first on pop, preserving exact
+//! heap semantics at zero cost to the hot path (one `is_empty` test).
 
 use enviromic_types::SimTime;
 use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, VecDeque};
+
+/// Log2 of the slot count per level.
+const SLOT_BITS: u32 = 6;
+/// Slots per level.
+const SLOTS: usize = 1 << SLOT_BITS;
+/// Number of wheel levels. `64^LEVELS` jiffies (~24 days) fit in the wheel.
+const LEVELS: usize = 6;
+/// Jiffy horizon of the whole wheel; entries at or beyond
+/// `elapsed + HORIZON`... more precisely, entries whose jiffy differs from
+/// `elapsed` at bit `SLOT_BITS * LEVELS` or above go to the overflow list.
+const HORIZON_BITS: u32 = SLOT_BITS * LEVELS as u32;
 
 /// An entry in the event queue.
 #[derive(Debug)]
@@ -57,14 +108,43 @@ impl<E> Ord for Scheduled<E> {
 /// ```
 #[derive(Debug)]
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Scheduled<E>>,
+    /// `LEVELS * SLOTS` buckets, level-major. Each bucket Vec is
+    /// seq-ascending by construction (appends only — see module docs).
+    slots: Vec<Vec<Scheduled<E>>>,
+    /// Per-level occupancy bitmask: bit `s` set iff `slots[L * SLOTS + s]`
+    /// is non-empty. All occupied slots sit at or after the wheel cursor,
+    /// so `trailing_zeros` finds the next one.
+    occupied: [u64; LEVELS],
+    /// Entries firing exactly at jiffy `elapsed`, seq-ascending. Popped
+    /// from the front; same-instant schedules append at the back (their
+    /// seq is larger than everything pending).
+    front: VecDeque<Scheduled<E>>,
+    /// Entries farther than the wheel horizon, in insertion (seq) order.
+    overflow: Vec<Scheduled<E>>,
+    /// Exact minimum firing jiffy over `overflow` (u64::MAX when empty).
+    overflow_min: u64,
+    /// Entries scheduled before `elapsed` (time-travel; never happens in
+    /// simulation runs). Ordered min-first by `(at, seq)`.
+    past: BinaryHeap<Scheduled<E>>,
+    /// The wheel position in jiffies: the firing time of the most recent
+    /// entry popped *from the wheel*. Every wheel entry fires at or after
+    /// this.
+    elapsed: u64,
+    len: usize,
     next_seq: u64,
 }
 
 impl<E> Default for EventQueue<E> {
     fn default() -> Self {
         EventQueue {
-            heap: BinaryHeap::new(),
+            slots: (0..LEVELS * SLOTS).map(|_| Vec::new()).collect(),
+            occupied: [0; LEVELS],
+            front: VecDeque::new(),
+            overflow: Vec::new(),
+            overflow_min: u64::MAX,
+            past: BinaryHeap::new(),
+            elapsed: 0,
+            len: 0,
             next_seq: 0,
         }
     }
@@ -96,30 +176,151 @@ impl<E> EventQueue<E> {
             .next_seq
             .checked_add(1)
             .expect("EventQueue sequence overflow: tie-break order would wrap");
-        self.heap.push(Scheduled { at, seq, payload });
+        self.len += 1;
+        self.insert(Scheduled { at, seq, payload });
+    }
+
+    /// Places one entry into the right tier relative to the wheel cursor.
+    /// Used both by [`EventQueue::schedule`] and by cascades, and both
+    /// preserve seq order because the entry stream each replays is itself
+    /// seq-ascending.
+    fn insert(&mut self, e: Scheduled<E>) {
+        let t = e.at.as_jiffies();
+        match t.cmp(&self.elapsed) {
+            Ordering::Less => self.past.push(e),
+            Ordering::Equal => self.front.push_back(e),
+            Ordering::Greater => {
+                let xor = t ^ self.elapsed;
+                if (xor >> HORIZON_BITS) != 0 {
+                    self.overflow_min = self.overflow_min.min(t);
+                    self.overflow.push(e);
+                } else {
+                    // Highest differing 6-bit group picks the level.
+                    let level = ((63 - xor.leading_zeros()) / SLOT_BITS) as usize;
+                    let slot = ((t >> (SLOT_BITS * level as u32)) & (SLOTS as u64 - 1)) as usize;
+                    self.slots[level * SLOTS + slot].push(e);
+                    self.occupied[level] |= 1 << slot;
+                }
+            }
+        }
     }
 
     /// Removes and returns the earliest entry.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
-        self.heap.pop().map(|s| (s.at, s.payload))
+        // Time-travelled entries fire strictly before anything in the
+        // wheel (`past` times < elapsed <= wheel times).
+        if let Some(e) = self.past.pop() {
+            self.len -= 1;
+            return Some((e.at, e.payload));
+        }
+        loop {
+            if let Some(e) = self.front.pop_front() {
+                self.len -= 1;
+                return Some((e.at, e.payload));
+            }
+            if !self.advance() {
+                return None;
+            }
+        }
+    }
+
+    /// Advances the wheel cursor to the next pending entry and fills
+    /// `front` with its jiffy's slot. Returns false when the queue holds
+    /// nothing beyond `front` (which the caller just found empty).
+    fn advance(&mut self) -> bool {
+        // Lowest level with an occupied slot; its first slot is the global
+        // minimum's jiffy range (level-L entries fire strictly before any
+        // level-(L+1) entry — see module docs).
+        for level in 0..LEVELS {
+            if self.occupied[level] == 0 {
+                continue;
+            }
+            let slot = self.occupied[level].trailing_zeros() as usize;
+            let idx = level * SLOTS + slot;
+            self.occupied[level] &= !(1 << slot);
+            let mut bucket = std::mem::take(&mut self.slots[idx]);
+            if level == 0 {
+                // Single-jiffy slot: this *is* the next firing instant.
+                let width = 1u64 << SLOT_BITS;
+                self.elapsed = (self.elapsed & !(width - 1)) | slot as u64;
+                self.front.extend(bucket.drain(..));
+            } else {
+                // Enter the slot's range, then redistribute its entries
+                // into lower levels (their order replays seq-ascending).
+                let shift = SLOT_BITS * level as u32;
+                let frame = !((1u64 << (shift + SLOT_BITS)) - 1);
+                let base = (self.elapsed & frame) | ((slot as u64) << shift);
+                self.elapsed = self.elapsed.max(base);
+                for e in bucket.drain(..) {
+                    self.insert(e);
+                }
+            }
+            // Hand the (possibly shrunk) capacity back to the slot so
+            // steady-state operation stops allocating.
+            self.slots[idx] = bucket;
+            return true;
+        }
+        if self.overflow.is_empty() {
+            return false;
+        }
+        // The wheel is empty: jump to the earliest overflow entry and
+        // admit everything the new horizon now covers, preserving
+        // insertion order.
+        self.elapsed = self.overflow_min;
+        self.overflow_min = u64::MAX;
+        let pending = std::mem::take(&mut self.overflow);
+        for e in pending {
+            self.insert(e);
+        }
+        true
     }
 
     /// The firing time of the earliest entry without removing it.
     #[must_use]
     pub fn peek_time(&self) -> Option<SimTime> {
-        self.heap.peek().map(|s| s.at)
+        if let Some(e) = self.past.peek() {
+            // Past entries fire strictly before every wheel entry.
+            return Some(e.at);
+        }
+        if let Some(e) = self.front.front() {
+            return Some(e.at);
+        }
+        for level in 0..LEVELS {
+            if self.occupied[level] == 0 {
+                continue;
+            }
+            let slot = self.occupied[level].trailing_zeros() as usize;
+            if level == 0 {
+                let width = 1u64 << SLOT_BITS;
+                return Some(SimTime::from_jiffies(
+                    (self.elapsed & !(width - 1)) | slot as u64,
+                ));
+            }
+            // Higher-level slots span a range; the earliest entry inside
+            // needs a scan (buckets are seq-sorted, not time-sorted).
+            let min = self.slots[level * SLOTS + slot]
+                .iter()
+                .map(|e| e.at)
+                .min()
+                .expect("occupied bit set on empty slot");
+            return Some(min);
+        }
+        if self.overflow_min != u64::MAX {
+            return Some(SimTime::from_jiffies(self.overflow_min));
+        }
+        None
     }
 
     /// Number of pending entries.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.len
     }
 
     /// True when no entries are pending.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.len == 0
     }
 }
 
@@ -161,5 +362,73 @@ mod tests {
         q.pop();
         assert!(q.is_empty());
         assert_eq!(q.peek_time(), None);
+    }
+
+    /// Crossing level boundaries (64, 4096, ... jiffies) cascades entries
+    /// down without disturbing the (time, seq) order.
+    #[test]
+    fn cascades_preserve_order_across_level_boundaries() {
+        let mut q = EventQueue::new();
+        // One entry per level, plus ties on both sides of a boundary.
+        let times = [1u64, 63, 64, 65, 4095, 4096, 4097, 262144, 16_777_216];
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule(SimTime::from_jiffies(t), i);
+        }
+        // Same-time ties inserted later must still pop after earlier ones.
+        q.schedule(SimTime::from_jiffies(64), 100);
+        let got: Vec<(u64, usize)> =
+            std::iter::from_fn(|| q.pop().map(|(t, v)| (t.as_jiffies(), v))).collect();
+        let expect = vec![
+            (1, 0),
+            (63, 1),
+            (64, 2),
+            (64, 100),
+            (65, 3),
+            (4095, 4),
+            (4096, 5),
+            (4097, 6),
+            (262_144, 7),
+            (16_777_216, 8),
+        ];
+        assert_eq!(got, expect);
+    }
+
+    /// Entries beyond the 2^36-jiffy wheel horizon take the overflow path
+    /// and still come out in (time, seq) order.
+    #[test]
+    fn far_future_overflow_entries_pop_in_order() {
+        let mut q = EventQueue::new();
+        let far = 1u64 << 40;
+        q.schedule(SimTime::from_jiffies(far + 7), "far+7");
+        q.schedule(SimTime::from_jiffies(5), "near");
+        q.schedule(SimTime::from_jiffies(far), "far a");
+        q.schedule(SimTime::from_jiffies(far), "far b");
+        assert_eq!(q.peek_time(), Some(SimTime::from_jiffies(5)));
+        assert_eq!(q.pop(), Some((SimTime::from_jiffies(5), "near")));
+        assert_eq!(q.peek_time(), Some(SimTime::from_jiffies(far)));
+        assert_eq!(q.pop(), Some((SimTime::from_jiffies(far), "far a")));
+        assert_eq!(q.pop(), Some((SimTime::from_jiffies(far), "far b")));
+        assert_eq!(q.pop(), Some((SimTime::from_jiffies(far + 7), "far+7")));
+        assert_eq!(q.pop(), None);
+    }
+
+    /// Scheduling before the wheel position (allowed by the public API,
+    /// unused by the simulator) still pops in global (time, seq) order.
+    #[test]
+    fn past_schedules_fire_before_pending_future_entries() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_jiffies(100), "t100");
+        q.schedule(SimTime::from_jiffies(200), "t200");
+        assert_eq!(q.pop(), Some((SimTime::from_jiffies(100), "t100")));
+        // The wheel now sits at jiffy 100; schedule earlier than that.
+        q.schedule(SimTime::from_jiffies(40), "t40 a");
+        q.schedule(SimTime::from_jiffies(30), "t30");
+        q.schedule(SimTime::from_jiffies(40), "t40 b");
+        assert_eq!(q.peek_time(), Some(SimTime::from_jiffies(30)));
+        assert_eq!(q.pop(), Some((SimTime::from_jiffies(30), "t30")));
+        assert_eq!(q.pop(), Some((SimTime::from_jiffies(40), "t40 a")));
+        assert_eq!(q.pop(), Some((SimTime::from_jiffies(40), "t40 b")));
+        assert_eq!(q.pop(), Some((SimTime::from_jiffies(200), "t200")));
+        assert_eq!(q.len(), 0);
     }
 }

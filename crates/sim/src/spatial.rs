@@ -40,7 +40,7 @@
 //! sources.
 
 use crate::acoustics::{AcousticField, Motion, SourceSpec};
-use enviromic_types::{Position, SimTime};
+use enviromic_types::{NodeId, Position, SimTime};
 
 /// Safety margin (feet) added to range comparisons when deciding index
 /// membership. Candidacy must never have false negatives: the margin
@@ -51,8 +51,10 @@ const RANGE_MARGIN_FT: f64 = 1e-6;
 
 /// Upper bound on grid cells per axis, so a tiny radio range over a huge
 /// deployment cannot explode memory. Capping *grows* cells beyond the
-/// radio range, which keeps the 3×3 neighborhood sufficient.
-const MAX_CELLS_PER_AXIS: usize = 256;
+/// radio range, which keeps the 3×3 neighborhood sufficient. 1024 keeps
+/// city-scale extents (miles across, radio ranges of tens of feet) out of
+/// the mega-bucket regime while bounding the grid at ~1M cells.
+const MAX_CELLS_PER_AXIS: usize = 1024;
 
 /// Uniform-grid index over node positions, cell size ≥ the radio range.
 ///
@@ -66,7 +68,7 @@ pub struct NodeGrid {
     cols: usize,
     rows: usize,
     /// Node indices bucketed by cell, row-major.
-    cells: Vec<Vec<u16>>,
+    cells: Vec<Vec<u32>>,
     /// Cell index per node; `usize::MAX` marks an evicted (dead) node.
     node_cell: Vec<usize>,
     /// Node positions, indexed by node id (immutable after build).
@@ -110,7 +112,7 @@ impl NodeGrid {
         for (idx, &p) in positions.iter().enumerate() {
             if alive.get(idx).copied().unwrap_or(true) {
                 let cell = grid.cell_index(p);
-                grid.cells[cell].push(idx as u16);
+                grid.cells[cell].push(NodeId::from_index(idx).0);
                 grid.node_cell[idx] = cell;
             }
         }
@@ -147,7 +149,7 @@ impl NodeGrid {
             return;
         }
         let cell = self.cell_index(self.positions[node]);
-        self.cells[cell].push(node as u16);
+        self.cells[cell].push(NodeId::from_index(node).0);
         self.node_cell[node] = cell;
     }
 
@@ -162,7 +164,7 @@ impl NodeGrid {
     /// brute-force delivery scan), sorted by node index. `out` is cleared
     /// first; its capacity is reused, so steady-state queries do not
     /// allocate.
-    pub fn query_sorted(&self, center: Position, range_ft: f64, out: &mut Vec<u16>) {
+    pub fn query_sorted(&self, center: Position, range_ft: f64, out: &mut Vec<u32>) {
         out.clear();
         // Small worlds: when the whole grid fits inside one 3×3
         // neighborhood, bucket gathering plus the final sort costs more
@@ -171,7 +173,7 @@ impl NodeGrid {
         if self.cols <= 3 && self.rows <= 3 {
             for (idx, p) in self.positions.iter().enumerate() {
                 if self.node_cell[idx] != usize::MAX && p.distance_to(center) <= range_ft {
-                    out.push(idx as u16);
+                    out.push(NodeId::from_index(idx).0);
                 }
             }
             return;
@@ -352,11 +354,11 @@ mod tests {
         let mut out = Vec::new();
         for &center in &positions {
             grid.query_sorted(center, range, &mut out);
-            let brute: Vec<u16> = positions
+            let brute: Vec<u32> = positions
                 .iter()
                 .enumerate()
                 .filter(|(_, p)| p.distance_to(center) <= range)
-                .map(|(i, _)| i as u16)
+                .map(|(i, _)| i as u32)
                 .collect();
             assert_eq!(out, brute, "center {center}");
         }
@@ -393,6 +395,35 @@ mod tests {
         let mut out = Vec::new();
         grid.query_sorted(Position::new(0.0, 0.0), 0.001, &mut out);
         assert_eq!(out, vec![0]);
+    }
+
+    #[test]
+    fn node_indices_above_the_old_u16_cap_survive_the_grid() {
+        // 70 000 nodes: indices above 65 535 used to be truncated by a bare
+        // `as u16` in insert/query, silently aliasing node 70 000 onto node
+        // 4 464. Spread the nodes so the grid actually buckets them.
+        let n = 70_000usize;
+        let positions: Vec<Position> = (0..n)
+            .map(|i| Position::new((i % 1000) as f64 * 10.0, (i / 1000) as f64 * 10.0))
+            .collect();
+        let alive = vec![true; n];
+        let mut grid = NodeGrid::build(&positions, &alive, 12.0);
+        let mut out = Vec::new();
+        let last = positions[n - 1];
+        grid.query_sorted(last, 12.0, &mut out);
+        assert!(
+            out.contains(&((n - 1) as u32)),
+            "the last node must be found under its real index, got {out:?}"
+        );
+        assert!(out.iter().all(|&i| (i as usize) < n));
+        // Evict-and-reinsert goes through the other formerly-truncating
+        // path.
+        grid.remove(n - 1);
+        grid.query_sorted(last, 12.0, &mut out);
+        assert!(!out.contains(&((n - 1) as u32)));
+        grid.insert(n - 1);
+        grid.query_sorted(last, 12.0, &mut out);
+        assert!(out.contains(&((n - 1) as u32)));
     }
 
     fn mobile_source(range_ft: f64) -> SourceSpec {

@@ -65,27 +65,71 @@ enum FaultAction {
     BadBlock { node: NodeId, block: u32 },
 }
 
-/// Per-node physical state.
-#[derive(Debug)]
-struct NodeSlot {
-    pos: Position,
-    radio_on: bool,
-    alive: bool,
-    /// Local clock skew as a ratio multiplier (1.0 = perfect).
-    skew: f64,
-    /// Fixed microphone gain multiplier (1.0 = nominal).
-    mic_gain: f64,
-    /// Local clock offset in jiffies (non-negative).
-    offset_jiffies: u64,
-    energy_mj: f64,
-    last_energy_update: SimTime,
-    /// Active recording session id, if sampling.
-    session: Option<ActiveSession>,
-    /// Number of active radio blackouts covering this node (overlapping
+/// Per-node physical state, laid out struct-of-arrays.
+///
+/// The fields the event loop touches on every dispatch — liveness, radio
+/// and blackout state, the recording session, and the battery — live in
+/// their own dense parallel arrays, so a 10k-node world walks contiguous
+/// cache lines instead of striding over 100+-byte slots (the two `SmallRng`
+/// streams alone dominate an array-of-structs layout). The cold per-node
+/// parameters (clock skew, mic gain, RNG streams) sit in their own arrays
+/// at the end where the hot paths never pull them in.
+///
+/// All arrays are indexed by `NodeId::index()` and grow together in
+/// [`NodeStates::push`]; nothing is ever removed, so they stay parallel.
+#[derive(Debug, Default)]
+struct NodeStates {
+    // Hot: touched by delivery, energy integration, and level sampling.
+    pos: Vec<Position>,
+    alive: Vec<bool>,
+    radio_on: Vec<bool>,
+    /// Number of active radio blackouts covering each node (overlapping
     /// windows nest); the radio is dead while this is non-zero.
-    blackout_depth: u32,
-    rng: SmallRng,
-    audio_rng: SmallRng,
+    blackout_depth: Vec<u32>,
+    /// Active recording session, if sampling.
+    session: Vec<Option<ActiveSession>>,
+    energy_mj: Vec<f64>,
+    last_energy_update: Vec<SimTime>,
+    // Cold: fixed per-node parameters and private RNG streams.
+    /// Local clock skew as a ratio multiplier (1.0 = perfect).
+    skew: Vec<f64>,
+    /// Fixed microphone gain multiplier (1.0 = nominal).
+    mic_gain: Vec<f64>,
+    /// Local clock offset in jiffies (non-negative).
+    offset_jiffies: Vec<u64>,
+    rng: Vec<SmallRng>,
+    audio_rng: Vec<SmallRng>,
+}
+
+impl NodeStates {
+    fn len(&self) -> usize {
+        self.pos.len()
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn push(
+        &mut self,
+        pos: Position,
+        skew: f64,
+        mic_gain: f64,
+        offset_jiffies: u64,
+        energy_mj: f64,
+        rng: SmallRng,
+        audio_rng: SmallRng,
+    ) {
+        self.pos.push(pos);
+        self.alive.push(true);
+        self.radio_on.push(true);
+        self.blackout_depth.push(0);
+        self.session.push(None);
+        self.energy_mj.push(energy_mj);
+        self.last_energy_update.push(SimTime::ZERO);
+        self.skew.push(skew);
+        self.mic_gain.push(mic_gain);
+        self.offset_jiffies.push(offset_jiffies);
+        self.rng.push(rng);
+        self.audio_rng.push(audio_rng);
+    }
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -136,7 +180,7 @@ struct Inner {
     queue: EventQueue<Ev>,
     now: SimTime,
     field: AcousticField,
-    nodes: Vec<NodeSlot>,
+    nodes: NodeStates,
     trace: Trace,
     cancelled: HashSet<u64>,
     next_timer_handle: u64,
@@ -151,7 +195,7 @@ struct Inner {
     audible: Option<AudibleIndex>,
     /// Scratch for delivery candidate indices (reused across broadcasts so
     /// the hot loop never allocates).
-    deliver_scratch: Vec<u16>,
+    deliver_scratch: Vec<u32>,
     /// Scratch for per-block candidate source indices.
     block_sources: Vec<u32>,
     /// Loss probabilities of the currently active link-degrade faults; the
@@ -170,6 +214,9 @@ pub struct World {
     inner: Inner,
     apps: Vec<Option<Box<dyn Application>>>,
     started: bool,
+    /// Events popped off the queue and dispatched so far — the
+    /// denominator of ns/event throughput measurements.
+    dispatched: u64,
     /// Sim-time metric recorder, present when
     /// [`WorldConfig::timeline_sample_period`] is set. Lives on `World`
     /// (not `Inner`) so the sampler can borrow it alongside `inner` and
@@ -205,7 +252,7 @@ impl World {
                 queue: EventQueue::new(),
                 now: SimTime::ZERO,
                 field: AcousticField::new(),
-                nodes: Vec::new(),
+                nodes: NodeStates::default(),
                 trace: Trace::new(),
                 cancelled: HashSet::new(),
                 next_timer_handle: 0,
@@ -221,6 +268,7 @@ impl World {
             },
             apps: Vec::new(),
             started: false,
+            dispatched: 0,
             timeline,
         }
     }
@@ -230,11 +278,11 @@ impl World {
     /// # Panics
     ///
     /// Panics if called after the simulation has started running, or if
-    /// more than `u16::MAX` nodes are added.
+    /// more than `u32::MAX` nodes are added.
     pub fn add_node(&mut self, pos: Position, app: Box<dyn Application>) -> NodeId {
         assert!(!self.started, "nodes must be added before the world runs");
         let idx = self.inner.nodes.len();
-        let id = NodeId(u16::try_from(idx).expect("too many nodes"));
+        let id = NodeId::from_index(idx);
         let mut clock_rng = self.inner.streams.stream("clock", idx as u64);
         let ppm = self.inner.cfg.clock.max_skew_ppm;
         let skew = 1.0 + clock_rng.gen_range(-ppm..=ppm) * 1e-6;
@@ -251,20 +299,17 @@ impl World {
         } else {
             1.0
         };
-        self.inner.nodes.push(NodeSlot {
+        let rng = self.inner.streams.stream("node", idx as u64);
+        let audio_rng = self.inner.streams.stream("audio", idx as u64);
+        self.inner.nodes.push(
             pos,
-            radio_on: true,
-            alive: true,
             skew,
             mic_gain,
             offset_jiffies,
-            energy_mj: self.inner.cfg.energy.battery_mj,
-            last_energy_update: SimTime::ZERO,
-            session: None,
-            blackout_depth: 0,
-            rng: self.inner.streams.stream("node", idx as u64),
-            audio_rng: self.inner.streams.stream("audio", idx as u64),
-        });
+            self.inner.cfg.energy.battery_mj,
+            rng,
+            audio_rng,
+        );
         self.apps.push(Some(app));
         id
     }
@@ -370,7 +415,7 @@ impl World {
     /// Panics if `node` was not added to this world.
     #[must_use]
     pub fn position_of(&self, node: NodeId) -> Position {
-        self.inner.nodes[node.index()].pos
+        self.inner.nodes.pos[node.index()]
     }
 
     /// Current simulation time.
@@ -416,7 +461,7 @@ impl World {
     pub fn finish(&mut self) {
         self.ensure_started();
         for idx in 0..self.apps.len() {
-            let node = NodeId(idx as u16);
+            let node = NodeId::from_index(idx);
             self.inner.integrate_energy(node);
             let mut app = self.apps[idx].take().expect("re-entrant finish");
             {
@@ -439,7 +484,7 @@ impl World {
     #[must_use]
     pub fn energy_of(&mut self, node: NodeId) -> f64 {
         self.inner.integrate_energy(node);
-        self.inner.nodes[node.index()].energy_mj
+        self.inner.nodes.energy_mj[node.index()]
     }
 
     /// Borrows the application running on `node`, downcast to `T`.
@@ -486,9 +531,17 @@ impl World {
             }
             let (at, ev) = self.inner.queue.pop().expect("peeked entry vanished");
             self.inner.now = at;
+            self.dispatched += 1;
             self.dispatch(ev);
         }
         self.inner.now = t_end.max(self.inner.now);
+    }
+
+    /// Total events popped off the queue and dispatched so far. Purely
+    /// observational — the denominator of ns/event throughput rows.
+    #[must_use]
+    pub fn events_dispatched(&self) -> u64 {
+        self.dispatched
     }
 
     /// Runs until `secs` seconds of simulated time have elapsed.
@@ -513,7 +566,7 @@ impl World {
             self.inner.queue.schedule(SimTime::ZERO, Ev::TimelineSample);
         }
         for idx in 0..self.apps.len() {
-            let node = NodeId(idx as u16);
+            let node = NodeId::from_index(idx);
             self.with_app(node, |app, ctx| app.on_start(ctx));
         }
     }
@@ -522,7 +575,7 @@ impl World {
         // Settle battery drain before every callback so a node that ran out
         // of energy since its last activity is dead *before* it acts.
         self.inner.integrate_energy(node);
-        if !self.inner.nodes[node.index()].alive {
+        if !self.inner.nodes.alive[node.index()] {
             return;
         }
         let mut app = self.apps[node.index()]
@@ -567,11 +620,12 @@ impl World {
                 });
             }
             Ev::Deliver { to, from, bytes } => {
-                let slot = &self.inner.nodes[to.index()];
-                if !slot.alive
-                    || !slot.radio_on
-                    || slot.session.is_some()
-                    || slot.blackout_depth > 0
+                let nodes = &self.inner.nodes;
+                let idx = to.index();
+                if !nodes.alive[idx]
+                    || !nodes.radio_on[idx]
+                    || nodes.session[idx].is_some()
+                    || nodes.blackout_depth[idx] > 0
                 {
                     // Radio off, CPU saturated by sampling, or a blackout
                     // fault covers the receiver: the packet is lost to it.
@@ -586,17 +640,19 @@ impl World {
                 let next = self.inner.now + period;
                 self.inner.queue.schedule(next, Ev::AcousticTick);
                 for idx in 0..self.apps.len() {
-                    let node = NodeId(idx as u16);
+                    let node = NodeId::from_index(idx);
                     let level = self.inner.sample_level(node);
                     self.with_app(node, |app, ctx| app.on_acoustic_level(ctx, level));
                 }
             }
             Ev::AudioBlock { node, session } => {
-                let slot = &self.inner.nodes[node.index()];
-                if !slot.alive {
+                let idx = node.index();
+                if !self.inner.nodes.alive[idx] {
                     return;
                 }
-                let Some(active) = slot.session else { return };
+                let Some(active) = self.inner.nodes.session[idx] else {
+                    return;
+                };
                 if active.id != session {
                     return;
                 }
@@ -605,7 +661,7 @@ impl World {
                 let block = self.inner.synthesize_block(node, t0, t1);
                 // Advance the session to the next block before the app runs.
                 let next_end = t1 + audio::chunk_duration();
-                self.inner.nodes[node.index()].session = Some(ActiveSession {
+                self.inner.nodes.session[idx] = Some(ActiveSession {
                     id: session,
                     block_start: t1,
                 });
@@ -624,7 +680,7 @@ impl World {
                     let Some(app) = app.as_ref() else { continue };
                     if let Some(occ) = app.poll_occupancy() {
                         self.inner.trace.push(TraceEvent::Occupancy {
-                            node: NodeId(idx as u16),
+                            node: NodeId::from_index(idx),
                             used: occ.used,
                             capacity: occ.capacity,
                             t,
@@ -664,14 +720,17 @@ impl World {
         self.inner.metrics.timeline_samples.inc();
         tl.sample(self.inner.now.as_secs_f64(), &self.inner.telemetry.report());
         for (idx, app) in self.apps.iter().enumerate() {
-            let slot = &self.inner.nodes[idx];
             tl.record(
                 &format!("node.{idx}.energy_mj"),
                 self.inner.peek_energy(idx),
             );
             tl.record(
                 &format!("node.{idx}.alive"),
-                if slot.alive { 1.0 } else { 0.0 },
+                if self.inner.nodes.alive[idx] {
+                    1.0
+                } else {
+                    0.0
+                },
             );
             let Some(app) = app.as_ref() else { continue };
             if let Some(probe) = app.poll_probe() {
@@ -760,22 +819,24 @@ impl Inner {
     /// Builds the spatial indexes once node and source sets are final
     /// (called when the world starts).
     fn build_spatial_index(&mut self) {
-        let positions: Vec<Position> = self.nodes.iter().map(|n| n.pos).collect();
-        let alive: Vec<bool> = self.nodes.iter().map(|n| n.alive).collect();
-        self.grid = Some(NodeGrid::build(&positions, &alive, self.cfg.radio.range_ft));
-        self.audible = Some(AudibleIndex::build(&positions, self.field.sources()));
+        self.grid = Some(NodeGrid::build(
+            &self.nodes.pos,
+            &self.nodes.alive,
+            self.cfg.radio.range_ft,
+        ));
+        self.audible = Some(AudibleIndex::build(&self.nodes.pos, self.field.sources()));
     }
 
     /// Marks `node` dead in its slot and evicts it from the spatial index
     /// so delivery never examines it again.
     fn kill(&mut self, node: NodeId) {
-        let slot = &mut self.nodes[node.index()];
-        slot.energy_mj = 0.0;
-        slot.alive = false;
-        slot.radio_on = false;
-        slot.session = None;
+        let idx = node.index();
+        self.nodes.energy_mj[idx] = 0.0;
+        self.nodes.alive[idx] = false;
+        self.nodes.radio_on[idx] = false;
+        self.nodes.session[idx] = None;
         if let Some(grid) = &mut self.grid {
-            grid.remove(node.index());
+            grid.remove(idx);
         }
     }
 
@@ -785,15 +846,15 @@ impl Inner {
     /// node can reboot later. No-op on an already-dead node.
     fn crash(&mut self, node: NodeId) {
         self.integrate_energy(node);
-        let slot = &mut self.nodes[node.index()];
-        if !slot.alive {
+        let idx = node.index();
+        if !self.nodes.alive[idx] {
             return;
         }
-        slot.alive = false;
-        slot.radio_on = false;
-        slot.session = None;
+        self.nodes.alive[idx] = false;
+        self.nodes.radio_on[idx] = false;
+        self.nodes.session[idx] = None;
         if let Some(grid) = &mut self.grid {
-            grid.remove(node.index());
+            grid.remove(idx);
         }
     }
 
@@ -801,17 +862,16 @@ impl Inner {
     /// index re-admits it, and no battery drain accrues for the downtime.
     /// Returns false (no-op) when the node is alive or out of energy.
     fn reboot(&mut self, node: NodeId) -> bool {
-        let now = self.now;
-        let slot = &mut self.nodes[node.index()];
-        if slot.alive || slot.energy_mj <= 0.0 {
+        let idx = node.index();
+        if self.nodes.alive[idx] || self.nodes.energy_mj[idx] <= 0.0 {
             return false;
         }
-        slot.alive = true;
-        slot.radio_on = true;
-        slot.session = None;
-        slot.last_energy_update = now;
+        self.nodes.alive[idx] = true;
+        self.nodes.radio_on[idx] = true;
+        self.nodes.session[idx] = None;
+        self.nodes.last_energy_update[idx] = self.now;
         if let Some(grid) = &mut self.grid {
-            grid.insert(node.index());
+            grid.insert(idx);
         }
         true
     }
@@ -820,9 +880,9 @@ impl Inner {
     /// scope covers. Positions are fixed, so region membership is static.
     fn set_blackout(&mut self, scope: FaultScope, start: bool) {
         for idx in 0..self.nodes.len() {
-            let pos = self.nodes[idx].pos;
-            if scope.covers(NodeId(idx as u16), pos) {
-                let depth = &mut self.nodes[idx].blackout_depth;
+            let pos = self.nodes.pos[idx];
+            if scope.covers(NodeId::from_index(idx), pos) {
+                let depth = &mut self.nodes.blackout_depth[idx];
                 *depth = if start {
                     *depth + 1
                 } else {
@@ -835,22 +895,24 @@ impl Inner {
     /// Integrates battery drain for `node` up to the current instant.
     fn integrate_energy(&mut self, node: NodeId) {
         let e = &self.cfg.energy;
-        let slot = &mut self.nodes[node.index()];
-        let elapsed = self.now.saturating_since(slot.last_energy_update);
-        slot.last_energy_update = self.now;
-        if !slot.alive || elapsed.is_zero() {
+        let idx = node.index();
+        let elapsed = self
+            .now
+            .saturating_since(self.nodes.last_energy_update[idx]);
+        self.nodes.last_energy_update[idx] = self.now;
+        if !self.nodes.alive[idx] || elapsed.is_zero() {
             return;
         }
         let secs = elapsed.as_secs_f64();
         let mut mw = e.idle_mw;
-        if slot.radio_on {
+        if self.nodes.radio_on[idx] {
             mw += e.radio_listen_mw;
         }
-        if slot.session.is_some() {
+        if self.nodes.session[idx].is_some() {
             mw += e.sampling_mw;
         }
-        slot.energy_mj -= mw * secs;
-        if slot.energy_mj <= 0.0 {
+        self.nodes.energy_mj[idx] -= mw * secs;
+        if self.nodes.energy_mj[idx] <= 0.0 {
             self.kill(node);
         }
     }
@@ -861,34 +923,33 @@ impl Inner {
     /// sampler must not make a node die earlier than the event that would
     /// have settled its drain. Floored at zero.
     fn peek_energy(&self, idx: usize) -> f64 {
-        let slot = &self.nodes[idx];
-        if !slot.alive {
-            return slot.energy_mj.max(0.0);
+        if !self.nodes.alive[idx] {
+            return self.nodes.energy_mj[idx].max(0.0);
         }
         let secs = self
             .now
-            .saturating_since(slot.last_energy_update)
+            .saturating_since(self.nodes.last_energy_update[idx])
             .as_secs_f64();
         let e = &self.cfg.energy;
         let mut mw = e.idle_mw;
-        if slot.radio_on {
+        if self.nodes.radio_on[idx] {
             mw += e.radio_listen_mw;
         }
-        if slot.session.is_some() {
+        if self.nodes.session[idx].is_some() {
             mw += e.sampling_mw;
         }
-        (slot.energy_mj - mw * secs).max(0.0)
+        (self.nodes.energy_mj[idx] - mw * secs).max(0.0)
     }
 
     /// Charges a one-off energy cost to `node`.
     fn charge(&mut self, node: NodeId, mj: f64) {
         self.integrate_energy(node);
-        let slot = &mut self.nodes[node.index()];
-        if !slot.alive {
+        let idx = node.index();
+        if !self.nodes.alive[idx] {
             return;
         }
-        slot.energy_mj -= mj;
-        if slot.energy_mj <= 0.0 {
+        self.nodes.energy_mj[idx] -= mj;
+        if self.nodes.energy_mj[idx] <= 0.0 {
             self.kill(node);
         }
     }
@@ -898,16 +959,15 @@ impl Inner {
     /// result is bit-identical to the full [`AcousticField::peak_level`].
     fn sample_level(&mut self, node: NodeId) -> f64 {
         let idx = node.index();
-        let pos = self.nodes[idx].pos;
-        let gain = self.nodes[idx].mic_gain;
+        let pos = self.nodes.pos[idx];
+        let gain = self.nodes.mic_gain[idx];
         let peak = match &self.audible {
             Some(audible) => audible.peak_level(&self.field, idx, pos, self.now),
             None => self.field.peak_level(pos, self.now),
         } * gain;
         let a = &self.cfg.acoustics;
-        let noise = self.nodes[idx]
-            .rng
-            .gen_range(-2.0 * a.background_sigma..=2.0 * a.background_sigma);
+        let noise =
+            self.nodes.rng[idx].gen_range(-2.0 * a.background_sigma..=2.0 * a.background_sigma);
         (a.background_level + noise + peak).clamp(0.0, 255.0)
     }
 
@@ -937,20 +997,21 @@ impl Inner {
                 block_sources.extend(0..field.sources().len() as u32);
             }
         }
-        let slot = &mut nodes[idx];
-        let pos = slot.pos;
+        let pos = nodes.pos[idx];
+        let audio_rng = &mut nodes.audio_rng[idx];
         let mut samples = Vec::with_capacity(n);
         for i in 0..n {
             let t_s = t0_s + i as f64 / audio::SAMPLE_RATE_HZ as f64;
-            let noise = slot.audio_rng.gen_range(-2.0 * sigma..=2.0 * sigma);
+            let noise = audio_rng.gen_range(-2.0 * sigma..=2.0 * sigma);
             samples.push(field.sample_from(block_sources, pos, t_s, noise));
         }
         AudioBlock { t0, t1, samples }
     }
 
     fn local_time(&self, node: NodeId) -> SimTime {
-        let slot = &self.nodes[node.index()];
-        let local = self.now.as_jiffies() as f64 * slot.skew + slot.offset_jiffies as f64;
+        let idx = node.index();
+        let local = self.now.as_jiffies() as f64 * self.nodes.skew[idx]
+            + self.nodes.offset_jiffies[idx] as f64;
         SimTime::from_jiffies(local.round() as u64)
     }
 }
@@ -989,11 +1050,11 @@ impl Runtime for Context<'_> {
     }
 
     fn position(&self) -> Position {
-        self.inner.nodes[self.node.index()].pos
+        self.inner.nodes.pos[self.node.index()]
     }
 
     fn rng(&mut self) -> &mut SmallRng {
-        &mut self.inner.nodes[self.node.index()].rng
+        &mut self.inner.nodes.rng[self.node.index()]
     }
 
     fn set_timer(&mut self, delay: SimDuration, token: u32) -> TimerHandle {
@@ -1016,18 +1077,18 @@ impl Runtime for Context<'_> {
 
     fn set_radio(&mut self, on: bool) {
         self.inner.integrate_energy(self.node);
-        self.inner.nodes[self.node.index()].radio_on = on;
+        self.inner.nodes.radio_on[self.node.index()] = on;
     }
 
     fn radio_is_on(&self) -> bool {
-        self.inner.nodes[self.node.index()].radio_on
+        self.inner.nodes.radio_on[self.node.index()]
     }
 
     // `kind` is a protocol-level label recorded in the trace (the message
     // census of Fig. 12 is computed from it).
     fn broadcast(&mut self, kind: &'static str, bytes: Bytes) -> bool {
-        let slot = &self.inner.nodes[self.node.index()];
-        if !slot.alive || !slot.radio_on {
+        let idx = self.node.index();
+        if !self.inner.nodes.alive[idx] || !self.inner.nodes.radio_on[idx] {
             return false;
         }
         let r = &self.inner.cfg.radio;
@@ -1054,7 +1115,7 @@ impl Runtime for Context<'_> {
         let tx_mj = self.inner.cfg.energy.radio_tx_mw * airtime_s;
         self.inner.charge(self.node, tx_mj);
 
-        let sender_pos = self.inner.nodes[self.node.index()].pos;
+        let sender_pos = self.inner.nodes.pos[self.node.index()];
         let range = self.inner.cfg.radio.range_ft;
         // Fault overlays on the configured loss: a blackout covering the
         // sender makes every delivery fail (loss 1.0, and gen::<f64>() is
@@ -1068,7 +1129,7 @@ impl Runtime for Context<'_> {
             .active_degrades
             .iter()
             .fold(base, |acc, &l| acc.max(l));
-        let loss = if self.inner.nodes[self.node.index()].blackout_depth > 0 {
+        let loss = if self.inner.nodes.blackout_depth[self.node.index()] > 0 {
             1.0
         } else {
             degraded
@@ -1089,7 +1150,7 @@ impl Runtime for Context<'_> {
             if idx == self.node.index() {
                 continue;
             }
-            debug_assert!(self.inner.nodes[idx].alive, "dead node in spatial index");
+            debug_assert!(self.inner.nodes.alive[idx], "dead node in spatial index");
             self.inner.metrics.delivery_candidates.inc();
             if loss > 0.0 && self.inner.medium_rng.gen::<f64>() < loss {
                 self.inner.metrics.packets_lost.inc();
@@ -1098,7 +1159,7 @@ impl Runtime for Context<'_> {
             self.inner.queue.schedule(
                 deliver_at,
                 Ev::Deliver {
-                    to: NodeId(idx as u16),
+                    to: NodeId::from_index(idx),
                     from: self.node,
                     bytes: bytes.clone(),
                 },
@@ -1110,13 +1171,13 @@ impl Runtime for Context<'_> {
 
     fn start_recording(&mut self) -> bool {
         self.inner.integrate_energy(self.node);
-        let slot = &self.inner.nodes[self.node.index()];
-        if !slot.alive || slot.session.is_some() {
+        let idx = self.node.index();
+        if !self.inner.nodes.alive[idx] || self.inner.nodes.session[idx].is_some() {
             return false;
         }
         let id = self.inner.next_session;
         self.inner.next_session += 1;
-        self.inner.nodes[self.node.index()].session = Some(ActiveSession {
+        self.inner.nodes.session[idx] = Some(ActiveSession {
             id,
             block_start: self.inner.now,
         });
@@ -1131,12 +1192,12 @@ impl Runtime for Context<'_> {
     }
 
     fn is_recording(&self) -> bool {
-        self.inner.nodes[self.node.index()].session.is_some()
+        self.inner.nodes.session[self.node.index()].is_some()
     }
 
     fn stop_recording(&mut self) -> Option<AudioBlock> {
         self.inner.integrate_energy(self.node);
-        let active = self.inner.nodes[self.node.index()].session.take()?;
+        let active = self.inner.nodes.session[self.node.index()].take()?;
         let t0 = active.block_start;
         let t1 = self.inner.now;
         if t1 <= t0 {
@@ -1151,7 +1212,7 @@ impl Runtime for Context<'_> {
 
     fn energy_mj(&mut self) -> f64 {
         self.inner.integrate_energy(self.node);
-        self.inner.nodes[self.node.index()].energy_mj
+        self.inner.nodes.energy_mj[self.node.index()]
     }
 
     fn energy_model(&self) -> &EnergyModel {

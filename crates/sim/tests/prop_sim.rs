@@ -15,12 +15,12 @@ fn brute_force_receivers(
     alive: &[bool],
     center: Position,
     range: f64,
-) -> Vec<u16> {
+) -> Vec<u32> {
     positions
         .iter()
         .enumerate()
         .filter(|&(i, p)| alive[i] && p.distance_to(center) <= range)
-        .map(|(i, _)| i as u16)
+        .map(|(i, _)| i as u32)
         .collect()
 }
 

@@ -37,7 +37,7 @@ proptest! {
     /// Root election is stable: the lowest ID ever heard wins regardless
     /// of arrival order.
     #[test]
-    fn lowest_root_wins(ids in proptest::collection::vec(0u16..100, 1..20)) {
+    fn lowest_root_wins(ids in proptest::collection::vec(0u32..100, 1..20)) {
         let mut s = SyncState::new(NodeId(200));
         for (k, &id) in ids.iter().enumerate() {
             let t = SimTime::from_jiffies((k as u64 + 1) * 1000);

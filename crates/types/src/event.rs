@@ -63,7 +63,7 @@ impl EventId {
     #[must_use]
     pub const fn from_raw(raw: u64) -> Self {
         EventId {
-            leader: NodeId((raw >> 32) as u16),
+            leader: NodeId((raw >> 32) as u32),
             seq: raw as u32,
         }
     }

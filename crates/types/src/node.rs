@@ -22,7 +22,7 @@ use serde::{Deserialize, Serialize};
 #[derive(
     Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
 )]
-pub struct NodeId(pub u16);
+pub struct NodeId(pub u32);
 
 impl NodeId {
     /// Returns the ID as a `usize` index for table lookups.
@@ -30,17 +30,43 @@ impl NodeId {
     pub const fn index(self) -> usize {
         self.0 as usize
     }
+
+    /// Builds the ID for a dense table index, rejecting indices that do
+    /// not fit the ID space loudly instead of truncating them.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` exceeds `u32::MAX`.
+    #[must_use]
+    pub fn from_index(idx: usize) -> Self {
+        NodeId(u32::try_from(idx).expect("node index exceeds the u32 NodeId space"))
+    }
 }
 
 impl From<u16> for NodeId {
     fn from(raw: u16) -> Self {
+        NodeId(u32::from(raw))
+    }
+}
+
+impl From<u32> for NodeId {
+    fn from(raw: u32) -> Self {
         NodeId(raw)
     }
 }
 
-impl From<NodeId> for u16 {
+impl From<NodeId> for u32 {
     fn from(id: NodeId) -> Self {
         id.0
+    }
+}
+
+/// Narrowing back to the legacy 16-bit space (the radio wire format)
+/// fails loudly for IDs above 65 535 instead of truncating.
+impl TryFrom<NodeId> for u16 {
+    type Error = core::num::TryFromIntError;
+    fn try_from(id: NodeId) -> Result<Self, Self::Error> {
+        u16::try_from(id.0)
     }
 }
 
@@ -57,8 +83,18 @@ mod tests {
     #[test]
     fn conversions_round_trip() {
         let n = NodeId::from(42u16);
-        assert_eq!(u16::from(n), 42);
+        assert_eq!(u16::try_from(n).unwrap(), 42);
+        assert_eq!(u32::from(n), 42);
         assert_eq!(n.index(), 42);
+    }
+
+    #[test]
+    fn indices_above_the_old_u16_cap_are_supported() {
+        let n = NodeId::from_index(70_000);
+        assert_eq!(n.index(), 70_000);
+        assert_eq!(u32::from(n), 70_000);
+        // The legacy 16-bit narrowing refuses instead of truncating.
+        assert!(u16::try_from(n).is_err());
     }
 
     #[test]

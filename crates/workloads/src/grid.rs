@@ -90,6 +90,25 @@ impl Topology {
         Topology::irregular(36, 105.0, seed)
     }
 
+    /// A deployment from explicit positions, binned into a logical
+    /// `cols × rows` grid for contour summaries. Used by generators whose
+    /// layout is neither a regular grid nor a jittered one (e.g. the
+    /// city-block workload, which places nodes along street lines).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `positions` is empty or `cols`/`rows` is zero.
+    #[must_use]
+    pub fn from_positions(positions: Vec<Position>, cols: usize, rows: usize) -> Self {
+        assert!(!positions.is_empty(), "deployment must be non-empty");
+        assert!(cols > 0 && rows > 0, "logical grid must be non-empty");
+        Topology {
+            positions,
+            cols,
+            rows,
+        }
+    }
+
     /// Node positions in node-ID order.
     #[must_use]
     pub fn positions(&self) -> &[Position] {

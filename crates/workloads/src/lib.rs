@@ -11,13 +11,16 @@
 //!   behind Figs. 16–18 (road traffic, trail vocalizations, the two
 //!   observed activity spikes);
 //! * [`large_grid_scenario`] — a 400+ node stress grid for the spatial
-//!   index, beyond the paper's deployment sizes.
+//!   index, beyond the paper's deployment sizes;
+//! * [`city_scenario`] — a ~10 000-node city-block lamppost deployment,
+//!   the canonical input of the 1k/4k/10k scale benchmarks.
 //!
 //! Scenario source lists double as metrics ground truth.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod city;
 mod forest;
 mod grid;
 mod indoor;
@@ -25,6 +28,7 @@ mod large;
 mod mobile;
 mod scenario;
 
+pub use city::{city_scenario, CityParams};
 pub use forest::{forest_scenario, wall_clock_label, ForestParams};
 pub use grid::Topology;
 pub use indoor::{generator_positions, indoor_scenario, IndoorParams};

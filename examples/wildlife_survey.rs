@@ -60,7 +60,7 @@ fn main() {
         .map(|i| {
             f64::from(
                 world
-                    .app_as::<EnviroMicNode>(NodeId(i as u16))
+                    .app_as::<EnviroMicNode>(NodeId::from_index(i))
                     .expect("protocol node")
                     .stored_chunks(),
             )
@@ -76,7 +76,7 @@ fn main() {
     let migrations: u64 = (0..topo.len())
         .map(|i| {
             world
-                .app_as::<EnviroMicNode>(NodeId(i as u16))
+                .app_as::<EnviroMicNode>(NodeId::from_index(i))
                 .expect("protocol node")
                 .stats()
                 .chunks_migrated_out

@@ -39,6 +39,21 @@ pub fn forest_world_config(seed: u64) -> WorldConfig {
     cfg
 }
 
+/// World configuration for the city-block deployment (the 10k-node scale
+/// workload): lampposts roughly 150 ft apart along streets, so the radio
+/// reaches the next lamppost and across an intersection but not much
+/// further — groups stay block-local even at 10 000 nodes. Urban RF is
+/// messier than the indoor testbed, hence the higher loss.
+#[must_use]
+pub fn city_world_config(seed: u64) -> WorldConfig {
+    let mut cfg = WorldConfig::with_seed(seed);
+    cfg.radio.range_ft = 180.0;
+    cfg.radio.loss_prob = 0.08;
+    cfg.radio.mac_delay_max = SimDuration::from_millis(30);
+    cfg.radio.per_hop_latency = SimDuration::from_millis(5);
+    cfg
+}
+
 /// A completed run: the scenario that drove it, the trace it produced, and
 /// the runtime telemetry collected while it executed.
 #[derive(Debug)]

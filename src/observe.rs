@@ -445,7 +445,7 @@ impl DumpFile {
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct TraceFilter {
     /// Keep records involving this node.
-    pub node: Option<u16>,
+    pub node: Option<u32>,
     /// Keep records of this kind: a variant name (`Migrated`) or a
     /// protocol label (`TASK_REQUEST`, `CRASH`), case-insensitive.
     pub kind: Option<String>,

@@ -26,15 +26,16 @@
 //! ```
 
 use crate::harness::{
-    forest_world_config, indoor_world_config, run_scenario_with_faults, ExperimentRun,
+    city_world_config, forest_world_config, indoor_world_config, run_scenario_with_faults,
+    ExperimentRun,
 };
 use enviromic_core::{Mode, NodeConfig, PolicyKind};
 use enviromic_sim::{FaultPlan, WorldConfig};
 use enviromic_telemetry::TelemetryReport;
 use enviromic_types::SimDuration;
 use enviromic_workloads::{
-    forest_scenario, indoor_scenario, mobile_scenario, ForestParams, IndoorParams, MobileParams,
-    Scenario,
+    city_scenario, forest_scenario, indoor_scenario, mobile_scenario, CityParams, ForestParams,
+    IndoorParams, MobileParams, Scenario,
 };
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
@@ -195,6 +196,40 @@ impl ScenarioSpec {
                 world_cfg: indoor_world_config(seed),
                 drain_secs: 5.0,
                 faults,
+            }
+        })
+    }
+
+    /// The city scale point: the lamppost deployment at `nodes` total
+    /// nodes for `duration_secs`, full protocol, labelled `city-{n}k`
+    /// (e.g. `city-10k`). This is the workload behind the
+    /// `BENCH_scale.json` rows and the 10k-node jobs-1-vs-2 determinism
+    /// pin; like every other point it is a pure function of the seed.
+    ///
+    /// City nodes carry a small 64-chunk store: the scale ladder measures
+    /// the event core, not storage capacity, and the default 2048-chunk
+    /// (512 KB) flash would put a 10 000-node world at over 5 GB of
+    /// resident memory before the first event fires.
+    #[must_use]
+    pub fn city(nodes: usize, duration_secs: f64) -> ScenarioSpec {
+        let label = if nodes.is_multiple_of(1000) {
+            format!("city-{}k", nodes / 1000)
+        } else {
+            format!("city-{nodes}")
+        };
+        ScenarioSpec::new(label, move |seed| {
+            let params = CityParams {
+                duration_secs,
+                ..CityParams::with_nodes(nodes)
+            };
+            JobInput {
+                scenario: city_scenario(&params, seed),
+                node_cfg: NodeConfig::default()
+                    .with_mode(Mode::Full)
+                    .with_flash_chunks(64),
+                world_cfg: city_world_config(seed),
+                drain_secs: 2.0,
+                faults: FaultPlan::new(),
             }
         })
     }

@@ -122,7 +122,7 @@ fn one_hop_retrieval_collects_the_whole_network() {
         .filter(|&i| scenario.topology.positions()[i].distance_to(mule_pos) <= 3.2)
         .map(|i| {
             world
-                .app_as::<EnviroMicNode>(NodeId(i as u16))
+                .app_as::<EnviroMicNode>(NodeId::from_index(i))
                 .unwrap()
                 .stored_chunks()
         })
@@ -155,7 +155,7 @@ fn timesync_keeps_chunk_timestamps_mutually_consistent() {
     let mut recorders = std::collections::BTreeSet::new();
     for i in 0..scenario.topology.len() {
         let app = world
-            .app_as::<EnviroMicNode>(NodeId(i as u16))
+            .app_as::<EnviroMicNode>(NodeId::from_index(i))
             .expect("protocol node");
         for chunk in app.store().iter() {
             if chunk.meta.event.is_some() {

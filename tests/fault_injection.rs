@@ -173,7 +173,7 @@ fn collected_dead_mote_yields_its_data() {
     let mut recovered_total = 0u32;
     for i in 0..scenario.topology.len() {
         let node = world
-            .app_as::<EnviroMicNode>(NodeId(i as u16))
+            .app_as::<EnviroMicNode>(NodeId::from_index(i))
             .expect("protocol node");
         let live = node.stored_chunks();
         let recovered = recover_collected_mote(node.store().clone());
@@ -245,7 +245,7 @@ proptest! {
         raw in proptest::collection::vec(
             // (kind, node, time a, time b, loss %, flash block); times in
             // deciseconds within the 12 s run.
-            (0u8..5, 0u16..4, 1u64..110, 1u64..110, 0u8..=100, 0u32..8),
+            (0u8..5, 0u32..4, 1u64..110, 1u64..110, 0u8..=100, 0u32..8),
             0..7,
         )
     ) {
