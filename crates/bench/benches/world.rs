@@ -2,27 +2,32 @@
 //! replaced, doubling as the generator of the machine-readable perf
 //! baseline `BENCH_world.json`.
 //!
-//! Two measurements per grid size (25 / 100 / 400 nodes):
+//! Three measurements per grid size (25 / 100 / 400 nodes):
 //!
 //! * **delivery** — resolving the in-range receiver set for a broadcast
 //!   from every node in turn, via [`NodeGrid::query_sorted`] versus the
 //!   brute-force O(nodes) scan the delivery loop used before;
 //! * **sampling** — the per-node peak acoustic level via the precomputed
-//!   [`AudibleIndex`] versus the full [`AcousticField`] source scan.
+//!   [`AudibleIndex`] versus the full [`AcousticField`] source scan;
+//! * **synthesis** — mixing one full audio block per audible node via the
+//!   batched kernel ([`AcousticField::synthesize_batch`]) versus the
+//!   per-sample `sample_from` loop it replaced, reported as ns/sample.
+//!   Both paths consume identical canned noise and are asserted
+//!   byte-identical before timing, so the row isolates the mixing kernel.
 //!
 //! `emit_baseline` re-times both paths with plain `Instant` loops and
 //! writes per-size means and speedups to `BENCH_world.json` in the
 //! workspace root, together with whole-event-loop ns/event rows for the
-//! city-block workload at 1k/4k/10k nodes (the timer-wheel scale ladder).
+//! city-block workload at 1k–100k nodes (the timer-wheel scale ladder).
 //! Set `WORLD_BENCH_QUICK=1` to skip the Criterion groups and only emit
 //! the baseline (the CI mode).
 
 use criterion::{black_box, criterion_group, BenchmarkId, Criterion};
 use enviromic::sweep::ScenarioSpec;
-use enviromic_sim::acoustics::AcousticField;
+use enviromic_sim::acoustics::{AcousticField, MixScratch};
 use enviromic_sim::spatial::{AudibleIndex, NodeGrid};
 use enviromic_sim::World;
-use enviromic_types::{Position, SimDuration, SimTime};
+use enviromic_types::{audio, Position, SimDuration, SimTime};
 use enviromic_workloads::{large_grid_scenario, LargeGridParams, Scenario};
 use serde::{Deserialize, Serialize};
 use std::time::Instant;
@@ -112,6 +117,84 @@ fn full_sampling_round(field: &AcousticField, positions: &[Position], times: &[S
     acc
 }
 
+/// Samples per synthesized audio block — one chunk payload.
+const BLOCK_SAMPLES: usize = audio::CHUNK_PAYLOAD_BYTES as usize;
+
+/// Deterministic pseudo-noise vector standing in for the per-sample RNG
+/// draws. Both synthesis paths consume the identical values, so the
+/// comparison isolates the mixing kernel from RNG cost.
+fn canned_noise() -> Vec<f64> {
+    (0..BLOCK_SAMPLES)
+        .map(|i| (i as f64 * 37.0) % 100.0 / 50.0 - 1.0)
+        .collect()
+}
+
+/// The per-node synthesis work list: `(node index, position, block start)`
+/// for every node whose candidate set is non-empty at that block. Nodes
+/// out of earshot reduce both paths to a noise copy and would only dilute
+/// the kernel measurement.
+fn synth_work(
+    idx: &AudibleIndex,
+    positions: &[Position],
+    times: &[SimTime],
+) -> Vec<(usize, Position, SimTime)> {
+    let mut work = Vec::new();
+    let mut cand = Vec::new();
+    for (ni, &p) in positions.iter().enumerate() {
+        for &t0 in times {
+            idx.block_sources(ni, t0, t0 + audio::chunk_duration(), &mut cand);
+            if !cand.is_empty() {
+                work.push((ni, p, t0));
+            }
+        }
+    }
+    work
+}
+
+/// One synthesis round through the batched kernel: every work item mixes
+/// one full audio block. Returns a checksum as the live output.
+fn synth_round_batched(
+    field: &AcousticField,
+    idx: &AudibleIndex,
+    work: &[(usize, Position, SimTime)],
+    noise: &[f64],
+    cand: &mut Vec<u32>,
+    scratch: &mut MixScratch,
+    out: &mut Vec<u8>,
+) -> u64 {
+    let mut acc = 0u64;
+    for &(ni, p, t0) in work {
+        idx.block_sources(ni, t0, t0 + audio::chunk_duration(), cand);
+        field.synthesize_batch(cand, p, t0.as_secs_f64(), noise, scratch, out);
+        acc = acc.wrapping_add(u64::from(out[0]) + u64::from(out[noise.len() - 1]));
+    }
+    acc
+}
+
+/// One synthesis round through the per-sample reference path the batched
+/// kernel replaced: `sample_from` once per sample.
+fn synth_round_per_sample(
+    field: &AcousticField,
+    idx: &AudibleIndex,
+    work: &[(usize, Position, SimTime)],
+    noise: &[f64],
+    cand: &mut Vec<u32>,
+    out: &mut Vec<u8>,
+) -> u64 {
+    let mut acc = 0u64;
+    for &(ni, p, t0) in work {
+        idx.block_sources(ni, t0, t0 + audio::chunk_duration(), cand);
+        let t0_s = t0.as_secs_f64();
+        out.clear();
+        out.extend(noise.iter().enumerate().map(|(i, &nz)| {
+            let t_s = t0_s + i as f64 / audio::SAMPLE_RATE_HZ as f64;
+            field.sample_from(cand, p, t_s, nz)
+        }));
+        acc = acc.wrapping_add(u64::from(out[0]) + u64::from(out[noise.len() - 1]));
+    }
+    acc
+}
+
 fn bench_delivery(c: &mut Criterion) {
     let mut group = c.benchmark_group("delivery_round");
     for (cols, rows) in SIZES {
@@ -153,7 +236,48 @@ fn bench_sampling(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_delivery, bench_sampling);
+fn bench_synthesis(c: &mut Criterion) {
+    let mut group = c.benchmark_group("synthesis_block");
+    let times = sample_times();
+    let noise = canned_noise();
+    for (cols, rows) in SIZES {
+        let s = scenario(cols, rows);
+        let positions = s.topology.positions().to_vec();
+        let mut field = AcousticField::new();
+        for src in &s.sources {
+            field.add_source(src.clone()).expect("valid source");
+        }
+        let idx = AudibleIndex::build(&positions, &s.sources);
+        let work = synth_work(&idx, &positions, &times);
+        let mut cand = Vec::new();
+        let mut scratch = MixScratch::new();
+        let mut out = Vec::new();
+        let n = positions.len();
+        group.bench_function(BenchmarkId::new("batched", n), |b| {
+            b.iter(|| {
+                black_box(synth_round_batched(
+                    &field,
+                    &idx,
+                    &work,
+                    &noise,
+                    &mut cand,
+                    &mut scratch,
+                    &mut out,
+                ))
+            });
+        });
+        group.bench_function(BenchmarkId::new("per_sample", n), |b| {
+            b.iter(|| {
+                black_box(synth_round_per_sample(
+                    &field, &idx, &work, &noise, &mut cand, &mut out,
+                ))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_delivery, bench_sampling, bench_synthesis);
 
 /// Times `f` with a warmup-then-measure loop and returns the best mean
 /// ns/round over several repetitions (minimum-of-means damps scheduler
@@ -185,6 +309,11 @@ struct WorldCase {
     sampling_indexed_ns: f64,
     sampling_full_ns: f64,
     sampling_speedup: f64,
+    /// ns per synthesized sample through the batched mixing kernel.
+    synth_batched_ns_per_sample: f64,
+    /// ns per sample through the per-sample `sample_from` reference path.
+    synth_per_sample_ns_per_sample: f64,
+    synth_speedup: f64,
 }
 
 /// One whole-event-loop throughput row: the city workload run end to end
@@ -203,12 +332,13 @@ struct WorldBaseline {
     bench: String,
     radio_range_ft: f64,
     cases: Vec<WorldCase>,
-    /// Event-loop throughput on the city scale ladder (1k/4k/10k nodes).
+    /// Event-loop throughput on the city scale ladder (1k–100k nodes).
     scale: Vec<ScaleCase>,
 }
 
-/// Node counts of the city event-loop ladder.
-const SCALE_SIZES: [usize; 3] = [1_000, 4_000, 10_000];
+/// Node counts of the city event-loop ladder. The 40k and 100k rungs ride
+/// on sparse flash backing and the escape-coded node-ID wire format.
+const SCALE_SIZES: [usize; 5] = [1_000, 4_000, 10_000, 40_000, 100_000];
 
 /// Sim-time horizon of each city throughput run, seconds.
 const SCALE_SIM_SECS: f64 = 10.0;
@@ -269,6 +399,47 @@ fn emit_baseline() {
             brute_receivers(&positions, p, RANGE_FT, &mut out);
             assert_eq!(fast, out, "grid and brute receiver sets diverge");
         }
+        // The two synthesis paths must produce identical bytes before
+        // their speeds are worth comparing.
+        let noise = canned_noise();
+        let work = synth_work(&idx, &positions, &times);
+        let mut cand = Vec::new();
+        let mut scratch = MixScratch::new();
+        let mut batched = Vec::new();
+        let mut reference = Vec::new();
+        for &(ni, p, t0) in &work {
+            idx.block_sources(ni, t0, t0 + audio::chunk_duration(), &mut cand);
+            field.synthesize_batch(
+                &cand,
+                p,
+                t0.as_secs_f64(),
+                &noise,
+                &mut scratch,
+                &mut batched,
+            );
+            let t0_s = t0.as_secs_f64();
+            reference.clear();
+            reference.extend(noise.iter().enumerate().map(|(i, &nz)| {
+                let t_s = t0_s + i as f64 / audio::SAMPLE_RATE_HZ as f64;
+                field.sample_from(&cand, p, t_s, nz)
+            }));
+            assert_eq!(batched, reference, "synthesis paths diverge");
+        }
+        let samples_per_round = (work.len() * BLOCK_SAMPLES).max(1) as f64;
+        let synth_batched_ns = time_ns(|| {
+            synth_round_batched(
+                &field,
+                &idx,
+                &work,
+                &noise,
+                &mut cand,
+                &mut scratch,
+                &mut batched,
+            )
+        });
+        let synth_per_sample_ns = time_ns(|| {
+            synth_round_per_sample(&field, &idx, &work, &noise, &mut cand, &mut batched)
+        });
         let delivery_grid_ns = time_ns(|| grid_round(&grid, &positions, &mut out));
         let delivery_brute_ns = time_ns(|| brute_round(&positions, &mut out));
         let sampling_indexed_ns =
@@ -282,10 +453,14 @@ fn emit_baseline() {
             sampling_indexed_ns,
             sampling_full_ns,
             sampling_speedup: sampling_full_ns / sampling_indexed_ns.max(1e-9),
+            synth_batched_ns_per_sample: synth_batched_ns / samples_per_round,
+            synth_per_sample_ns_per_sample: synth_per_sample_ns / samples_per_round,
+            synth_speedup: synth_per_sample_ns / synth_batched_ns.max(1e-9),
         };
         println!(
             "world baseline {} nodes: delivery {:.0}ns grid vs {:.0}ns brute ({:.2}x), \
-             sampling {:.0}ns indexed vs {:.0}ns full ({:.2}x)",
+             sampling {:.0}ns indexed vs {:.0}ns full ({:.2}x), \
+             synthesis {:.2}ns/sample batched vs {:.2}ns/sample per-sample ({:.2}x)",
             case.nodes,
             case.delivery_grid_ns,
             case.delivery_brute_ns,
@@ -293,6 +468,9 @@ fn emit_baseline() {
             case.sampling_indexed_ns,
             case.sampling_full_ns,
             case.sampling_speedup,
+            case.synth_batched_ns_per_sample,
+            case.synth_per_sample_ns_per_sample,
+            case.synth_speedup,
         );
         cases.push(case);
     }

@@ -1,4 +1,4 @@
-//! Scale smoke driver: the city-block workload at 1k/4k/10k nodes.
+//! Scale smoke driver: the city-block workload at 1k–100k nodes.
 //!
 //! ```text
 //! scale [--seed S] [--jobs N] [--duration SECS] [--out PATH] [-q | --verbose]
@@ -22,8 +22,11 @@ use enviromic::sweep::{run_sweep, ScenarioSpec, SweepPlan};
 use enviromic_telemetry::{log, log_info, log_warn};
 use serde::{Deserialize, Serialize};
 
-/// The node counts of the scale ladder.
-const SIZES: [usize; 3] = [1_000, 4_000, 10_000];
+/// The node counts of the scale ladder. The 40k and 100k rungs exist
+/// because of sparse flash backing: city nodes address 64 chunks each, and
+/// payloads materialize only on write, so even a 100k-node world
+/// constructs in seconds instead of first-touching gigabytes.
+const SIZES: [usize; 5] = [1_000, 4_000, 10_000, 40_000, 100_000];
 
 struct Options {
     seed: u64,

@@ -82,15 +82,26 @@ impl std::error::Error for FlashError {}
 /// ```
 #[derive(Debug, Clone)]
 pub struct Flash {
-    blocks: Vec<[u8; BLOCK_BYTES]>,
+    /// Block payloads, allocated lazily on first write: a freshly
+    /// constructed (or never-written) block is `None` and reads as all
+    /// `0xFF` — indistinguishable from an eagerly erased array, at none of
+    /// the memory cost. A 100k-node city world carries
+    /// gigabytes of *addressable* flash but writes only a sliver of it;
+    /// sparse backing makes construction O(blocks) pointer-sized slots
+    /// instead of first-touching every payload page.
+    blocks: Vec<Option<Box<[u8; BLOCK_BYTES]>>>,
     write_counts: Vec<u64>,
     endurance: u64,
     bad: Vec<bool>,
 }
 
+/// What an unwritten (erased) block reads as.
+static ERASED_BLOCK: [u8; BLOCK_BYTES] = [0xFF; BLOCK_BYTES];
+
 impl Flash {
     /// Creates a device with `blocks` erased blocks and the given per-block
-    /// write `endurance`.
+    /// write `endurance`. No block payload is allocated until its first
+    /// write ([`Flash::resident_payload_bytes`] starts at zero).
     ///
     /// # Panics
     ///
@@ -99,7 +110,7 @@ impl Flash {
     pub fn new(blocks: u32, endurance: u64) -> Self {
         assert!(blocks > 0, "flash needs at least one block");
         Flash {
-            blocks: vec![[0xFF; BLOCK_BYTES]; blocks as usize],
+            blocks: vec![None; blocks as usize],
             write_counts: vec![0; blocks as usize],
             endurance,
             bad: vec![false; blocks as usize],
@@ -134,13 +145,16 @@ impl Flash {
         if self.write_counts[index as usize] >= self.endurance {
             return Err(FlashError::WearExceeded { index });
         }
-        slot[..data.len()].copy_from_slice(data);
-        slot[data.len()..].fill(0xFF);
+        // First write to this block materializes its payload.
+        let block = slot.get_or_insert_with(|| Box::new([0xFF; BLOCK_BYTES]));
+        block[..data.len()].copy_from_slice(data);
+        block[data.len()..].fill(0xFF);
         self.write_counts[index as usize] += 1;
         Ok(())
     }
 
-    /// Reads block `index`.
+    /// Reads block `index`. A never-written block reads as all `0xFF`
+    /// (erased), exactly as if its payload had been allocated eagerly.
     ///
     /// # Errors
     ///
@@ -149,7 +163,16 @@ impl Flash {
         let capacity = self.block_count();
         self.blocks
             .get(index as usize)
+            .map(|slot| slot.as_deref().unwrap_or(&ERASED_BLOCK))
             .ok_or(FlashError::OutOfBounds { index, capacity })
+    }
+
+    /// Bytes of block payload actually resident in memory:
+    /// `BLOCK_BYTES` for each block that has been written at least once.
+    /// A fresh device reports zero no matter its addressable capacity.
+    #[must_use]
+    pub fn resident_payload_bytes(&self) -> u64 {
+        self.blocks.iter().filter(|b| b.is_some()).count() as u64 * BLOCK_BYTES as u64
     }
 
     /// The number of completed writes to block `index` (0 for bad indices).
@@ -267,6 +290,21 @@ mod tests {
     #[should_panic(expected = "at least one block")]
     fn zero_blocks_panics() {
         let _ = Flash::new(0, 1);
+    }
+
+    #[test]
+    fn payloads_are_lazy_until_first_write() {
+        // 1M addressable blocks (256 MB of payload if eager) must cost
+        // nothing up front and read as erased.
+        let mut f = Flash::new(1_000_000, 100);
+        assert_eq!(f.resident_payload_bytes(), 0);
+        assert!(f.read_block(999_999).unwrap().iter().all(|&b| b == 0xFF));
+        f.write_block(123_456, &[1, 2, 3]).unwrap();
+        assert_eq!(f.resident_payload_bytes(), BLOCK_BYTES as u64);
+        assert_eq!(&f.read_block(123_456).unwrap()[..3], &[1, 2, 3]);
+        // Rewriting the same block allocates nothing new.
+        f.write_block(123_456, &[9]).unwrap();
+        assert_eq!(f.resident_payload_bytes(), BLOCK_BYTES as u64);
     }
 
     #[test]

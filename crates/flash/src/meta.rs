@@ -11,16 +11,23 @@
 //! ```text
 //! offset  size  field
 //! 0       1     magic (0xEC)
-//! 1       1     flags (bit 0: has event id)
+//! 1       1     flags (bit 0: has event id; bits 1-7: leader id bits 16-22)
 //! 2       4     store_seq   — monotone per chunk store, recovery ordering
-//! 6       2     origin      — recording node id
-//! 8       2     event leader node id   (0 when no event)
+//! 6       2     origin      — recording node id, bits 0-15
+//! 8       2     event leader node id, bits 0-15   (0 when no event)
 //! 10      4     event sequence number  (0 when no event)
 //! 14      6     t_start     — jiffies, 48-bit
 //! 20      1     payload_len — 0..=232
-//! 21      1     reserved (0)
+//! 21      1     origin id bits 16-23 (0 for ids below 65 536)
 //! 22      2     checksum    — 16-bit sum over header[0..22] + payload
 //! ```
+//!
+//! Node IDs wider than 16 bits (the 100k-node scale rungs) spill their
+//! high bits into the byte at offset 21 (formerly reserved, always 0) and
+//! the upper seven flag bits (formerly unused, always 0). Headers written
+//! for sub-65 536-node worlds are therefore byte-identical to the original
+//! format, the header stays exactly 24 bytes, and both extension fields
+//! are covered by the existing checksum span.
 
 use crate::device::BLOCK_BYTES;
 use enviromic_types::{audio, EventId, NodeId, SimDuration, SimTime};
@@ -29,6 +36,13 @@ use serde::Serialize;
 /// Magic byte identifying a valid chunk header.
 const MAGIC: u8 = 0xEC;
 const FLAG_HAS_EVENT: u8 = 0x01;
+
+/// Widest origin node ID the header can carry: 16 base bits plus the
+/// 8 extension bits at offset 21.
+const MAX_ORIGIN_ID: u32 = (1 << 24) - 1;
+/// Widest event-leader node ID the header can carry: 16 base bits plus the
+/// 7 extension bits in the upper flags.
+const MAX_LEADER_ID: u32 = (1 << 23) - 1;
 
 /// Metadata attached to every stored chunk.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
@@ -120,29 +134,37 @@ impl Chunk {
     pub fn encode(&self, store_seq: u32) -> [u8; BLOCK_BYTES] {
         let mut block = [0xFFu8; BLOCK_BYTES];
         block[0] = MAGIC;
-        block[1] = if self.meta.event.is_some() {
+        let origin = u32::from(self.meta.origin);
+        assert!(
+            origin <= MAX_ORIGIN_ID,
+            "origin NodeId {origin} exceeds the 24-bit flash block format"
+        );
+        let (ev_leader, ev_seq) = match self.meta.event {
+            Some(ev) => (u32::from(ev.leader()), ev.seq()),
+            None => (0, 0),
+        };
+        assert!(
+            ev_leader <= MAX_LEADER_ID,
+            "leader NodeId {ev_leader} exceeds the 23-bit flash block format"
+        );
+        let flags = if self.meta.event.is_some() {
             FLAG_HAS_EVENT
         } else {
             0
         };
+        // Leader bits 16-22 ride in the upper seven flag bits; they are
+        // zero — the historical flags value — for 16-bit leaders.
+        block[1] = flags | (((ev_leader >> 16) as u8) << 1);
         block[2..6].copy_from_slice(&store_seq.to_le_bytes());
-        let origin = u16::try_from(self.meta.origin)
-            .expect("origin NodeId exceeds the u16 flash block format");
-        block[6..8].copy_from_slice(&origin.to_le_bytes());
-        let (ev_leader, ev_seq) = match self.meta.event {
-            Some(ev) => (
-                u16::try_from(ev.leader())
-                    .expect("leader NodeId exceeds the u16 flash block format"),
-                ev.seq(),
-            ),
-            None => (0, 0),
-        };
-        block[8..10].copy_from_slice(&ev_leader.to_le_bytes());
+        block[6..8].copy_from_slice(&(origin as u16).to_le_bytes());
+        block[8..10].copy_from_slice(&(ev_leader as u16).to_le_bytes());
         block[10..14].copy_from_slice(&ev_seq.to_le_bytes());
         let jiffies = self.meta.t_start.as_jiffies();
         block[14..20].copy_from_slice(&jiffies.to_le_bytes()[..6]);
         block[20] = self.payload.len() as u8;
-        block[21] = 0;
+        // Origin bits 16-23; zero — the historical reserved byte — for
+        // 16-bit origins.
+        block[21] = (origin >> 16) as u8;
         let sum = checksum(&block[..22], &self.payload);
         block[22..24].copy_from_slice(&sum.to_le_bytes());
         block[24..24 + self.payload.len()].copy_from_slice(&self.payload);
@@ -168,9 +190,14 @@ impl Chunk {
             return Err(DecodeError::BadChecksum);
         }
         let store_seq = u32::from_le_bytes([block[2], block[3], block[4], block[5]]);
-        let origin = NodeId::from(u16::from_le_bytes([block[6], block[7]]));
+        let origin = NodeId::from(
+            u32::from(u16::from_le_bytes([block[6], block[7]])) | (u32::from(block[21]) << 16),
+        );
         let event = if block[1] & FLAG_HAS_EVENT != 0 {
-            let leader = NodeId::from(u16::from_le_bytes([block[8], block[9]]));
+            let leader = NodeId::from(
+                u32::from(u16::from_le_bytes([block[8], block[9]]))
+                    | (u32::from(block[1] >> 1) << 16),
+            );
             let seq = u32::from_le_bytes([block[10], block[11], block[12], block[13]]);
             Some(EventId::new(leader, seq))
         } else {
@@ -280,6 +307,47 @@ mod tests {
             },
             vec![0; audio::CHUNK_PAYLOAD_BYTES as usize + 1],
         );
+    }
+
+    #[test]
+    fn wide_node_ids_round_trip() {
+        // IDs above the 16-bit base field exercise the extension bits:
+        // origin in the byte at offset 21, leader in the upper flags.
+        let c = Chunk::new(
+            ChunkMeta {
+                origin: NodeId(99_999),
+                event: Some(EventId::new(NodeId(70_001), 5)),
+                t_start: SimTime::from_jiffies(77),
+            },
+            vec![4, 5, 6],
+        );
+        let (d, seq) = Chunk::decode(&c.encode(9)).unwrap();
+        assert_eq!(d, c);
+        assert_eq!(seq, 9);
+    }
+
+    #[test]
+    fn narrow_node_ids_keep_the_original_byte_layout() {
+        // Sub-65 536 IDs must leave the extension fields zero so existing
+        // on-flash images decode unchanged.
+        let c = sample_chunk(Some(EventId::new(NodeId(3), 99)));
+        let block = c.encode(42);
+        assert_eq!(block[1], 0x01, "flags carry only the event bit");
+        assert_eq!(block[21], 0, "origin extension byte stays zero");
+    }
+
+    #[test]
+    #[should_panic(expected = "24-bit flash block format")]
+    fn oversized_origin_panics() {
+        let c = Chunk::new(
+            ChunkMeta {
+                origin: NodeId(1 << 24),
+                event: None,
+                t_start: SimTime::ZERO,
+            },
+            vec![],
+        );
+        let _ = c.encode(0);
     }
 
     #[test]

@@ -185,6 +185,15 @@ impl ChunkStore {
         &self.flash
     }
 
+    /// Bytes of flash payload actually resident in memory. The store's
+    /// capacity is addressable, not allocated: block payloads materialize
+    /// on first write, so a freshly built store of any size reports zero
+    /// (what lets a 100k-node world construct in seconds).
+    #[must_use]
+    pub fn resident_payload_bytes(&self) -> u64 {
+        self.flash.resident_payload_bytes()
+    }
+
     /// The EEPROM holding pointer checkpoints.
     #[must_use]
     pub fn eeprom(&self) -> &Eeprom {
@@ -492,6 +501,28 @@ mod tests {
             },
             vec![n; 100],
         )
+    }
+
+    #[test]
+    fn fresh_store_is_not_resident_and_recovers_sparsely() {
+        // A big store costs nothing until chunks land, and recovery's
+        // full-device scan over mostly-unallocated (erased) blocks finds
+        // exactly the chunks that were written.
+        let mut s = ChunkStore::new(100_000, 100);
+        assert_eq!(s.resident_payload_bytes(), 0);
+        s.push_back(chunk(1)).unwrap();
+        s.push_back(chunk(2)).unwrap();
+        assert!(s.resident_payload_bytes() >= 2 * crate::BLOCK_BYTES as u64);
+        let resident = s.resident_payload_bytes();
+        let (flash, eeprom) = s.into_parts();
+        let r = ChunkStore::recover(flash, eeprom, 100);
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.peek_front().unwrap(), Some(chunk(1)));
+        assert_eq!(
+            r.resident_payload_bytes(),
+            resident,
+            "recovery must not materialize unwritten blocks"
+        );
     }
 
     #[test]

@@ -210,23 +210,46 @@ const TAG_QUERY: u8 = 14;
 const TAG_QUERY_DATA: u8 = 15;
 const TAG_QUERY_DONE: u8 = 16;
 
-/// Narrows a node ID into the 16-bit radio wire format.
+/// Escape sentinel for the node-ID wire format: a 16-bit ID equal to the
+/// sentinel means "the real 32-bit ID follows".
+const NODE_ID_ESCAPE: u16 = 0xFFFF;
+
+/// Writes a node ID in the escape-coded radio wire format.
 ///
-/// The over-the-air encoding stays two bytes (MicaZ-era frames are tiny and
-/// widening would change every packet's airtime), so worlds above 65 535
-/// nodes must keep radio traffic within the 16-bit ID space — this fails
-/// loudly instead of truncating if one ever leaks through.
-fn node_u16(id: NodeId) -> u16 {
-    u16::try_from(id).expect("NodeId exceeds the u16 radio wire format")
+/// IDs below `0xFFFF` keep the classic two-byte encoding — byte-for-byte
+/// identical to the historical fixed-u16 format, so every packet in a
+/// sub-65 535-node world (and therefore its airtime, which is proportional
+/// to byte length, and every pinned trace digest) is unchanged. IDs of
+/// `0xFFFF` and above are written as the two-byte sentinel followed by the
+/// full 32-bit ID, letting 100k-node worlds communicate at the cost of
+/// four extra bytes on only those packets that actually name a large ID.
+fn write_node(w: &mut Writer, id: NodeId) {
+    let raw = u32::from(id);
+    if raw < u32::from(NODE_ID_ESCAPE) {
+        w.u16(raw as u16);
+    } else {
+        w.u16(NODE_ID_ESCAPE);
+        w.u32(raw);
+    }
+}
+
+/// Reads a node ID in the escape-coded wire format (see [`write_node`]).
+fn read_node(r: &mut Reader<'_>) -> Result<NodeId, WireError> {
+    let lo = r.u16()?;
+    if lo < NODE_ID_ESCAPE {
+        Ok(NodeId::from(lo))
+    } else {
+        Ok(NodeId::from(r.u32()?))
+    }
 }
 
 fn write_event(w: &mut Writer, event: EventId) {
-    w.u16(node_u16(event.leader()));
+    write_node(w, event.leader());
     w.u32(event.seq());
 }
 
 fn read_event(r: &mut Reader<'_>) -> Result<EventId, WireError> {
-    let leader = NodeId::from(r.u16()?);
+    let leader = read_node(r)?;
     let seq = r.u32()?;
     Ok(EventId::new(leader, seq))
 }
@@ -249,14 +272,14 @@ fn read_opt_event(r: &mut Reader<'_>) -> Result<Option<EventId>, WireError> {
 }
 
 fn write_chunk(w: &mut Writer, chunk: &Chunk) {
-    w.u16(node_u16(chunk.meta.origin));
+    write_node(w, chunk.meta.origin);
     write_opt_event(w, chunk.meta.event);
     w.time(chunk.meta.t_start);
     w.bytes8(&chunk.payload);
 }
 
 fn read_chunk(r: &mut Reader<'_>) -> Result<Chunk, WireError> {
-    let origin = NodeId::from(r.u16()?);
+    let origin = read_node(r)?;
     let event = read_opt_event(r)?;
     let t_start = r.time()?;
     let at = r.position();
@@ -363,14 +386,14 @@ impl Message {
             } => {
                 w.u8(TAG_TASK_REQUEST);
                 write_event(w, *event);
-                w.u16(node_u16(*recorder));
+                write_node(w, *recorder);
                 w.u32(*task_seq);
                 w.duration(*duration);
                 w.time(*leader_time);
                 match keep_prelude {
                     Some(n) => {
                         w.u8(1);
-                        w.u16(node_u16(*n));
+                        write_node(w, *n);
                     }
                     None => w.u8(0),
                 }
@@ -382,7 +405,7 @@ impl Message {
             } => {
                 w.u8(TAG_TASK_CONFIRM);
                 write_event(w, *event);
-                w.u16(node_u16(*recorder));
+                write_node(w, *recorder);
                 w.u32(*task_seq);
             }
             Message::TaskReject {
@@ -392,7 +415,7 @@ impl Message {
             } => {
                 w.u8(TAG_TASK_REJECT);
                 write_event(w, *event);
-                w.u16(node_u16(*recorder));
+                write_node(w, *recorder);
                 w.u32(*task_seq);
             }
             Message::StateUpdate {
@@ -411,7 +434,7 @@ impl Message {
                 session,
             } => {
                 w.u8(TAG_MIGRATE_OFFER);
-                w.u16(node_u16(*to));
+                write_node(w, *to);
                 w.u16(*chunks);
                 w.u32(*session);
             }
@@ -421,7 +444,7 @@ impl Message {
                 granted,
             } => {
                 w.u8(TAG_MIGRATE_ACCEPT);
-                w.u16(node_u16(*to));
+                write_node(w, *to);
                 w.u32(*session);
                 w.u16(*granted);
             }
@@ -433,7 +456,7 @@ impl Message {
                 chunk,
             } => {
                 w.u8(TAG_BULK_DATA);
-                w.u16(node_u16(*to));
+                write_node(w, *to);
                 w.u32(*session);
                 w.u16(*seq);
                 w.u8(u8::from(*last));
@@ -441,7 +464,7 @@ impl Message {
             }
             Message::BulkAck { to, session, seq } => {
                 w.u8(TAG_BULK_ACK);
-                w.u16(node_u16(*to));
+                write_node(w, *to);
                 w.u32(*session);
                 w.u16(*seq);
             }
@@ -451,7 +474,7 @@ impl Message {
                 ref_time,
             } => {
                 w.u8(TAG_TIME_SYNC);
-                w.u16(node_u16(*root));
+                write_node(w, *root);
                 w.u32(*seq);
                 w.time(*ref_time);
             }
@@ -461,7 +484,7 @@ impl Message {
                 hops,
             } => {
                 w.u8(TAG_TREE_BUILD);
-                w.u16(node_u16(*root));
+                write_node(w, *root);
                 w.u32(*build_id);
                 w.u8(*hops);
             }
@@ -473,7 +496,7 @@ impl Message {
                 all,
             } => {
                 w.u8(TAG_QUERY);
-                w.u16(node_u16(*root));
+                write_node(w, *root);
                 w.u32(*query_id);
                 w.time(*t0);
                 w.time(*t1);
@@ -486,8 +509,8 @@ impl Message {
                 chunk,
             } => {
                 w.u8(TAG_QUERY_DATA);
-                w.u16(node_u16(*to));
-                w.u16(node_u16(*root));
+                write_node(w, *to);
+                write_node(w, *root);
                 w.u32(*query_id);
                 write_chunk(w, chunk);
             }
@@ -499,10 +522,10 @@ impl Message {
                 sent,
             } => {
                 w.u8(TAG_QUERY_DONE);
-                w.u16(node_u16(*to));
-                w.u16(node_u16(*root));
+                write_node(w, *to);
+                write_node(w, *root);
                 w.u32(*query_id);
-                w.u16(node_u16(*source));
+                write_node(w, *source);
                 w.u32(*sent);
             }
         }
@@ -527,23 +550,23 @@ impl Message {
             },
             TAG_TASK_REQUEST => Message::TaskRequest {
                 event: read_event(r)?,
-                recorder: NodeId::from(r.u16()?),
+                recorder: read_node(r)?,
                 task_seq: r.u32()?,
                 duration: r.duration()?,
                 leader_time: r.time()?,
                 keep_prelude: match r.u8()? {
                     0 => None,
-                    _ => Some(NodeId::from(r.u16()?)),
+                    _ => Some(read_node(r)?),
                 },
             },
             TAG_TASK_CONFIRM => Message::TaskConfirm {
                 event: read_event(r)?,
-                recorder: NodeId::from(r.u16()?),
+                recorder: read_node(r)?,
                 task_seq: r.u32()?,
             },
             TAG_TASK_REJECT => Message::TaskReject {
                 event: read_event(r)?,
-                recorder: NodeId::from(r.u16()?),
+                recorder: read_node(r)?,
                 task_seq: r.u32()?,
             },
             TAG_STATE_UPDATE => Message::StateUpdate {
@@ -552,55 +575,55 @@ impl Message {
                 avg_free_pct: r.u8()?,
             },
             TAG_MIGRATE_OFFER => Message::MigrateOffer {
-                to: NodeId::from(r.u16()?),
+                to: read_node(r)?,
                 chunks: r.u16()?,
                 session: r.u32()?,
             },
             TAG_MIGRATE_ACCEPT => Message::MigrateAccept {
-                to: NodeId::from(r.u16()?),
+                to: read_node(r)?,
                 session: r.u32()?,
                 granted: r.u16()?,
             },
             TAG_BULK_DATA => Message::BulkData {
-                to: NodeId::from(r.u16()?),
+                to: read_node(r)?,
                 session: r.u32()?,
                 seq: r.u16()?,
                 last: r.u8()? != 0,
                 chunk: read_chunk(r)?,
             },
             TAG_BULK_ACK => Message::BulkAck {
-                to: NodeId::from(r.u16()?),
+                to: read_node(r)?,
                 session: r.u32()?,
                 seq: r.u16()?,
             },
             TAG_TIME_SYNC => Message::TimeSync {
-                root: NodeId::from(r.u16()?),
+                root: read_node(r)?,
                 seq: r.u32()?,
                 ref_time: r.time()?,
             },
             TAG_TREE_BUILD => Message::TreeBuild {
-                root: NodeId::from(r.u16()?),
+                root: read_node(r)?,
                 build_id: r.u32()?,
                 hops: r.u8()?,
             },
             TAG_QUERY => Message::Query {
-                root: NodeId::from(r.u16()?),
+                root: read_node(r)?,
                 query_id: r.u32()?,
                 t0: r.time()?,
                 t1: r.time()?,
                 all: r.u8()? != 0,
             },
             TAG_QUERY_DATA => Message::QueryData {
-                to: NodeId::from(r.u16()?),
-                root: NodeId::from(r.u16()?),
+                to: read_node(r)?,
+                root: read_node(r)?,
                 query_id: r.u32()?,
                 chunk: read_chunk(r)?,
             },
             TAG_QUERY_DONE => Message::QueryDone {
-                to: NodeId::from(r.u16()?),
-                root: NodeId::from(r.u16()?),
+                to: read_node(r)?,
+                root: read_node(r)?,
                 query_id: r.u32()?,
-                source: NodeId::from(r.u16()?),
+                source: read_node(r)?,
                 sent: r.u32()?,
             },
             _ => {
@@ -785,6 +808,54 @@ mod tests {
             let decoded = decode_envelope(&bytes).unwrap();
             assert_eq!(decoded, vec![m]);
         }
+    }
+
+    #[test]
+    fn wide_node_ids_round_trip_via_escape() {
+        // IDs at and above 0xFFFF take the escape path (sentinel + u32);
+        // messages naming them must survive the codec unchanged.
+        let wide = [NodeId(0xFFFF), NodeId(70_000), NodeId(u32::MAX)];
+        for id in wide {
+            let msgs = vec![
+                Message::LeaderAnnounce {
+                    event: EventId::new(id, 7),
+                },
+                Message::TaskRequest {
+                    event: EventId::new(id, 7),
+                    recorder: id,
+                    task_seq: 1,
+                    duration: SimDuration::from_secs_f64(1.0),
+                    leader_time: SimTime::from_jiffies(5),
+                    keep_prelude: Some(id),
+                },
+                Message::QueryDone {
+                    to: id,
+                    root: id,
+                    query_id: 6,
+                    source: id,
+                    sent: 3,
+                },
+            ];
+            let bytes = encode_envelope(&msgs);
+            assert_eq!(decode_envelope(&bytes).unwrap(), msgs);
+        }
+    }
+
+    #[test]
+    fn narrow_node_ids_keep_two_byte_encoding() {
+        // The escape scheme must not change the length (and thus airtime)
+        // of any packet whose IDs fit 16 bits: a TimeSync naming node
+        // 0xFFFE encodes exactly as long as one naming node 0.
+        let len = |root: NodeId| {
+            Message::TimeSync {
+                root,
+                seq: 1,
+                ref_time: SimTime::ZERO,
+            }
+            .encoded_len()
+        };
+        assert_eq!(len(NodeId(0)), len(NodeId(0xFFFE)));
+        assert_eq!(len(NodeId(0xFFFF)), len(NodeId(0)) + 4, "escape adds u32");
     }
 
     #[test]

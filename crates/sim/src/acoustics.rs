@@ -246,18 +246,32 @@ impl AcousticField {
     }
 
     /// Source IDs audible at `listener` at `t`, strongest first.
+    ///
+    /// Allocates a fresh `Vec` per call; hot paths should prefer
+    /// [`AcousticField::audible_sources_into`], which reuses a scratch
+    /// buffer the way the delivery and block-mixing loops do.
     #[must_use]
     pub fn audible_sources(&self, listener: Position, t: SimTime) -> Vec<(SourceId, f64)> {
-        let mut v: Vec<(SourceId, f64)> = self
-            .sources
-            .iter()
-            .filter_map(|s| {
-                let lvl = s.level_at(listener, t);
-                (lvl > 0.0).then_some((s.id, lvl))
-            })
-            .collect();
-        v.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(core::cmp::Ordering::Equal));
+        let mut v = Vec::new();
+        self.audible_sources_into(listener, t, &mut v);
         v
+    }
+
+    /// Collects into `out` the source IDs audible at `listener` at `t`,
+    /// strongest first. `out` is cleared first; its capacity is reused, so
+    /// steady-state calls do not allocate.
+    pub fn audible_sources_into(
+        &self,
+        listener: Position,
+        t: SimTime,
+        out: &mut Vec<(SourceId, f64)>,
+    ) {
+        out.clear();
+        out.extend(self.sources.iter().filter_map(|s| {
+            let lvl = s.level_at(listener, t);
+            (lvl > 0.0).then_some((s.id, lvl))
+        }));
+        out.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(core::cmp::Ordering::Equal));
     }
 
     /// Synthesizes one 8-bit audio sample heard at `listener` at absolute
@@ -290,6 +304,213 @@ impl AcousticField {
     #[must_use]
     pub fn last_activity(&self) -> Option<SimTime> {
         self.sources.iter().map(|s| s.stop).max()
+    }
+
+    /// Synthesizes a whole block of samples at once — the batch form of
+    /// calling [`AcousticField::sample_from`] once per sample.
+    ///
+    /// Sample `i` is taken at `t0_s + i / SAMPLE_RATE_HZ` seconds with the
+    /// pre-drawn ambient deviation `noise[i]`; `noise.len()` fixes the
+    /// block length. The result pushed into `out` (cleared first) is
+    /// **bit-identical** to the per-sample loop — see the order-preservation
+    /// argument on the private `mix_block` helper.
+    pub fn synthesize_batch(
+        &self,
+        candidates: &[u32],
+        listener: Position,
+        t0_s: f64,
+        noise: &[f64],
+        scratch: &mut MixScratch,
+        out: &mut Vec<u8>,
+    ) {
+        let n = noise.len();
+        out.clear();
+        out.reserve(n);
+        if candidates.is_empty() {
+            // Nothing audible: every sample is the centered ambient floor.
+            // `mix` would compute 128.0 + 0.0 + noise, and adding 0.0 is
+            // exact, so this shortcut is bit-identical.
+            out.extend(noise.iter().map(|&nz| (128.0 + nz).clamp(0.0, 255.0) as u8));
+            return;
+        }
+        scratch.fill_times(t0_s, n);
+        scratch.acc.clear();
+        scratch.acc.resize(n, 0.0);
+        // Source-major accumulation in ascending candidate order: each
+        // sample's accumulator receives its contributions in exactly the
+        // order the per-sample loop would have added them.
+        for &ci in candidates {
+            mix_block(
+                &self.sources[ci as usize],
+                listener,
+                &scratch.times,
+                &scratch.ts_s,
+                &mut scratch.acc,
+            );
+        }
+        out.extend(
+            scratch
+                .acc
+                .iter()
+                .zip(noise)
+                .map(|(&acc, &nz)| (128.0 + acc + nz).clamp(0.0, 255.0) as u8),
+        );
+    }
+}
+
+/// Reusable buffers for [`AcousticField::synthesize_batch`], so synthesizing
+/// a block allocates nothing once the buffers reach chunk size.
+#[derive(Debug, Clone, Default)]
+pub struct MixScratch {
+    /// Per-sample signal accumulators (source contributions, pre-noise).
+    acc: Vec<f64>,
+    /// Per-sample absolute times, seconds on the global clock.
+    ts_s: Vec<f64>,
+    /// Per-sample quantized instants — exactly the `SimTime` that `mix`
+    /// derives from each `t_s`, non-decreasing across the block.
+    times: Vec<SimTime>,
+}
+
+impl MixScratch {
+    /// Creates empty scratch buffers.
+    #[must_use]
+    pub fn new() -> Self {
+        MixScratch::default()
+    }
+
+    /// Fills the per-sample time arrays for a block of `n` samples
+    /// starting at `t0_s`, using the same arithmetic as the per-sample
+    /// loop (`t_s = t0_s + i / SAMPLE_RATE_HZ`, then the `mix` jiffy
+    /// quantization).
+    fn fill_times(&mut self, t0_s: f64, n: usize) {
+        self.ts_s.clear();
+        self.ts_s.extend(
+            (0..n).map(|i| t0_s + i as f64 / enviromic_types::audio::SAMPLE_RATE_HZ as f64),
+        );
+        self.times.clear();
+        self.times.extend(self.ts_s.iter().map(|&t_s| {
+            SimTime::from_jiffies((t_s * enviromic_types::JIFFIES_PER_SEC as f64) as u64)
+        }));
+    }
+}
+
+/// Safety margin (feet) for the whole-leg out-of-range skip in
+/// [`mix_block`]: a trajectory leg is dropped only when the
+/// listener-to-segment distance is at least the audible range *plus* this
+/// margin. Per-sample positions are floating-point lerps along the
+/// segment, so they can sit a few ulps off it; the margin (9+ orders of
+/// magnitude above that error at city coordinate scales) guarantees every
+/// skipped sample would have computed a distance `>= range_ft` and hence
+/// an exact `0.0` level.
+const LEG_SKIP_MARGIN_FT: f64 = 1e-6;
+
+/// Accumulates one source's contribution to every sample of a block —
+/// the batch (source-major) form of the per-sample `level_at` +
+/// `value_at` work inside [`mix`].
+///
+/// Bit-exactness argument, piece by piece:
+///
+/// * **Activity window.** `times` is non-decreasing, so the per-sample
+///   predicate `t >= start && t < stop` selects a contiguous index range,
+///   found here by two binary searches over the *exact same* comparisons.
+///   Samples outside it contribute an exact `0.0` in the per-sample path
+///   (the `active_at` early-out), so not touching them is identical.
+/// * **Trajectory legs.** Within one leg (one run of samples sharing a
+///   `position_at` branch), the waypoint binary search, the clamp
+///   branches, and the zero-span check are loop-invariant — hoisting them
+///   changes which *instructions* run, not the arithmetic: each sample's
+///   position is computed by the same `frac`/`lerp` expressions on the
+///   same operands as `position_at`.
+/// * **Static listeners.** For a static source (or a dwell/zero-span run)
+///   the distance and level are the same for every sample; computing them
+///   once is the same arithmetic on the same operands.
+/// * **Accumulation order.** The caller iterates candidates in ascending
+///   index order and each call adds at most one term per sample, so every
+///   `acc[i]` sees its terms in exactly the per-sample `mix` order.
+fn mix_block(s: &SourceSpec, listener: Position, times: &[SimTime], ts_s: &[f64], acc: &mut [f64]) {
+    // The contiguous sample range where the source is active.
+    let lo = times.partition_point(|&t| t < s.start);
+    let hi = times.partition_point(|&t| t < s.stop);
+    if lo >= hi {
+        return;
+    }
+    match &s.motion {
+        Motion::Static(p) => mix_run_fixed(s, *p, listener, &ts_s[lo..hi], &mut acc[lo..hi]),
+        Motion::Waypoints(points) => {
+            assert!(!points.is_empty(), "waypoint motion with no waypoints");
+            let mut i = lo;
+            // Dwell at the first position: `position_at` returns
+            // `points[0].1` for every `t <= points[0].0`.
+            let (first_t, first_p) = points[0];
+            if times[i] <= first_t {
+                let run = i + times[i..hi].partition_point(|&t| t <= first_t);
+                mix_run_fixed(s, first_p, listener, &ts_s[i..run], &mut acc[i..run]);
+                i = run;
+            }
+            while i < hi {
+                let idx = points.partition_point(|&(pt, _)| pt < times[i]);
+                if idx == points.len() {
+                    // Clamped past the last waypoint for the rest of the
+                    // block (later samples only move further past it).
+                    mix_run_fixed(
+                        s,
+                        points[idx - 1].1,
+                        listener,
+                        &ts_s[i..hi],
+                        &mut acc[i..hi],
+                    );
+                    break;
+                }
+                let (t0, p0) = points[idx - 1];
+                let (t1, p1) = points[idx];
+                // Samples up to (and including) t1 share this leg: for any
+                // such t, every waypoint counted by the partition above
+                // still satisfies `pt < t`, and no later waypoint can
+                // (their times are >= t1).
+                let run = i + times[i..hi].partition_point(|&t| t <= t1);
+                let span = t1.saturating_since(t0).as_jiffies();
+                if span == 0 {
+                    mix_run_fixed(s, p1, listener, &ts_s[i..run], &mut acc[i..run]);
+                } else if listener.distance_to_segment(p0, p1) < s.range_ft + LEG_SKIP_MARGIN_FT {
+                    for j in i..run {
+                        let frac = times[j].saturating_since(t0).as_jiffies() as f64 / span as f64;
+                        let d = p0.lerp(p1, frac).distance_to(listener);
+                        if d < s.range_ft {
+                            let lvl = s.amplitude * (1.0 - d / s.range_ft);
+                            if lvl > 0.0 {
+                                acc[j] += lvl * s.waveform.value_at(ts_s[j]);
+                            }
+                        }
+                    }
+                }
+                // else: the whole leg is provably out of range — every
+                // sample would have computed `d >= range_ft` and added an
+                // exact 0.0, so skipping the run is bit-identical.
+                i = run;
+            }
+        }
+    }
+}
+
+/// Accumulates a run of samples during which the source sits at one fixed
+/// position: the distance, in-range check, and level are computed once and
+/// the inner loop is a branch-light multiply-add per sample.
+fn mix_run_fixed(
+    s: &SourceSpec,
+    src_pos: Position,
+    listener: Position,
+    ts_s: &[f64],
+    acc: &mut [f64],
+) {
+    let d = src_pos.distance_to(listener);
+    if d >= s.range_ft {
+        return;
+    }
+    let lvl = s.amplitude * (1.0 - d / s.range_ft);
+    if lvl > 0.0 {
+        for (a, &t_s) in acc.iter_mut().zip(ts_s) {
+            *a += lvl * s.waveform.value_at(t_s);
+        }
     }
 }
 

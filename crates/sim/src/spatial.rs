@@ -217,6 +217,15 @@ pub struct AudibleIndex {
 }
 
 impl AudibleIndex {
+    /// Creates an index over `nodes` nodes with no sources yet; populate
+    /// it one source at a time with [`AudibleIndex::add_source`].
+    #[must_use]
+    pub fn new(nodes: usize) -> Self {
+        AudibleIndex {
+            per_node: vec![Vec::new(); nodes],
+        }
+    }
+
     /// Resolves the candidate set for every node against every source.
     ///
     /// Static sources are included iff the fixed distance is below the
@@ -226,41 +235,97 @@ impl AudibleIndex {
     /// are merged into one hull interval.
     #[must_use]
     pub fn build(positions: &[Position], sources: &[SourceSpec]) -> Self {
-        let mut per_node: Vec<Vec<AudibleEntry>> = vec![Vec::new(); positions.len()];
+        let mut idx = AudibleIndex::new(positions.len());
         for (si, s) in sources.iter().enumerate() {
-            let source = si as u32;
-            match &s.motion {
-                Motion::Static(p) => {
-                    for (ni, np) in positions.iter().enumerate() {
-                        if p.distance_to(*np) < s.range_ft + RANGE_MARGIN_FT {
-                            per_node[ni].push(AudibleEntry {
+            idx.add_source(positions, si as u32, s);
+        }
+        idx
+    }
+
+    /// Patches the candidate lists for one newly added source — the
+    /// incremental form of [`AudibleIndex::build`]: building from scratch
+    /// is defined as folding `add_source` over the sources in index
+    /// order, so adding source `k` to an index holding `0..k` yields a
+    /// structure identical to rebuilding with `0..=k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `source` does not keep each node's entry list ascending
+    /// (sources must be added in ascending index order) or when
+    /// `positions` disagrees with the index's node count.
+    pub fn add_source(&mut self, positions: &[Position], source: u32, s: &SourceSpec) {
+        assert_eq!(
+            positions.len(),
+            self.per_node.len(),
+            "position set diverged from the index"
+        );
+        match &s.motion {
+            Motion::Static(p) => {
+                for (ni, np) in positions.iter().enumerate() {
+                    if p.distance_to(*np) < s.range_ft + RANGE_MARGIN_FT {
+                        self.push_entry(
+                            ni,
+                            AudibleEntry {
                                 source,
                                 from: s.start,
                                 to: s.stop,
+                            },
+                        );
+                    }
+                }
+            }
+            Motion::Waypoints(points) => {
+                let legs = trajectory_legs(points, s.start, s.stop);
+                for (ni, np) in positions.iter().enumerate() {
+                    let mut hull: Option<(SimTime, SimTime)> = None;
+                    for &(t0, t1, a, b) in &legs {
+                        if np.distance_to_segment(a, b) < s.range_ft + RANGE_MARGIN_FT {
+                            hull = Some(match hull {
+                                None => (t0, t1),
+                                Some((f, t)) => (f.min(t0), t.max(t1)),
                             });
                         }
                     }
-                }
-                Motion::Waypoints(points) => {
-                    let legs = trajectory_legs(points, s.start, s.stop);
-                    for (ni, np) in positions.iter().enumerate() {
-                        let mut hull: Option<(SimTime, SimTime)> = None;
-                        for &(t0, t1, a, b) in &legs {
-                            if np.distance_to_segment(a, b) < s.range_ft + RANGE_MARGIN_FT {
-                                hull = Some(match hull {
-                                    None => (t0, t1),
-                                    Some((f, t)) => (f.min(t0), t.max(t1)),
-                                });
-                            }
-                        }
-                        if let Some((from, to)) = hull {
-                            per_node[ni].push(AudibleEntry { source, from, to });
-                        }
+                    if let Some((from, to)) = hull {
+                        self.push_entry(ni, AudibleEntry { source, from, to });
                     }
                 }
             }
         }
-        AudibleIndex { per_node }
+    }
+
+    /// Appends one entry to a node's list, keeping it ascending by source.
+    fn push_entry(&mut self, node: usize, entry: AudibleEntry) {
+        let list = &mut self.per_node[node];
+        assert!(
+            list.last().is_none_or(|last| last.source < entry.source),
+            "sources must be added in ascending index order"
+        );
+        list.push(entry);
+    }
+
+    /// Removes every candidate entry for `source` — called once the source
+    /// has stopped *and* no in-flight audio block can still overlap its
+    /// lifetime. Past its stop instant the source's level is an exact
+    /// `0.0` everywhere, so dropping the entries afterwards never changes
+    /// a peak or a mix. Entry lists stay ascending (removal preserves
+    /// order). O(total entries); each source is retired at most once.
+    pub fn retire_source(&mut self, source: u32) {
+        for list in &mut self.per_node {
+            if let Ok(i) = list.binary_search_by_key(&source, |e| e.source) {
+                list.remove(i);
+            }
+        }
+    }
+
+    /// Drops every candidate entry of one node — called when the node is
+    /// permanently dead (battery exhausted). Its level samples are never
+    /// delivered anywhere afterwards, so the cleared list is unobservable;
+    /// this only stops the per-tick window scan from paying for a corpse.
+    /// Not used for crash faults: a rebooted node needs its candidates.
+    pub fn clear_node(&mut self, node: usize) {
+        self.per_node[node].clear();
+        self.per_node[node].shrink_to_fit();
     }
 
     /// The candidate entries for `node`, ascending by source index.

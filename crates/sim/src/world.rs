@@ -1,7 +1,7 @@
 //! The simulated world: nodes, radio medium, acoustic field, clocks, and
 //! energy, advanced by a deterministic discrete-event loop.
 
-use crate::acoustics::{AcousticField, SourceSpec};
+use crate::acoustics::{AcousticField, MixScratch, SourceSpec};
 use crate::config::WorldConfig;
 use crate::faults::{FaultEvent, FaultPlan, FaultScope};
 use crate::queue::EventQueue;
@@ -46,6 +46,8 @@ enum Ev {
     TimelineSample,
     SourceMark {
         source: crate::acoustics::SourceId,
+        /// Index into [`AcousticField::sources`], fixed at scheduling time.
+        index: u32,
         started: bool,
     },
     Fault(FaultAction),
@@ -198,6 +200,14 @@ struct Inner {
     deliver_scratch: Vec<u32>,
     /// Scratch for per-block candidate source indices.
     block_sources: Vec<u32>,
+    /// Scratch for per-block pre-drawn ambient noise samples.
+    noise_scratch: Vec<f64>,
+    /// Reusable buffers of the batch synthesis kernel.
+    mix_scratch: MixScratch,
+    /// Sources whose stop has passed, awaiting candidate-entry retirement
+    /// once no in-flight audio block can still overlap their lifetime
+    /// (`(source index, earliest safe retirement instant)`).
+    pending_retires: Vec<(u32, SimTime)>,
     /// Loss probabilities of the currently active link-degrade faults; the
     /// effective loss is the max of these and the configured base loss.
     /// Empty in fault-free runs, so the baseline loss draw is untouched.
@@ -264,6 +274,9 @@ impl World {
                 audible: None,
                 deliver_scratch: Vec::new(),
                 block_sources: Vec::new(),
+                noise_scratch: Vec::new(),
+                mix_scratch: MixScratch::new(),
+                pending_retires: Vec::new(),
                 active_degrades: Vec::new(),
             },
             apps: Vec::new(),
@@ -320,10 +333,15 @@ impl World {
     ///
     /// Propagates [`SourceSpec::validate`] failures.
     pub fn add_source(&mut self, spec: SourceSpec) -> Result<(), String> {
+        // Validate before scheduling: a rejected spec must not leave its
+        // start/stop marks on the queue.
+        spec.validate()?;
+        let index = self.inner.field.sources().len() as u32;
         self.inner.queue.schedule(
             spec.start,
             Ev::SourceMark {
                 source: spec.id,
+                index,
                 started: true,
             },
         );
@@ -331,9 +349,16 @@ impl World {
             spec.stop,
             Ev::SourceMark {
                 source: spec.id,
+                index,
                 started: false,
             },
         );
+        // A world that is already running patches the live audible index
+        // instead of rebuilding it (sources added before the world starts
+        // are folded in by the from-scratch build at startup).
+        if let Some(audible) = &mut self.inner.audible {
+            audible.add_source(&self.inner.nodes.pos, index, &spec);
+        }
         self.inner.field.add_source(spec)
     }
 
@@ -639,6 +664,7 @@ impl World {
                 let period = self.inner.cfg.acoustics.level_update_period;
                 let next = self.inner.now + period;
                 self.inner.queue.schedule(next, Ev::AcousticTick);
+                self.inner.flush_retired_sources();
                 for idx in 0..self.apps.len() {
                     let node = NodeId::from_index(idx);
                     let level = self.inner.sample_level(node);
@@ -695,13 +721,33 @@ impl World {
                 }
                 self.sample_timeline();
             }
-            Ev::SourceMark { source, started } => {
+            Ev::SourceMark {
+                source,
+                index,
+                started,
+            } => {
                 let t = self.inner.now;
                 self.inner.trace.push(if started {
                     TraceEvent::SourceStarted { source, t }
                 } else {
                     TraceEvent::SourceStopped { source, t }
                 });
+                if !started {
+                    // The source's candidate entries must outlive any
+                    // in-flight audio block that can still overlap its
+                    // lifetime: a block synthesized at time τ covers at
+                    // most [τ − chunk_duration, τ), and its per-sample
+                    // jiffy quantization can slip one jiffy below the
+                    // block start. Two chunk durations past the stop,
+                    // every later block lies strictly past the stop even
+                    // after that slip, so the source mixes an exact 0.0
+                    // and retiring it is digest-neutral. The retirement
+                    // itself rides the existing AcousticTick (scheduling
+                    // a dedicated event would shift every later queue
+                    // sequence number and change the digests).
+                    let safe_at = t + audio::chunk_duration() + audio::chunk_duration();
+                    self.inner.pending_retires.push((index, safe_at));
+                }
             }
             Ev::Fault(action) => self.apply_fault(action),
         }
@@ -827,8 +873,14 @@ impl Inner {
         self.audible = Some(AudibleIndex::build(&self.nodes.pos, self.field.sources()));
     }
 
-    /// Marks `node` dead in its slot and evicts it from the spatial index
-    /// so delivery never examines it again.
+    /// Marks `node` dead in its slot and evicts it from the spatial
+    /// indexes so delivery never examines it again. Battery death is
+    /// permanent ([`Inner::reboot`] refuses an empty battery), so the
+    /// node's audible candidates go too: its levels are still *sampled*
+    /// each tick (the RNG draw must survive — see `sample_level`) but
+    /// never observed, so the cleared list is digest-neutral and the
+    /// window scan stops paying for a corpse. Crash faults keep the
+    /// entries — a rebooted node needs them.
     fn kill(&mut self, node: NodeId) {
         let idx = node.index();
         self.nodes.energy_mj[idx] = 0.0;
@@ -838,6 +890,29 @@ impl Inner {
         if let Some(grid) = &mut self.grid {
             grid.remove(idx);
         }
+        if let Some(audible) = &mut self.audible {
+            audible.clear_node(idx);
+        }
+    }
+
+    /// Retires stopped sources whose grace window has fully passed.
+    /// Runs on every acoustic tick; cheap when nothing is pending.
+    fn flush_retired_sources(&mut self) {
+        if self.pending_retires.is_empty() {
+            return;
+        }
+        let now = self.now;
+        let Some(audible) = &mut self.audible else {
+            return;
+        };
+        self.pending_retires.retain(|&(source, safe_at)| {
+            if now >= safe_at {
+                audible.retire_source(source);
+                false
+            } else {
+                true
+            }
+        });
     }
 
     /// Halts `node` without draining its battery (fault injection): RAM
@@ -988,6 +1063,8 @@ impl Inner {
             field,
             audible,
             block_sources,
+            noise_scratch,
+            mix_scratch,
             ..
         } = self;
         match audible {
@@ -999,12 +1076,20 @@ impl Inner {
         }
         let pos = nodes.pos[idx];
         let audio_rng = &mut nodes.audio_rng[idx];
-        let mut samples = Vec::with_capacity(n);
-        for i in 0..n {
-            let t_s = t0_s + i as f64 / audio::SAMPLE_RATE_HZ as f64;
-            let noise = audio_rng.gen_range(-2.0 * sigma..=2.0 * sigma);
-            samples.push(field.sample_from(block_sources, pos, t_s, noise));
-        }
+        // Draw the ambient noise per sample in ascending order up front —
+        // the audio_rng sequence is exactly the old per-sample loop's —
+        // then hand the whole block to the batch kernel.
+        noise_scratch.clear();
+        noise_scratch.extend((0..n).map(|_| audio_rng.gen_range(-2.0 * sigma..=2.0 * sigma)));
+        let mut samples = Vec::new();
+        field.synthesize_batch(
+            block_sources,
+            pos,
+            t0_s,
+            noise_scratch,
+            mix_scratch,
+            &mut samples,
+        );
         AudioBlock { t0, t1, samples }
     }
 

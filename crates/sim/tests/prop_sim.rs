@@ -2,11 +2,43 @@
 //! reference model, waveform/motion invariants, and spatial-index
 //! equivalence against the brute-force scans it replaced.
 
-use enviromic_sim::acoustics::{AcousticField, Motion, SourceId, SourceSpec, Waveform};
+use enviromic_sim::acoustics::{AcousticField, MixScratch, Motion, SourceId, SourceSpec, Waveform};
 use enviromic_sim::queue::EventQueue;
-use enviromic_sim::spatial::{AudibleIndex, NodeGrid};
-use enviromic_types::{Position, SimDuration, SimTime};
+use enviromic_sim::spatial::{AudibleEntry, AudibleIndex, NodeGrid};
+use enviromic_types::{audio, Position, SimDuration, SimTime};
 use proptest::prelude::*;
+
+/// Builds a small random field: one static source and one mobile source
+/// per `(start, stop, amp, range, x)` tuple, alternating waveforms.
+fn random_sources(specs: &[(u64, u64, f64, f64, f64)]) -> Vec<SourceSpec> {
+    specs
+        .iter()
+        .enumerate()
+        .map(|(i, &(start, len, amp, range, x))| SourceSpec {
+            id: SourceId(i as u32),
+            start: SimTime::from_jiffies(start),
+            stop: SimTime::from_jiffies(start + len.max(1)),
+            amplitude: amp,
+            range_ft: range,
+            motion: if i % 2 == 0 {
+                Motion::Static(Position::new(x, 30.0))
+            } else {
+                Motion::Waypoints(vec![
+                    (SimTime::from_jiffies(start), Position::new(x, 0.0)),
+                    (
+                        SimTime::from_jiffies(start + len.max(1)),
+                        Position::new(60.0 - x, 60.0),
+                    ),
+                ])
+            },
+            waveform: if i % 2 == 0 {
+                Waveform::Tone { freq_hz: 440.0 }
+            } else {
+                Waveform::Noise
+            },
+        })
+        .collect()
+}
 
 /// The receiver set the pre-index delivery loop produced: every alive node
 /// within range, in ascending node-index order.
@@ -244,6 +276,101 @@ proptest! {
             let got = m.position_at(t);
             prop_assert_eq!(expect.x.to_bits(), got.x.to_bits(), "x at {}", tj);
             prop_assert_eq!(expect.y.to_bits(), got.y.to_bits(), "y at {}", tj);
+        }
+    }
+
+    /// The batched synthesis kernel produces exactly the bytes of the
+    /// per-sample reference path (`sample_from` in a loop) for arbitrary
+    /// fields, candidate sets, listeners, block starts, and noise vectors.
+    /// This is the bit-exactness property the golden digests rest on: the
+    /// batch path may skip work only when a contribution is exactly zero.
+    #[test]
+    fn batched_synthesis_matches_per_sample_reference(
+        specs in proptest::collection::vec(
+            (0u64..400_000, 1u64..400_000, 1.0f64..200.0, 0.5f64..40.0, 0.0f64..60.0),
+            0..5,
+        ),
+        include in proptest::collection::vec(any::<bool>(), 5),
+        lx in 0.0f64..60.0,
+        ly in 0.0f64..60.0,
+        t0 in 0u64..600_000,
+        noise in proptest::collection::vec(-2.0f64..2.0, 0..300),
+    ) {
+        let sources = random_sources(&specs);
+        let mut field = AcousticField::new();
+        for s in &sources {
+            field.add_source(s.clone()).unwrap();
+        }
+        let candidates: Vec<u32> = (0..sources.len() as u32)
+            .filter(|&i| include[i as usize])
+            .collect();
+        let listener = Position::new(lx, ly);
+        let t0_s = SimTime::from_jiffies(t0).as_secs_f64();
+        let mut scratch = MixScratch::new();
+        let mut batched = Vec::new();
+        field.synthesize_batch(&candidates, listener, t0_s, &noise, &mut scratch, &mut batched);
+        let reference: Vec<u8> = noise
+            .iter()
+            .enumerate()
+            .map(|(i, &nz)| {
+                let t_s = t0_s + i as f64 / audio::SAMPLE_RATE_HZ as f64;
+                field.sample_from(&candidates, listener, t_s, nz)
+            })
+            .collect();
+        prop_assert_eq!(batched, reference);
+    }
+
+    /// Incrementally maintained candidate lists — sources added one at a
+    /// time, an arbitrary subset retired (interleaved with the adds), and
+    /// arbitrary nodes cleared — equal a from-scratch build followed by a
+    /// naive filter of the same retirements and clears. This pins the
+    /// order-preserving binary-search removal against the obviously
+    /// correct model.
+    #[test]
+    fn incremental_index_matches_filtered_rebuild(
+        coords in proptest::collection::vec((0.0f64..60.0, 0.0f64..60.0), 1..30),
+        specs in proptest::collection::vec(
+            (0u64..400_000, 1u64..400_000, 1.0f64..200.0, 0.5f64..40.0, 0.0f64..60.0),
+            1..8,
+        ),
+        retire in proptest::collection::vec(any::<bool>(), 8),
+        clear in proptest::collection::vec(any::<bool>(), 30),
+    ) {
+        let positions: Vec<Position> =
+            coords.iter().map(|&(x, y)| Position::new(x, y)).collect();
+        let sources = random_sources(&specs);
+        let mut inc = AudibleIndex::new(positions.len());
+        for (i, s) in sources.iter().enumerate() {
+            inc.add_source(&positions, i as u32, s);
+            // Retire an earlier source mid-sequence so later adds append
+            // after a gap, exercising the ascending-order invariant.
+            let earlier = i / 2;
+            if retire[earlier] && earlier < i {
+                inc.retire_source(earlier as u32);
+            }
+        }
+        for (i, &r) in retire.iter().take(sources.len()).enumerate() {
+            if r {
+                inc.retire_source(i as u32); // idempotent re-retire
+            }
+        }
+        for (n, &c) in clear.iter().take(positions.len()).enumerate() {
+            if c {
+                inc.clear_node(n);
+            }
+        }
+        let full = AudibleIndex::build(&positions, &sources);
+        for (n, &cleared) in clear.iter().take(positions.len()).enumerate() {
+            let expect: Vec<AudibleEntry> = if cleared {
+                Vec::new()
+            } else {
+                full.entries(n)
+                    .iter()
+                    .copied()
+                    .filter(|e| !retire[e.source as usize])
+                    .collect()
+            };
+            prop_assert_eq!(inc.entries(n), &expect[..], "node {}", n);
         }
     }
 

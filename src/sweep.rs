@@ -203,13 +203,15 @@ impl ScenarioSpec {
     /// The city scale point: the lamppost deployment at `nodes` total
     /// nodes for `duration_secs`, full protocol, labelled `city-{n}k`
     /// (e.g. `city-10k`). This is the workload behind the
-    /// `BENCH_scale.json` rows and the 10k-node jobs-1-vs-2 determinism
-    /// pin; like every other point it is a pure function of the seed.
+    /// `BENCH_scale.json` rows and the 10k/40k-node jobs-1-vs-2
+    /// determinism pins; like every other point it is a pure function of
+    /// the seed.
     ///
     /// City nodes carry a small 64-chunk store: the scale ladder measures
-    /// the event core, not storage capacity, and the default 2048-chunk
-    /// (512 KB) flash would put a 10 000-node world at over 5 GB of
-    /// resident memory before the first event fires.
+    /// the event core, not storage capacity. Flash payloads allocate
+    /// lazily on first write, so even the 100k-node rung constructs
+    /// cheaply — but the 64-chunk figure is part of the pinned digests
+    /// and must not change (store capacity feeds TTL arithmetic).
     #[must_use]
     pub fn city(nodes: usize, duration_secs: f64) -> ScenarioSpec {
         let label = if nodes.is_multiple_of(1000) {

@@ -269,6 +269,30 @@ fn city_10k_digest_is_identical_across_worker_counts() {
     );
 }
 
+/// The 40k-node rung gets the same 1-vs-2-worker pin as 10k. It is the
+/// first rung where sparse flash backing carries the construction cost
+/// and node counts brush against the 16-bit wire-format comfort zone, so
+/// a divergence introduced by either would surface here first. Kept to
+/// one sim-second: 40 000 nodes run in debug mode here.
+#[test]
+fn city_40k_digest_is_identical_across_worker_counts() {
+    let plan = SweepPlan::new(vec![42], vec![ScenarioSpec::city(40_000, 1.0)]);
+    let serial = run_sweep(&plan, 1);
+    let pooled = run_sweep(&plan, 2);
+    assert_eq!(
+        serial.digests(),
+        pooled.digests(),
+        "40k-node city diverged between 1 and 2 sweep workers",
+    );
+    let job = &serial.jobs[0];
+    assert_eq!(job.label, "city-40k");
+    assert!(
+        job.events > 1000,
+        "40k-node world produced a near-empty trace ({} events)",
+        job.events,
+    );
+}
+
 #[test]
 fn same_seed_same_digest_across_runs() {
     let run = |seed: u64| {
