@@ -1,0 +1,509 @@
+//! The indexed archive store and its range queries.
+//!
+//! Records enter through an [`ArchiveBuilder`] (which deduplicates the
+//! copies storage balancing scattered across the network) and are frozen
+//! into an [`ArchiveStore`]: records in canonical order plus a bucketed
+//! interval index over their audio time spans. The store is immutable
+//! and `Sync`, so a worker pool can serve queries from a shared `&` with
+//! no locking.
+
+use enviromic_flash::Chunk;
+use enviromic_types::{EventId, NodeId, SimDuration, SimTime};
+use serde::Serialize;
+use std::collections::BTreeMap;
+
+/// FNV-1a offset basis (the digest of an empty result).
+const FNV_OFFSET: u64 = 0xCBF2_9CE4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01B3;
+
+fn fnv_fold(mut h: u64, v: u64) -> u64 {
+    for b in v.to_le_bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// One collected chunk as the archive sees it: pure metadata. Payloads
+/// stay on whatever medium the collection produced (the archive indexes
+/// and serves *which* audio exists where; bulk audio bytes are fetched
+/// separately).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct ArchiveRecord {
+    /// The node that recorded the audio.
+    pub origin: NodeId,
+    /// The event (file) ID, when the recording was coordinated.
+    pub event: Option<EventId>,
+    /// Audio interval start (recorder's global-time estimate).
+    pub t0: SimTime,
+    /// Audio interval end.
+    pub t1: SimTime,
+    /// Payload bytes.
+    pub bytes: u32,
+    /// The node holding the chunk when it was collected.
+    pub holder: NodeId,
+}
+
+impl ArchiveRecord {
+    /// Folds the record into an FNV-1a digest. Field order is part of
+    /// the committed `BENCH_retrieval.json` contract.
+    fn fold_digest(&self, mut h: u64) -> u64 {
+        h = fnv_fold(h, u64::from(self.origin.0));
+        h = fnv_fold(h, self.event.map_or(u64::MAX, EventId::to_raw));
+        h = fnv_fold(h, self.t0.as_jiffies());
+        h = fnv_fold(h, self.t1.as_jiffies());
+        h = fnv_fold(h, u64::from(self.bytes));
+        fnv_fold(h, u64::from(self.holder.0))
+    }
+}
+
+/// What the builder saw while ingesting.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+pub struct IngestStats {
+    /// Unique records accepted.
+    pub records: u64,
+    /// Copies dropped because the same recorded interval (origin, t0)
+    /// was already present — storage balancing migrates chunks, so a
+    /// collection run sees the same audio at several holders.
+    pub duplicates: u64,
+}
+
+/// Accumulates collected chunks, then freezes them into an
+/// [`ArchiveStore`].
+#[derive(Debug, Default)]
+pub struct ArchiveBuilder {
+    records: Vec<ArchiveRecord>,
+    seen: BTreeMap<(u32, u64), ()>,
+    stats: IngestStats,
+}
+
+impl ArchiveBuilder {
+    /// An empty builder.
+    #[must_use]
+    pub fn new() -> Self {
+        ArchiveBuilder::default()
+    }
+
+    /// Ingests one record, deduplicating by recorded interval
+    /// `(origin, t0)` — first holder wins, so ingest order (trace order)
+    /// decides which copy the archive points at, deterministically.
+    pub fn ingest(&mut self, record: ArchiveRecord) {
+        let key = (record.origin.0, record.t0.as_jiffies());
+        if self.seen.insert(key, ()).is_none() {
+            self.records.push(record);
+            self.stats.records += 1;
+        } else {
+            self.stats.duplicates += 1;
+        }
+    }
+
+    /// Ingests a real flash [`Chunk`] held by `holder` (the
+    /// physically-collected-mote path).
+    pub fn ingest_chunk(&mut self, chunk: &Chunk, holder: NodeId) {
+        #[allow(clippy::cast_possible_truncation)]
+        let bytes = chunk.payload.len() as u32;
+        self.ingest(ArchiveRecord {
+            origin: chunk.meta.origin,
+            event: chunk.meta.event,
+            t0: chunk.meta.t_start,
+            t1: chunk.t_end(),
+            bytes,
+            holder,
+        });
+    }
+
+    /// Ingest statistics so far.
+    #[must_use]
+    pub fn stats(&self) -> IngestStats {
+        self.stats
+    }
+
+    /// Freezes the builder into a queryable store with the default
+    /// interval-index bucket width.
+    #[must_use]
+    pub fn build(self) -> ArchiveStore {
+        self.build_with_bucket(ArchiveStore::DEFAULT_BUCKET)
+    }
+
+    /// Freezes the builder with an explicit bucket width.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `bucket` is zero.
+    #[must_use]
+    pub fn build_with_bucket(self, bucket: SimDuration) -> ArchiveStore {
+        assert!(!bucket.is_zero(), "interval-index bucket must be non-zero");
+        let ArchiveBuilder {
+            mut records, stats, ..
+        } = self;
+        // Canonical record order: by audio start, then origin, then end.
+        // Every query result is a subsequence of this order, which is
+        // what makes result digests independent of index layout and
+        // worker scheduling.
+        records.sort_by_key(|r| (r.t0, r.origin, r.t1));
+        let mut buckets: BTreeMap<u64, Vec<u32>> = BTreeMap::new();
+        let width = bucket.as_jiffies();
+        for (i, r) in records.iter().enumerate() {
+            let first = r.t0.as_jiffies() / width;
+            // End jiffy is exclusive when the record ends exactly on a
+            // bucket edge; max() keeps zero-length records indexed.
+            let last = (r.t1.as_jiffies().max(r.t0.as_jiffies() + 1) - 1) / width;
+            for b in first..=last {
+                #[allow(clippy::cast_possible_truncation)]
+                buckets.entry(b).or_default().push(i as u32);
+            }
+        }
+        ArchiveStore {
+            records,
+            buckets,
+            bucket_jiffies: width,
+            stats,
+        }
+    }
+}
+
+/// A time × origin × event range scan. `None` filters match everything.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize)]
+pub struct RangeQuery {
+    /// Window start (inclusive).
+    pub t0: SimTime,
+    /// Window end (exclusive).
+    pub t1: SimTime,
+    /// Keep only records recorded by this node.
+    pub origin: Option<NodeId>,
+    /// Keep only records of this event file.
+    pub event: Option<EventId>,
+}
+
+impl RangeQuery {
+    /// A scan over `[t0, t1)` with no origin/event filter.
+    #[must_use]
+    pub fn window(t0: SimTime, t1: SimTime) -> Self {
+        RangeQuery {
+            t0,
+            t1,
+            origin: None,
+            event: None,
+        }
+    }
+
+    /// Does `record` fall in this query's window and filters? A record
+    /// matches when its audio span overlaps `[t0, t1)`.
+    #[must_use]
+    pub fn matches(&self, record: &ArchiveRecord) -> bool {
+        record.t1 > self.t0
+            && record.t0 < self.t1
+            && self.origin.is_none_or(|o| record.origin == o)
+            && self.event.is_none_or(|e| record.event == Some(e))
+    }
+}
+
+/// The answer to a [`RangeQuery`]: matching record indices in canonical
+/// store order, plus summary figures and the determinism digest.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryResult {
+    /// Indices into [`ArchiveStore::records`], ascending.
+    pub indices: Vec<u32>,
+    /// Total payload bytes across the matches.
+    pub bytes: u64,
+    /// Order-sensitive FNV-1a digest over the matched records.
+    pub digest: u64,
+}
+
+impl QueryResult {
+    /// Number of matched records.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.indices.len()
+    }
+
+    /// True when nothing matched.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.indices.is_empty()
+    }
+}
+
+/// The frozen, queryable archive: records in canonical order plus the
+/// bucketed interval index. Immutable after build, so `&ArchiveStore`
+/// can be shared across query workers without locks.
+#[derive(Debug)]
+pub struct ArchiveStore {
+    records: Vec<ArchiveRecord>,
+    /// Interval index: time-bucket number → indices of records whose
+    /// audio span overlaps the bucket, ascending.
+    buckets: BTreeMap<u64, Vec<u32>>,
+    bucket_jiffies: u64,
+    stats: IngestStats,
+}
+
+impl ArchiveStore {
+    /// Default interval-index bucket width: 4 s of audio. City/indoor
+    /// chunks span well under a second, so a record lands in one or two
+    /// buckets and a scan touches `window / 4 s` buckets.
+    pub const DEFAULT_BUCKET: SimDuration = SimDuration::from_jiffies(4 * 32_768);
+
+    /// An empty archive.
+    #[must_use]
+    pub fn empty() -> Self {
+        ArchiveBuilder::new().build()
+    }
+
+    /// The records, in canonical order.
+    #[must_use]
+    pub fn records(&self) -> &[ArchiveRecord] {
+        &self.records
+    }
+
+    /// Number of archived records.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True when the archive holds nothing.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// What ingest saw (unique records, duplicate copies dropped).
+    #[must_use]
+    pub fn ingest_stats(&self) -> IngestStats {
+        self.stats
+    }
+
+    /// The `[earliest t0, latest t1]` span of the archived audio, or
+    /// `None` when empty.
+    #[must_use]
+    pub fn span(&self) -> Option<(SimTime, SimTime)> {
+        let first = self.records.first()?.t0;
+        let last = self
+            .records
+            .iter()
+            .map(|r| r.t1)
+            .max()
+            .expect("non-empty archive has a max end");
+        Some((first, last))
+    }
+
+    /// The distinct origin nodes present, ascending.
+    #[must_use]
+    pub fn origins(&self) -> Vec<NodeId> {
+        let mut origins: Vec<NodeId> = self.records.iter().map(|r| r.origin).collect();
+        origins.sort_unstable();
+        origins.dedup();
+        origins
+    }
+
+    /// Answers `query`: candidate records come from the interval-index
+    /// buckets the window touches, then each candidate is checked
+    /// precisely. The result is identical to a full scan (the
+    /// `index_matches_full_scan` property test) but touches only the
+    /// window's buckets.
+    #[must_use]
+    pub fn query(&self, query: &RangeQuery) -> QueryResult {
+        let mut indices: Vec<u32> = Vec::new();
+        if query.t1 > query.t0 && !self.records.is_empty() {
+            let first = query.t0.as_jiffies() / self.bucket_jiffies;
+            let last = (query.t1.as_jiffies() - 1) / self.bucket_jiffies;
+            for ids in self.buckets.range(first..=last).map(|(_, v)| v) {
+                for &i in ids {
+                    if query.matches(&self.records[i as usize]) {
+                        indices.push(i);
+                    }
+                }
+            }
+            // A record spanning several buckets appears once per bucket;
+            // canonical order is ascending-unique store order.
+            indices.sort_unstable();
+            indices.dedup();
+        }
+        let mut digest = FNV_OFFSET;
+        let mut bytes = 0u64;
+        for &i in &indices {
+            let r = &self.records[i as usize];
+            digest = r.fold_digest(digest);
+            bytes += u64::from(r.bytes);
+        }
+        QueryResult {
+            indices,
+            bytes,
+            digest,
+        }
+    }
+
+    /// Reference implementation of [`ArchiveStore::query`]: a full scan
+    /// with no index. The oracle for the property tests and the
+    /// uncached-baseline serving mode.
+    #[must_use]
+    pub fn query_full_scan(&self, query: &RangeQuery) -> QueryResult {
+        let mut digest = FNV_OFFSET;
+        let mut bytes = 0u64;
+        let mut indices = Vec::new();
+        for (i, r) in self.records.iter().enumerate() {
+            if query.matches(r) {
+                #[allow(clippy::cast_possible_truncation)]
+                indices.push(i as u32);
+                digest = r.fold_digest(digest);
+                bytes += u64::from(r.bytes);
+            }
+        }
+        QueryResult {
+            indices,
+            bytes,
+            digest,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(origin: u32, t0: f64, t1: f64) -> ArchiveRecord {
+        ArchiveRecord {
+            origin: NodeId(origin),
+            event: None,
+            t0: SimTime::ZERO + SimDuration::from_secs_f64(t0),
+            t1: SimTime::ZERO + SimDuration::from_secs_f64(t1),
+            bytes: 232,
+            holder: NodeId(origin),
+        }
+    }
+
+    fn q(t0: f64, t1: f64) -> RangeQuery {
+        RangeQuery::window(
+            SimTime::ZERO + SimDuration::from_secs_f64(t0),
+            SimTime::ZERO + SimDuration::from_secs_f64(t1),
+        )
+    }
+
+    fn store(records: impl IntoIterator<Item = ArchiveRecord>) -> ArchiveStore {
+        let mut b = ArchiveBuilder::new();
+        for r in records {
+            b.ingest(r);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn window_query_returns_overlapping_records_in_order() {
+        let s = store([rec(2, 10.0, 11.0), rec(1, 0.0, 1.0), rec(1, 5.0, 6.0)]);
+        let res = s.query(&q(0.5, 5.5));
+        assert_eq!(res.len(), 2);
+        let hits: Vec<(u32, f64)> = res
+            .indices
+            .iter()
+            .map(|&i| {
+                let r = &s.records()[i as usize];
+                (r.origin.0, r.t0.as_secs_f64())
+            })
+            .collect();
+        assert_eq!(hits, vec![(1, 0.0), (1, 5.0)]);
+        assert_eq!(res.bytes, 464);
+    }
+
+    #[test]
+    fn origin_and_event_filters_narrow() {
+        let ev = EventId::new(NodeId(7), 1);
+        let mut a = rec(1, 0.0, 1.0);
+        a.event = Some(ev);
+        let s = store([a, rec(2, 0.0, 1.0)]);
+        let mut by_origin = q(0.0, 2.0);
+        by_origin.origin = Some(NodeId(2));
+        assert_eq!(s.query(&by_origin).len(), 1);
+        let mut by_event = q(0.0, 2.0);
+        by_event.event = Some(ev);
+        let res = s.query(&by_event);
+        assert_eq!(res.len(), 1);
+        assert_eq!(s.records()[res.indices[0] as usize].origin, NodeId(1));
+    }
+
+    #[test]
+    fn duplicates_are_dropped_first_holder_wins() {
+        let mut b = ArchiveBuilder::new();
+        let mut first = rec(1, 0.0, 1.0);
+        first.holder = NodeId(9);
+        b.ingest(first);
+        let mut copy = rec(1, 0.0, 1.0);
+        copy.holder = NodeId(4);
+        b.ingest(copy);
+        assert_eq!(
+            b.stats(),
+            IngestStats {
+                records: 1,
+                duplicates: 1
+            }
+        );
+        let s = b.build();
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.records()[0].holder, NodeId(9));
+    }
+
+    #[test]
+    fn empty_window_and_reversed_window_match_nothing() {
+        let s = store([rec(1, 0.0, 1.0)]);
+        assert!(s.query(&q(0.5, 0.5)).is_empty());
+        assert!(s.query(&q(3.0, 2.0)).is_empty());
+        assert_eq!(s.query(&q(0.5, 0.5)).digest, FNV_OFFSET);
+    }
+
+    #[test]
+    fn long_record_spanning_many_buckets_dedups() {
+        // 30 s record crosses ~8 default buckets; must appear once.
+        let s = store([rec(1, 1.0, 31.0)]);
+        let res = s.query(&q(0.0, 40.0));
+        assert_eq!(res.indices, vec![0]);
+    }
+
+    #[test]
+    fn index_matches_full_scan_on_a_grid() {
+        let mut records = Vec::new();
+        for origin in 0..5u32 {
+            for k in 0..40 {
+                let t = f64::from(k) * 0.7 + f64::from(origin) * 0.1;
+                records.push(rec(origin, t, t + 0.4));
+            }
+        }
+        let s = store(records);
+        for w0 in 0..20 {
+            let query = RangeQuery {
+                origin: (w0 % 3 == 0).then_some(NodeId(w0 % 5)),
+                ..q(f64::from(w0) * 1.3, f64::from(w0) * 1.3 + 2.0)
+            };
+            assert_eq!(s.query(&query), s.query_full_scan(&query), "{query:?}");
+        }
+    }
+
+    #[test]
+    fn span_and_origins_summarize() {
+        let s = store([rec(3, 4.0, 5.0), rec(1, 0.0, 9.0), rec(3, 1.0, 2.0)]);
+        let (lo, hi) = s.span().unwrap();
+        assert_eq!(lo.as_secs_f64(), 0.0);
+        assert_eq!(hi.as_secs_f64(), 9.0);
+        assert_eq!(s.origins(), vec![NodeId(1), NodeId(3)]);
+        assert!(ArchiveStore::empty().span().is_none());
+    }
+
+    #[test]
+    fn chunk_ingest_carries_metadata() {
+        use enviromic_flash::ChunkMeta;
+        let chunk = Chunk::new(
+            ChunkMeta {
+                origin: NodeId(5),
+                event: Some(EventId::new(NodeId(5), 2)),
+                t_start: SimTime::from_jiffies(1000),
+            },
+            vec![0; 100],
+        );
+        let mut b = ArchiveBuilder::new();
+        b.ingest_chunk(&chunk, NodeId(8));
+        let s = b.build();
+        let r = s.records()[0];
+        assert_eq!(r.origin, NodeId(5));
+        assert_eq!(r.holder, NodeId(8));
+        assert_eq!(r.bytes, 100);
+        assert_eq!(r.t1, chunk.t_end());
+    }
+}

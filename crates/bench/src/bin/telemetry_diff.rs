@@ -1,21 +1,27 @@
 //! `telemetry-diff` — the CI metric regression gate.
 //!
 //! ```text
-//! telemetry-diff --baseline PATH --current PATH [--write] [--self-test]
-//!                [-q | --verbose]
+//! telemetry-diff --baseline PATH --current PATH [--write] [-q | --verbose]
+//! telemetry-diff --baseline PATH --self-test [-q | --verbose]
 //!
 //! --baseline PATH   committed TelemetryBaseline JSON (tolerances + report)
 //! --current PATH    the run to judge: a TelemetryReport JSON, or a sweep
 //!                   summary JSON (its aggregate report is used)
 //! --write           (re)capture: wrap --current in the default tolerance
 //!                   policy and write it to --baseline instead of diffing
-//! --self-test       prove the gate can fail: inject drift into the
-//!                   baseline's own report and require it to be caught
+//! --self-test       self-test-only mode: inject drift (both directions)
+//!                   into the baseline's own report, require the gate to
+//!                   catch it, and exit — no --current needed
 //! ```
 //!
-//! Exits 0 when every metric is inside its tolerance band, 1 on drift (or
-//! a failed self-test), 2 on usage errors. See `gate` module docs for the
-//! band semantics.
+//! `--self-test` is its own mode so CI can run it as a separate step: a
+//! red self-test step means *the gate is broken*, a red diff step means
+//! *the metrics drifted* — the two failures are distinguishable at a
+//! glance.
+//!
+//! Exits 0 when every metric is inside its tolerance band (or the
+//! self-test passes), 1 on drift or a failed self-test, 2 on usage
+//! errors. See `gate` module docs for the band semantics.
 
 use enviromic_bench::gate::{self, TelemetryBaseline};
 use enviromic_telemetry::{log, log_info, TelemetryReport};
@@ -30,7 +36,8 @@ struct Options {
 fn usage() -> ! {
     eprintln!(
         "usage: telemetry-diff --baseline PATH --current PATH [--write] \
-         [--self-test] [-q|--quiet] [-v|--verbose]"
+         [-q|--quiet] [-v|--verbose]\n\
+         \x20      telemetry-diff --baseline PATH --self-test [-q|--quiet] [-v|--verbose]"
     );
     std::process::exit(2);
 }
@@ -59,7 +66,10 @@ fn parse_args() -> Options {
         }
     }
     log::init_from_flags(quiet, verbose);
-    if opts.baseline.is_empty() || opts.current.is_empty() {
+    if opts.baseline.is_empty() || (opts.current.is_empty() && !opts.self_test) {
+        usage();
+    }
+    if opts.self_test && (opts.write || !opts.current.is_empty()) {
         usage();
     }
     opts
@@ -68,6 +78,13 @@ fn parse_args() -> Options {
 fn read(path: &str) -> String {
     std::fs::read_to_string(path).unwrap_or_else(|e| {
         eprintln!("telemetry-diff: could not read {path}: {e}");
+        std::process::exit(2);
+    })
+}
+
+fn parse_baseline(path: &str) -> TelemetryBaseline {
+    TelemetryBaseline::from_json(&read(path)).unwrap_or_else(|e| {
+        eprintln!("telemetry-diff: could not parse baseline {path}: {e}");
         std::process::exit(2);
     })
 }
@@ -94,6 +111,25 @@ fn parse_current(path: &str, text: &str) -> TelemetryReport {
 
 fn main() {
     let opts = parse_args();
+
+    if opts.self_test {
+        let baseline = parse_baseline(&opts.baseline);
+        match gate::self_test(&baseline) {
+            Ok(caught) => {
+                println!(
+                    "telemetry gate self-test: OK — caught {} injected drifts ({})",
+                    caught.len(),
+                    opts.baseline
+                );
+            }
+            Err(e) => {
+                eprintln!("telemetry-diff: SELF-TEST FAILED: {e}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+
     let current = parse_current(&opts.current, &read(&opts.current));
 
     if opts.write {
@@ -112,29 +148,7 @@ fn main() {
         return;
     }
 
-    let baseline = TelemetryBaseline::from_json(&read(&opts.baseline)).unwrap_or_else(|e| {
-        eprintln!(
-            "telemetry-diff: could not parse baseline {}: {e}",
-            opts.baseline
-        );
-        std::process::exit(2);
-    });
-
-    if opts.self_test {
-        match gate::self_test(&baseline) {
-            Ok(caught) => {
-                log_info!(
-                    "[telemetry-diff] self-test: gate caught {} injected drifts",
-                    caught.len()
-                );
-            }
-            Err(e) => {
-                eprintln!("telemetry-diff: SELF-TEST FAILED: {e}");
-                std::process::exit(1);
-            }
-        }
-    }
-
+    let baseline = parse_baseline(&opts.baseline);
     let drifts = gate::diff(&baseline, &current);
     if drifts.is_empty() {
         println!("telemetry gate: OK ({} vs {})", opts.current, opts.baseline);

@@ -203,8 +203,12 @@ pub fn render_drifts(drifts: &[Drift]) -> String {
 }
 
 /// Proves the gate can fail: injects drift into a copy of the baseline's
-/// own report and checks the diff flags it (and that the unmodified
-/// report passes). Returns the injected drifts for display.
+/// own report — one counter pushed **up**, another dragged **down**, and
+/// a gauge pushed up — and checks the diff flags every injection (and
+/// that the unmodified report passes). A gate that only fires on
+/// inflation would wave through a refactor that silently *loses* work,
+/// so both directions are exercised. Returns the injected drifts for
+/// display.
 ///
 /// # Errors
 ///
@@ -218,21 +222,34 @@ pub fn self_test(baseline: &TelemetryBaseline) -> Result<Vec<Drift>, String> {
         ));
     }
 
+    #[allow(
+        clippy::cast_precision_loss,
+        clippy::cast_possible_truncation,
+        clippy::cast_sign_loss
+    )]
+    let past_band = |baseline: &TelemetryBaseline, name: &str, v: u64| -> u64 {
+        let (rel, abs) = baseline.band(name);
+        (abs + rel * (v as f64)).ceil() as u64 + 1
+    };
+
     let mut doctored = baseline.report.clone();
     let mut expected = 0;
+    let mut bumped_up: Option<String> = None;
     if let Some((name, v)) = doctored
         .counters
         .iter_mut()
         .find(|(n, v)| !baseline.skipped(n) && *v > 0)
     {
-        let (rel, abs) = baseline.band(name);
-        #[allow(
-            clippy::cast_precision_loss,
-            clippy::cast_possible_truncation,
-            clippy::cast_sign_loss
-        )]
-        let bump = (abs + rel * (*v as f64)).ceil() as u64 + 1;
-        *v += 2 * bump;
+        *v += 2 * past_band(baseline, name, *v);
+        bumped_up = Some(name.clone());
+        expected += 1;
+    }
+    if let Some((name, v)) = doctored.counters.iter_mut().find(|(n, v)| {
+        !baseline.skipped(n)
+            && Some(n.as_str()) != bumped_up.as_deref()
+            && *v > past_band(baseline, n, *v)
+    }) {
+        *v -= past_band(baseline, name, *v) + 1;
         expected += 1;
     }
     if let Some((name, v)) = doctored
@@ -300,6 +317,22 @@ mod tests {
         let rendered = render_drifts(&drifts);
         assert!(rendered.contains("core.tasks.accepted"));
         assert!(rendered.contains("+10.000"));
+    }
+
+    #[test]
+    fn downward_counter_drift_is_flagged() {
+        let baseline = TelemetryBaseline::capture(sample());
+        let mut cur = sample();
+        // 120 -> 100: losing work drifts just as hard as inventing it.
+        cur.counters
+            .iter_mut()
+            .find(|(n, _)| n == "core.tasks.accepted")
+            .unwrap()
+            .1 = 100;
+        let drifts = diff(&baseline, &cur);
+        assert_eq!(drifts.len(), 1);
+        assert_eq!(drifts[0].metric, "core.tasks.accepted");
+        assert!(render_drifts(&drifts).contains("-20.000"));
     }
 
     #[test]
@@ -399,9 +432,17 @@ mod tests {
     }
 
     #[test]
-    fn self_test_catches_injected_drift() {
+    fn self_test_catches_injected_drift_in_both_directions() {
         let baseline = TelemetryBaseline::capture(sample());
         let caught = self_test(&baseline).expect("gate works");
-        assert_eq!(caught.len(), 2, "{}", render_drifts(&caught));
+        assert_eq!(caught.len(), 3, "{}", render_drifts(&caught));
+        assert!(
+            caught.iter().any(|d| d.current > d.baseline),
+            "an upward injection was caught"
+        );
+        assert!(
+            caught.iter().any(|d| d.current < d.baseline),
+            "a downward injection was caught"
+        );
     }
 }

@@ -11,6 +11,7 @@
 //! | [`outdoor`] | Figs. 16–18 — the forest deployment |
 //! | [`ablation`] | design-choice and future-work ablations |
 //! | [`gate`] | telemetry regression gate (`telemetry-diff` binary) |
+//! | [`retrieval`] | archive serving benchmark (`retrieval` binary) |
 //!
 //! Run `cargo run --release -p enviromic-bench --bin repro -- all` to
 //! print every figure; see EXPERIMENTS.md for the paper-vs-measured
@@ -26,3 +27,4 @@ pub mod fig08;
 pub mod gate;
 pub mod indoor;
 pub mod outdoor;
+pub mod retrieval;

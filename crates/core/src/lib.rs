@@ -63,5 +63,8 @@ pub use policy::{
     build_policy, BalancePolicy, BalanceView, BetaTtlPolicy, CoordinatedStoragePolicy,
     FloodingDispersalPolicy, MigrationPlan, NeighborView, NoMigrationPolicy,
 };
-pub use retrieve::{recover_collected_mote, DataMule, MuleConfig, RetrievalMode, RetrievedFile};
+pub use retrieve::{
+    recover_collected_mote, DataMule, MissingRange, MuleConfig, RerequestBatch, RerequestPlan,
+    RetrievalMode, RetrievedFile,
+};
 pub use storage::TracedStore;

@@ -550,3 +550,211 @@ pub fn recover_collected_mote(store: ChunkStore) -> Vec<Chunk> {
     let recovered = ChunkStore::recover(flash, eeprom, 64);
     recovered.iter().collect()
 }
+
+/// One missing audio range of one origin node, as reported by the
+/// basestation archive's gap detector (`enviromic-archive`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MissingRange {
+    /// The node whose audio is missing.
+    pub origin: NodeId,
+    /// Missing range start.
+    pub t0: SimTime,
+    /// Missing range end.
+    pub t1: SimTime,
+}
+
+/// One batched re-request window: a single spanning-tree query covering
+/// every missing range merged into it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RerequestBatch {
+    /// Window start (min `t0` over the merged ranges).
+    pub t0: SimTime,
+    /// Window end (max `t1` over the merged ranges).
+    pub t1: SimTime,
+    /// The origins whose holes this window covers, ascending and
+    /// deduplicated (bookkeeping — the query itself floods everyone).
+    pub origins: Vec<NodeId>,
+}
+
+/// A batched spanning-tree re-request plan over the archive's missing
+/// ranges: nearby holes share one `QUERY` flood instead of the network
+/// paying one tree query per hole.
+///
+/// Batches are built by merging time windows that overlap or sit within
+/// a slack of each other, so the plan's windows are sorted, pairwise
+/// non-overlapping, and separated by more than the slack — and every
+/// input range lies entirely inside exactly one batch.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RerequestPlan {
+    /// The batched windows, sorted by start time.
+    pub batches: Vec<RerequestBatch>,
+}
+
+impl RerequestPlan {
+    /// Merges `gaps` into batched windows. Two ranges land in the same
+    /// batch when their windows overlap or the gap between them is at
+    /// most `slack` — re-querying a short covered stretch between two
+    /// holes is cheaper than flooding a second tree query.
+    #[must_use]
+    pub fn build(gaps: &[MissingRange], slack: SimDuration) -> RerequestPlan {
+        let mut windows: Vec<&MissingRange> = gaps.iter().filter(|g| g.t1 > g.t0).collect();
+        windows.sort_by_key(|g| (g.t0, g.t1, g.origin));
+        let mut batches: Vec<RerequestBatch> = Vec::new();
+        for gap in windows {
+            match batches.last_mut() {
+                Some(last) if gap.t0.saturating_since(last.t1) <= slack => {
+                    last.t1 = last.t1.max(gap.t1);
+                    last.origins.push(gap.origin);
+                }
+                _ => batches.push(RerequestBatch {
+                    t0: gap.t0,
+                    t1: gap.t1,
+                    origins: vec![gap.origin],
+                }),
+            }
+        }
+        for b in &mut batches {
+            b.origins.sort_unstable();
+            b.origins.dedup();
+        }
+        RerequestPlan { batches }
+    }
+
+    /// Number of batched windows (i.e. tree queries the plan costs).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.batches.len()
+    }
+
+    /// True when there is nothing to re-request.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.batches.is_empty()
+    }
+
+    /// True when `gap` lies entirely inside one of the plan's windows.
+    #[must_use]
+    pub fn covers(&self, t0: SimTime, t1: SimTime) -> bool {
+        self.batches.iter().any(|b| b.t0 <= t0 && t1 <= b.t1)
+    }
+
+    /// The spanning-tree [`Message::Query`] floods realizing the plan,
+    /// one per batch, with consecutive query IDs starting at
+    /// `first_query_id`. Windowed (`all: false`) so answering nodes
+    /// stream only the missing stretch.
+    #[must_use]
+    pub fn queries(&self, root: NodeId, first_query_id: u32) -> Vec<Message> {
+        self.batches
+            .iter()
+            .enumerate()
+            .map(|(k, b)| Message::Query {
+                root,
+                query_id: first_query_id + k as u32,
+                t0: b.t0,
+                t1: b.t1,
+                all: false,
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(secs: f64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_secs_f64(secs)
+    }
+
+    fn gap(origin: u32, t0: f64, t1: f64) -> MissingRange {
+        MissingRange {
+            origin: NodeId(origin),
+            t0: t(t0),
+            t1: t(t1),
+        }
+    }
+
+    fn slack(secs: f64) -> SimDuration {
+        SimDuration::from_secs_f64(secs)
+    }
+
+    #[test]
+    fn nearby_holes_share_a_batch_distant_ones_do_not() {
+        let gaps = [gap(1, 0.0, 1.0), gap(2, 1.5, 2.0), gap(1, 10.0, 11.0)];
+        let plan = RerequestPlan::build(&gaps, slack(1.0));
+        assert_eq!(plan.len(), 2);
+        assert_eq!(plan.batches[0].t0, t(0.0));
+        assert_eq!(plan.batches[0].t1, t(2.0));
+        assert_eq!(plan.batches[0].origins, vec![NodeId(1), NodeId(2)]);
+        assert_eq!(plan.batches[1].origins, vec![NodeId(1)]);
+    }
+
+    #[test]
+    fn batches_never_overlap_and_cover_every_gap() {
+        // Interleaved, overlapping, duplicated, and unsorted input.
+        let gaps = [
+            gap(3, 5.0, 7.0),
+            gap(1, 0.0, 2.0),
+            gap(2, 1.0, 3.0),
+            gap(1, 6.5, 8.0),
+            gap(2, 20.0, 21.0),
+            gap(1, 0.0, 2.0),
+        ];
+        let plan = RerequestPlan::build(&gaps, slack(0.5));
+        for w in plan.batches.windows(2) {
+            assert!(
+                w[1].t0.saturating_since(w[0].t1) > slack(0.5),
+                "batches sorted, non-overlapping, separated by more than the slack"
+            );
+        }
+        for g in &gaps {
+            assert!(plan.covers(g.t0, g.t1), "{g:?} covered");
+        }
+        assert_eq!(plan.len(), 3, "0-3, 5-8, 20-21");
+    }
+
+    #[test]
+    fn zero_and_negative_width_gaps_are_dropped() {
+        let plan = RerequestPlan::build(&[gap(1, 2.0, 2.0)], slack(1.0));
+        assert!(plan.is_empty());
+        assert!(plan.queries(NodeId(0), 1).is_empty());
+    }
+
+    #[test]
+    fn queries_carry_windows_and_consecutive_ids() {
+        let gaps = [gap(1, 0.0, 1.0), gap(2, 9.0, 9.5)];
+        let plan = RerequestPlan::build(&gaps, slack(1.0));
+        let queries = plan.queries(NodeId(7), 40);
+        assert_eq!(queries.len(), 2);
+        match &queries[0] {
+            Message::Query {
+                root,
+                query_id,
+                t0,
+                t1,
+                all,
+            } => {
+                assert_eq!(*root, NodeId(7));
+                assert_eq!(*query_id, 40);
+                assert_eq!(*t0, t(0.0));
+                assert_eq!(*t1, t(1.0));
+                assert!(!all, "windowed re-request, not a full drain");
+            }
+            other => panic!("expected a Query, got {other:?}"),
+        }
+        match &queries[1] {
+            Message::Query { query_id, .. } => assert_eq!(*query_id, 41),
+            other => panic!("expected a Query, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn merging_is_transitive_through_chained_slack() {
+        // Each hole is within slack of the next; all merge into one.
+        let gaps = [gap(1, 0.0, 1.0), gap(1, 1.8, 2.5), gap(1, 3.2, 4.0)];
+        let plan = RerequestPlan::build(&gaps, slack(1.0));
+        assert_eq!(plan.len(), 1);
+        assert_eq!(plan.batches[0].t0, t(0.0));
+        assert_eq!(plan.batches[0].t1, t(4.0));
+    }
+}

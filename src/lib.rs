@@ -28,6 +28,7 @@
 //! | [`core`] | the EnviroMic protocol node, baselines, data mule |
 //! | [`workloads`] | paper testbed topologies and acoustic scenarios |
 //! | [`metrics`] | miss ratio, redundancy, overhead, contours |
+//! | [`archive`] | basestation archive: interval index, query cache, gap re-requests |
 //! | [`telemetry`] | runtime counters, histograms, span timing, logging |
 //! | [`harness`] | one-call experiment assembly and execution |
 //! | [`sweep`] | parallel seed × scenario sweeps with deterministic replay |
@@ -55,6 +56,7 @@ pub mod harness;
 pub mod observe;
 pub mod sweep;
 
+pub use enviromic_archive as archive;
 pub use enviromic_core as core;
 pub use enviromic_flash as flash;
 pub use enviromic_metrics as metrics;

@@ -12,9 +12,11 @@
 
 use crate::harness::ExperimentRun;
 use crate::sim::TraceEvent;
+use enviromic_archive::{ArchiveBuilder, ArchiveRecord, ArchiveStore, GapRange};
+use enviromic_core::{MissingRange, RerequestPlan};
 use enviromic_runtime::{DropReason, RecordKind};
 use enviromic_telemetry::TimelineReport;
-use enviromic_types::{EventId, NodeId, SimTime, SourceId};
+use enviromic_types::{EventId, NodeId, SimDuration, SimTime, SourceId};
 use serde::{Deserialize, Serialize};
 
 /// An owned, round-trippable trace record: field-for-field the same shape
@@ -440,6 +442,90 @@ impl DumpFile {
     }
 }
 
+/// Exports a completed run into the basestation archive: every
+/// `ChunkStored` trace event becomes an [`ArchiveRecord`] (origin, event
+/// ID, audio window, holder), with the copies that storage balancing
+/// scattered across the network deduplicated by recorded interval. The
+/// result is the run's cumulative storage ledger — what a basestation
+/// that observed every store would hold — frozen into a queryable
+/// [`ArchiveStore`].
+#[must_use]
+pub fn archive_run(run: &ExperimentRun) -> ArchiveStore {
+    let mut builder = ArchiveBuilder::new();
+    for e in &run.trace {
+        if let TraceEvent::ChunkStored {
+            node,
+            origin,
+            event,
+            audio_t0,
+            audio_t1,
+            bytes,
+            ..
+        } = *e
+        {
+            builder.ingest(ArchiveRecord {
+                origin,
+                event,
+                t0: audio_t0,
+                t1: audio_t1,
+                bytes,
+                holder: node,
+            });
+        }
+    }
+    builder.build()
+}
+
+/// Like [`archive_run`], from a previously written [`RunDump`] — the
+/// offline path: dump a run once, rebuild the archive from the file.
+#[must_use]
+pub fn archive_dump(dump: &RunDump) -> ArchiveStore {
+    let mut builder = ArchiveBuilder::new();
+    for e in &dump.events {
+        if let TraceRecord::ChunkStored {
+            node,
+            origin,
+            event,
+            audio_t0,
+            audio_t1,
+            bytes,
+            ..
+        } = *e
+        {
+            builder.ingest(ArchiveRecord {
+                origin,
+                event,
+                t0: audio_t0,
+                t1: audio_t1,
+                bytes,
+                holder: node,
+            });
+        }
+    }
+    builder.build()
+}
+
+/// Scans `store` for coverage holes wider than `tolerance` and batches
+/// them into a spanning-tree re-request plan with the given merge
+/// `slack` — the bridge from the archive's gap detector to the protocol
+/// layer's [`RerequestPlan`].
+#[must_use]
+pub fn rerequest_plan(
+    store: &ArchiveStore,
+    tolerance: SimDuration,
+    slack: SimDuration,
+) -> RerequestPlan {
+    let gaps: Vec<MissingRange> = enviromic_archive::find_gaps(store, tolerance)
+        .iter()
+        .map(|g: &GapRange| MissingRange {
+            origin: g.origin,
+            t0: g.t0,
+            t1: g.t1,
+        })
+        .collect();
+    RerequestPlan::build(&gaps, slack)
+}
+
 /// A node / event-kind / time-window query over dumped trace records.
 /// `None` fields match everything.
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -641,5 +727,52 @@ mod tests {
         let ledger = render_ledger(events.iter().take(3));
         assert_eq!(ledger.lines().count(), 3);
         assert!(ledger.contains('s'));
+    }
+
+    #[test]
+    fn archive_from_run_and_dump_agree() {
+        let run = quick_run(false);
+        let stored = run
+            .trace
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::ChunkStored { .. }))
+            .count() as u64;
+        assert!(stored > 0, "the quick run stores chunks");
+
+        let from_run = archive_run(&run);
+        let ingest = from_run.ingest_stats();
+        assert_eq!(ingest.records + ingest.duplicates, stored);
+        assert!(!from_run.is_empty());
+
+        let dump = RunDump::from_run("quick-indoor", 7, &run, true);
+        let from_dump = archive_dump(&dump);
+        assert_eq!(from_run.records(), from_dump.records());
+        assert_eq!(from_run.ingest_stats(), from_dump.ingest_stats());
+    }
+
+    #[test]
+    fn archived_run_answers_whole_span_query() {
+        let run = quick_run(false);
+        let store = archive_run(&run);
+        let (t0, t1) = store.span().expect("non-empty archive has a span");
+        let all = store.query(&enviromic_archive::RangeQuery::window(t0, t1));
+        assert_eq!(all.len(), store.len(), "whole-span query matches all");
+    }
+
+    #[test]
+    fn rerequest_plan_covers_archive_gaps() {
+        let run = quick_run(false);
+        let store = archive_run(&run);
+        let tolerance = SimDuration::from_secs_f64(0.5);
+        let gaps = enviromic_archive::find_gaps(&store, tolerance);
+        let plan = rerequest_plan(&store, tolerance, SimDuration::from_secs_f64(1.0));
+        if gaps.is_empty() {
+            assert!(plan.is_empty());
+        } else {
+            assert!(!plan.is_empty());
+            for g in &gaps {
+                assert!(plan.covers(g.t0, g.t1), "gap {g:?} covered by the plan");
+            }
+        }
     }
 }
